@@ -1,0 +1,149 @@
+(* Benchmark entry point.
+
+   Part 1 — Bechamel micro-benchmarks of the real (OS-thread platform) data
+   structures: per-operation cost of each COS implementation, the linked-list
+   service scans, and supporting structures.  These ground the simulation
+   cost model (see EXPERIMENTS.md).
+
+   Part 2 — regeneration of every figure of the paper's evaluation (Figures
+   2-6) through the simulation harness.  Set PSMR_BENCH_FAST=1 for a
+   subsampled smoke run; set PSMR_BENCH_SKIP_FIGURES=1 to run only the
+   micro-benchmarks. *)
+
+open Bechamel
+open Toolkit
+
+module RP = Psmr_platform.Real_platform
+
+module Rw_cmd = struct
+  type t = bool
+
+  let conflict a b = a || b
+  let pp ppf w = Format.pp_print_string ppf (if w then "w" else "r")
+end
+
+(* One insert+get+remove cycle on a COS pre-filled to a given population:
+   the steady-state per-command cost of the structure itself. *)
+let cos_cycle impl ~population ~writes =
+  let (module S : Psmr_cos.Cos_intf.S with type cmd = bool) =
+    Psmr_cos.Registry.instantiate impl (module RP) (module Rw_cmd)
+  in
+  let t = S.create ~max_size:150 () in
+  let rng = Psmr_util.Rng.create ~seed:1L in
+  for _ = 1 to population do
+    S.insert t (Psmr_util.Rng.below_percent rng writes)
+  done;
+  Staged.stage (fun () ->
+      S.insert t (Psmr_util.Rng.below_percent rng writes);
+      match S.get t with
+      | Some h -> S.remove t h
+      | None -> assert false)
+
+let cos_tests =
+  Test.make_grouped ~name:"cos-cycle"
+    (List.concat_map
+       (fun impl ->
+         List.map
+           (fun pop ->
+             Test.make
+               ~name:
+                 (Printf.sprintf "%s/pop%d"
+                    (Psmr_cos.Registry.to_string impl)
+                    pop)
+               (cos_cycle impl ~population:pop ~writes:10.0))
+           [ 1; 50; 140 ])
+       Psmr_cos.Registry.all)
+
+let list_tests =
+  let scan size =
+    let l = Psmr_app.Linked_list.create ~initial_size:size in
+    let rng = Psmr_util.Rng.create ~seed:2L in
+    Staged.stage (fun () ->
+        ignore
+          (Psmr_app.Linked_list.execute l
+             (Contains (Psmr_util.Rng.int rng size))
+            : bool))
+  in
+  Test.make_grouped ~name:"linked-list"
+    [
+      Test.make ~name:"contains/1k" (scan 1_000);
+      Test.make ~name:"contains/10k" (scan 10_000);
+    ]
+
+let util_tests =
+  let rng = Psmr_util.Rng.create ~seed:3L in
+  let heap = Psmr_util.Heap.create ~cmp:compare in
+  let hist = Psmr_util.Histogram.create () in
+  Test.make_grouped ~name:"util"
+    [
+      Test.make ~name:"rng-int"
+        (Staged.stage (fun () -> ignore (Psmr_util.Rng.int rng 1000 : int)));
+      Test.make ~name:"heap-push-pop"
+        (Staged.stage (fun () ->
+             Psmr_util.Heap.add heap (Psmr_util.Rng.int rng 1000);
+             ignore (Psmr_util.Heap.pop heap : int option)));
+      Test.make ~name:"histogram-record"
+        (Staged.stage (fun () -> Psmr_util.Histogram.record hist 0.0012));
+    ]
+
+let atomic_tests =
+  let a = Atomic.make 0 in
+  let m = Mutex.create () in
+  Test.make_grouped ~name:"primitives"
+    [
+      Test.make ~name:"atomic-cas"
+        (Staged.stage (fun () ->
+             ignore (Atomic.compare_and_set a (Atomic.get a) 1 : bool)));
+      Test.make ~name:"mutex-lock-unlock"
+        (Staged.stage (fun () ->
+             Mutex.lock m;
+             Mutex.unlock m));
+    ]
+
+let run_micro () =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let tests =
+    Test.make_grouped ~name:"micro"
+      [ atomic_tests; util_tests; list_tests; cos_tests ]
+  in
+  let raws = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raws
+  in
+  print_endline "# Micro-benchmarks (real threads, this machine)\n";
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some [ e ] -> Printf.sprintf "%.1f" e
+          | Some _ | None -> "n/a"
+        in
+        let r2 =
+          match Analyze.OLS.r_square result with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "n/a"
+        in
+        [ name; ns; r2 ] :: acc)
+      ols []
+    |> List.sort compare
+  in
+  print_string
+    (Psmr_util.Table.render ~header:[ "benchmark"; "ns/op"; "r-sq" ] rows);
+  print_newline ()
+
+let () =
+  let getenv_flag v =
+    match Sys.getenv_opt v with Some ("1" | "true") -> true | _ -> false
+  in
+  run_micro ();
+  if not (getenv_flag "PSMR_BENCH_SKIP_FIGURES") then begin
+    let opts =
+      if getenv_flag "PSMR_BENCH_FAST" then Psmr_harness.Figures.fast_options
+      else Psmr_harness.Figures.default_options
+    in
+    let opts = { opts with progress = not (getenv_flag "PSMR_BENCH_QUIET") } in
+    print_string (Psmr_harness.Figures.run_all ~opts ())
+  end

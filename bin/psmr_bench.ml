@@ -1,0 +1,226 @@
+(* Command-line driver for the reproduction experiments.
+
+   Examples:
+     psmr-bench fig2 --cost light
+     psmr-bench fig4 --cost moderate --fast
+     psmr-bench fig6 --writes 10
+     psmr-bench all --csv results/
+     psmr-bench standalone --impl lockfree --workers 16 --writes 5 --cost moderate
+     psmr-bench smr --impl lockfree --workers 32 --clients 100 --cost heavy *)
+
+open Cmdliner
+
+let cost_conv =
+  let parse s =
+    match Psmr_workload.Workload.cost_of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown cost class %S" s))
+  in
+  let print ppf c =
+    Format.pp_print_string ppf (Psmr_workload.Workload.cost_label c)
+  in
+  Arg.conv (parse, print)
+
+let impl_conv =
+  let parse s =
+    match Psmr_cos.Registry.of_string s with
+    | Some i -> Ok i
+    | None -> Error (`Msg (Printf.sprintf "unknown implementation %S" s))
+  in
+  let print ppf i =
+    Format.pp_print_string ppf (Psmr_cos.Registry.to_string i)
+  in
+  Arg.conv (parse, print)
+
+let cost_arg =
+  Arg.(
+    value
+    & opt cost_conv Psmr_workload.Workload.Light
+    & info [ "cost" ] ~docv:"CLASS" ~doc:"Execution cost: light, moderate or heavy.")
+
+let fast_arg =
+  Arg.(
+    value & flag
+    & info [ "fast" ] ~doc:"Subsample axes and shorten windows (smoke run).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write CSV files into $(docv).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-run progress logs.")
+
+let opts_of ~fast ~csv ~quiet =
+  let base =
+    if fast then Psmr_harness.Figures.fast_options
+    else Psmr_harness.Figures.default_options
+  in
+  { base with csv_dir = csv; progress = not quiet }
+
+let print_series ~title ~x_label ~y_label series =
+  print_string
+    (Psmr_harness.Figures.render_figure ~title ~x_label ~y_label series)
+
+let fig2_cmd =
+  let run cost fast csv quiet =
+    let opts = opts_of ~fast ~csv ~quiet in
+    let s = Psmr_harness.Figures.fig2 opts cost in
+    print_series
+      ~title:
+        (Printf.sprintf "Figure 2 (%s): standalone, 0%% writes"
+           (Psmr_workload.Workload.cost_label cost))
+      ~x_label:"workers" ~y_label:"kops/s" s
+  in
+  Cmd.v (Cmd.info "fig2" ~doc:"Standalone COS: throughput vs workers.")
+    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg)
+
+let fig3_cmd =
+  let run cost fast csv quiet =
+    let opts = opts_of ~fast ~csv ~quiet in
+    let s = Psmr_harness.Figures.fig3 opts cost in
+    print_series
+      ~title:
+        (Printf.sprintf "Figure 3 (%s): standalone, best workers"
+           (Psmr_workload.Workload.cost_label cost))
+      ~x_label:"% writes" ~y_label:"kops/s" s
+  in
+  Cmd.v (Cmd.info "fig3" ~doc:"Standalone COS: throughput vs write percentage.")
+    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg)
+
+let fig4_cmd =
+  let run cost fast csv quiet =
+    let opts = opts_of ~fast ~csv ~quiet in
+    let s = Psmr_harness.Figures.fig4 opts cost in
+    print_series
+      ~title:
+        (Printf.sprintf "Figure 4 (%s): replicated, 0%% writes"
+           (Psmr_workload.Workload.cost_label cost))
+      ~x_label:"workers" ~y_label:"kops/s" s
+  in
+  Cmd.v (Cmd.info "fig4" ~doc:"Replicated SMR: throughput vs workers.")
+    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg)
+
+let fig5_cmd =
+  let run cost fast csv quiet =
+    let opts = opts_of ~fast ~csv ~quiet in
+    let s = Psmr_harness.Figures.fig5 opts cost in
+    print_series
+      ~title:
+        (Printf.sprintf "Figure 5 (%s): replicated, best workers"
+           (Psmr_workload.Workload.cost_label cost))
+      ~x_label:"% writes" ~y_label:"kops/s" s
+  in
+  Cmd.v (Cmd.info "fig5" ~doc:"Replicated SMR: throughput vs write percentage.")
+    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg)
+
+let writes_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "writes" ] ~docv:"PCT" ~doc:"Write percentage (0-100).")
+
+let fig6_cmd =
+  let run writes fast csv quiet =
+    let opts = opts_of ~fast ~csv ~quiet in
+    let s = Psmr_harness.Figures.fig6 opts ~write_pct:writes in
+    Printf.printf
+      "## Figure 6 (%g%% writes): latency vs throughput, moderate cost\n\n%s\n"
+      writes
+      (Psmr_harness.Figures.fig6_table s)
+  in
+  Cmd.v (Cmd.info "fig6" ~doc:"Replicated SMR: latency vs throughput.")
+    Term.(const run $ writes_arg $ fast_arg $ csv_arg $ quiet_arg)
+
+let ablations_cmd =
+  let run fast csv quiet =
+    let opts = opts_of ~fast ~csv ~quiet in
+    print_string (Psmr_harness.Figures.render_ablations opts)
+  in
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:
+         "Extension experiments: lock granularity spectrum, graph bound, \
+          realistic conflict band, failover timeline.")
+    Term.(const run $ fast_arg $ csv_arg $ quiet_arg)
+
+let all_cmd =
+  let run fast csv quiet =
+    let opts = opts_of ~fast ~csv ~quiet in
+    print_string (Psmr_harness.Figures.run_all ~opts ())
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure (2-6).")
+    Term.(const run $ fast_arg $ csv_arg $ quiet_arg)
+
+(* Single-point runs for exploration. *)
+
+let impl_arg =
+  Arg.(
+    value
+    & opt impl_conv Psmr_cos.Registry.Lockfree
+    & info [ "impl" ] ~docv:"IMPL"
+        ~doc:"COS implementation: coarse, fine, lockfree or fifo.")
+
+let workers_arg =
+  Arg.(value & opt int 8 & info [ "workers" ] ~docv:"N" ~doc:"Worker threads.")
+
+let clients_arg =
+  Arg.(value & opt int 200 & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop clients.")
+
+let duration_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "duration" ] ~docv:"SEC" ~doc:"Measurement window (virtual seconds).")
+
+let standalone_cmd =
+  let run impl workers writes cost duration =
+    let r =
+      Psmr_harness.Standalone.run ~impl ~workers
+        ~spec:{ write_pct = writes; cost }
+        ?duration ()
+    in
+    Printf.printf "%s workers=%d writes=%g%% cost=%s: %.1f kops/s (mean population %.1f)\n"
+      (Psmr_cos.Registry.to_string impl)
+      workers writes
+      (Psmr_workload.Workload.cost_label cost)
+      r.kops r.mean_population
+  in
+  Cmd.v
+    (Cmd.info "standalone" ~doc:"One standalone data-structure measurement.")
+    Term.(const run $ impl_arg $ workers_arg $ writes_arg $ cost_arg $ duration_arg)
+
+let smr_cmd =
+  let run impl workers writes cost clients duration =
+    let r =
+      Psmr_harness.Smr.run
+        ~mode:(Psmr_replica.Replica.Parallel { impl; workers })
+        ~spec:{ write_pct = writes; cost }
+        ~clients ?duration ()
+    in
+    Printf.printf
+      "%s workers=%d writes=%g%% cost=%s clients=%d: %.1f kops/s, latency %.2f ms (p99 %.2f)\n"
+      (Psmr_cos.Registry.to_string impl)
+      workers writes
+      (Psmr_workload.Workload.cost_label cost)
+      clients r.kops r.mean_latency_ms r.p99_latency_ms
+  in
+  Cmd.v (Cmd.info "smr" ~doc:"One replicated-deployment measurement.")
+    Term.(
+      const run $ impl_arg $ workers_arg $ writes_arg $ cost_arg $ clients_arg
+      $ duration_arg)
+
+let () =
+  let info =
+    Cmd.info "psmr-bench" ~version:"1.0.0"
+      ~doc:
+        "Reproduction harness for 'Boosting concurrency in Parallel State \
+         Machine Replication' (Middleware '19)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; ablations_cmd;
+            all_cmd; standalone_cmd; smr_cmd;
+          ]))

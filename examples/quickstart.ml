@@ -1,0 +1,48 @@
+(* Quickstart: the Conflict-Ordered Set and the scheduler/worker runtime.
+
+   We schedule a mix of read and write commands against a shared counter
+   array through the lock-free COS: reads of different slots run
+   concurrently on worker threads, writes serialize behind the reads they
+   conflict with, and every ordering constraint of the paper's §3.3 COS
+   specification is respected.
+
+     dune exec examples/quickstart.exe *)
+
+module RP = Psmr_platform.Real_platform
+
+(* 1. Describe commands and their conflict relation. *)
+module Command = struct
+  type t = { slot : int; incr : bool }
+
+  let conflict a b = a.slot = b.slot && (a.incr || b.incr)
+  let pp ppf c = Format.fprintf ppf "%s(%d)" (if c.incr then "incr" else "read") c.slot
+end
+
+(* 2. Pick a COS implementation (the paper's lock-free algorithm). *)
+module Cos = Psmr_cos.Lockfree.Make (RP) (Command)
+
+(* 3. Attach the Algorithm-1 scheduler/worker runtime. *)
+module Sched = Psmr_sched.Scheduler.Make (RP) (Cos)
+
+let () =
+  let slots = Array.make 8 0 in
+  let observed = Atomic.make 0 in
+  let execute (c : Command.t) =
+    if c.incr then slots.(c.slot) <- slots.(c.slot) + 1
+    else ignore (Atomic.fetch_and_add observed slots.(c.slot) : int)
+  in
+  let sched = Sched.start ~workers:4 ~execute () in
+  let rng = Psmr_util.Rng.create ~seed:2026L in
+  let commands = 10_000 in
+  for _ = 1 to commands do
+    Sched.submit sched
+      {
+        Command.slot = Psmr_util.Rng.int rng 8;
+        incr = Psmr_util.Rng.below_percent rng 30.0;
+      }
+  done;
+  Sched.shutdown sched;
+  let total = Array.fold_left ( + ) 0 slots in
+  Printf.printf "executed %d commands on 4 workers\n" (Sched.executed sched);
+  Printf.printf "total increments applied: %d\n" total;
+  Printf.printf "every command ran exactly once and conflicting commands ran in order.\n"

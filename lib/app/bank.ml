@@ -1,0 +1,86 @@
+(** A bank-accounts service: transfers conflict only when they share an
+    account, so the dependency DAG has interesting partial-order structure
+    (chains through shared accounts) rather than the all-or-nothing
+    conflicts of the readers-writers list.
+
+    Amounts are integer cents.  Transfers that would overdraw are rejected
+    deterministically. *)
+
+type t = { balances : int array }
+
+type command =
+  | Balance of int
+  | Deposit of int * int
+  | Transfer of { src : int; dst : int; amount : int }
+
+type response = Amount of int | Ok | Insufficient
+
+let create ~accounts ~initial_balance =
+  if accounts <= 0 then invalid_arg "Bank.create: accounts must be positive";
+  if initial_balance < 0 then invalid_arg "Bank.create: negative balance";
+  { balances = Array.make accounts initial_balance }
+
+let accounts t = Array.length t.balances
+
+let total t = Array.fold_left ( + ) 0 t.balances
+
+let check t a =
+  if a < 0 || a >= Array.length t.balances then
+    invalid_arg (Printf.sprintf "Bank: account %d out of range" a)
+
+let execute t = function
+  | Balance a ->
+      check t a;
+      Amount t.balances.(a)
+  | Deposit (a, amount) ->
+      check t a;
+      if amount < 0 then invalid_arg "Bank.execute: negative deposit";
+      t.balances.(a) <- t.balances.(a) + amount;
+      Ok
+  | Transfer { src; dst; amount } ->
+      check t src;
+      check t dst;
+      if amount < 0 then invalid_arg "Bank.execute: negative transfer";
+      if t.balances.(src) < amount then Insufficient
+      else begin
+        t.balances.(src) <- t.balances.(src) - amount;
+        t.balances.(dst) <- t.balances.(dst) + amount;
+        Ok
+      end
+
+let snapshot t = Marshal.to_string t.balances []
+
+let restore t data =
+  let balances : int array = Marshal.from_string data 0 in
+  if Array.length balances <> Array.length t.balances then
+    invalid_arg "Bank.restore: account count mismatch";
+  Array.blit balances 0 t.balances 0 (Array.length balances)
+
+let touches = function
+  | Balance a -> [ a ]
+  | Deposit (a, _) -> [ a ]
+  | Transfer { src; dst; _ } -> [ src; dst ]
+
+let is_write = function Balance _ -> false | Deposit _ | Transfer _ -> true
+
+let conflict a b =
+  (is_write a || is_write b)
+  && List.exists (fun x -> List.mem x (touches b)) (touches a)
+
+let pp_command ppf = function
+  | Balance a -> Format.fprintf ppf "balance(%d)" a
+  | Deposit (a, v) -> Format.fprintf ppf "deposit(%d,%d)" a v
+  | Transfer { src; dst; amount } ->
+      Format.fprintf ppf "transfer(%d->%d,%d)" src dst amount
+
+let pp_response ppf = function
+  | Amount v -> Format.fprintf ppf "%d" v
+  | Ok -> Format.pp_print_string ppf "ok"
+  | Insufficient -> Format.pp_print_string ppf "insufficient"
+
+module Command : Psmr_cos.Cos_intf.COMMAND with type t = command = struct
+  type t = command
+
+  let conflict = conflict
+  let pp = pp_command
+end

@@ -1,0 +1,42 @@
+(** Bank-accounts service: transfers conflict only when they share an
+    account, giving the dependency DAG chain structure rather than the
+    all-or-nothing conflicts of the readers-writers list.  Overdrawing
+    transfers are rejected deterministically; the total balance is
+    invariant under any command sequence. *)
+
+type t
+
+type command =
+  | Balance of int
+  | Deposit of int * int
+  | Transfer of { src : int; dst : int; amount : int }
+
+type response = Amount of int | Ok | Insufficient
+
+val create : accounts:int -> initial_balance:int -> t
+
+val accounts : t -> int
+
+val total : t -> int
+(** Sum of all balances — conserved by {!execute}. *)
+
+val execute : t -> command -> response
+(** @raise Invalid_argument on out-of-range accounts or negative amounts. *)
+
+
+val snapshot : t -> string
+(** Serialize the state for state transfer; equal states give equal
+    snapshots.  Not concurrency-safe with [execute]. *)
+
+val restore : t -> string -> unit
+(** Replace the state with a snapshot.  Not concurrency-safe with
+    [execute]. *)
+
+val touches : command -> int list
+val is_write : command -> bool
+val conflict : command -> command -> bool
+
+val pp_command : Format.formatter -> command -> unit
+val pp_response : Format.formatter -> response -> unit
+
+module Command : Psmr_cos.Cos_intf.COMMAND with type t = command

@@ -1,0 +1,62 @@
+(** A fixed-capacity integer key-value store with per-key conflicts.
+
+    Unlike the paper's readers-writers list (where one write blocks
+    everything), conflicts here are per key: [Put k _] conflicts with any
+    command on the same key, [Get]s never conflict with each other.  Each
+    key has its own slot, so non-conflicting commands may execute
+    concurrently without synchronization. *)
+
+type t = { slots : int option array }
+
+type command = Get of int | Put of int * int
+
+type response = Value of int option | Stored
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Kv_store.create: capacity must be positive";
+  { slots = Array.make capacity None }
+
+let capacity t = Array.length t.slots
+
+let check_key t k =
+  if k < 0 || k >= Array.length t.slots then
+    invalid_arg (Printf.sprintf "Kv_store: key %d out of range" k)
+
+let execute t = function
+  | Get k ->
+      check_key t k;
+      Value t.slots.(k)
+  | Put (k, v) ->
+      check_key t k;
+      t.slots.(k) <- Some v;
+      Stored
+
+let snapshot t = Marshal.to_string t.slots []
+
+let restore t data =
+  let slots : int option array = Marshal.from_string data 0 in
+  if Array.length slots <> Array.length t.slots then
+    invalid_arg "Kv_store.restore: capacity mismatch";
+  Array.blit slots 0 t.slots 0 (Array.length slots)
+
+let key = function Get k -> k | Put (k, _) -> k
+
+let is_write = function Put _ -> true | Get _ -> false
+
+let conflict a b = key a = key b && (is_write a || is_write b)
+
+let pp_command ppf = function
+  | Get k -> Format.fprintf ppf "get(%d)" k
+  | Put (k, v) -> Format.fprintf ppf "put(%d,%d)" k v
+
+let pp_response ppf = function
+  | Value None -> Format.pp_print_string ppf "nil"
+  | Value (Some v) -> Format.fprintf ppf "%d" v
+  | Stored -> Format.pp_print_string ppf "ok"
+
+module Command : Psmr_cos.Cos_intf.COMMAND with type t = command = struct
+  type t = command
+
+  let conflict = conflict
+  let pp = pp_command
+end

@@ -1,0 +1,35 @@
+(** Fixed-capacity integer key-value store with per-key conflicts: [Put]
+    conflicts with any same-key command, [Get]s never conflict with each
+    other.  Slots are independent, so non-conflicting commands may execute
+    concurrently without synchronization. *)
+
+type t
+
+type command = Get of int | Put of int * int
+
+type response = Value of int option | Stored
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+val execute : t -> command -> response
+(** @raise Invalid_argument when the key is out of range. *)
+
+
+val snapshot : t -> string
+(** Serialize the state for state transfer; equal states give equal
+    snapshots.  Not concurrency-safe with [execute]. *)
+
+val restore : t -> string -> unit
+(** Replace the state with a snapshot.  Not concurrency-safe with
+    [execute]. *)
+
+val key : command -> int
+val is_write : command -> bool
+val conflict : command -> command -> bool
+
+val pp_command : Format.formatter -> command -> unit
+val pp_response : Format.formatter -> response -> unit
+
+module Command : Psmr_cos.Cos_intf.COMMAND with type t = command

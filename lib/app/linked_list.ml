@@ -1,0 +1,97 @@
+(** The paper's evaluation application (§7.2): a linked-list
+    readers-and-writers service.
+
+    [Contains i] scans the list for [i]; [Add i] appends [i] if absent.
+    [Contains] commands do not conflict with each other but conflict with
+    [Add], which conflicts with everything — so reads run concurrently
+    while any write is exclusive, which the COS guarantees.
+
+    The list is a real pointer-linked structure: execution cost is genuine
+    memory traversal, proportional to the initial size (1k/10k/100k in the
+    paper = light/moderate/heavy). *)
+
+type cell = { value : int; mutable next : cell option }
+
+type t = {
+  mutable first : cell option;
+  mutable last : cell option;
+  mutable size : int;
+}
+
+type command = Contains of int | Add of int
+
+type response = bool
+
+let create ~initial_size =
+  if initial_size < 0 then invalid_arg "Linked_list.create: negative size";
+  let t = { first = None; last = None; size = 0 } in
+  for i = 0 to initial_size - 1 do
+    let c = { value = i; next = None } in
+    (match t.last with None -> t.first <- Some c | Some l -> l.next <- Some c);
+    t.last <- Some c;
+    t.size <- t.size + 1
+  done;
+  t
+
+let size t = t.size
+
+let mem t i =
+  let rec scan = function
+    | None -> false
+    | Some c -> c.value = i || scan c.next
+  in
+  scan t.first
+
+let execute t = function
+  | Contains i -> mem t i
+  | Add i ->
+      if mem t i then false
+      else begin
+        let c = { value = i; next = None } in
+        (match t.last with
+        | None -> t.first <- Some c
+        | Some l -> l.next <- Some c);
+        t.last <- Some c;
+        t.size <- t.size + 1;
+        true
+      end
+
+let to_list t =
+  let rec collect acc = function
+    | None -> List.rev acc
+    | Some c -> collect (c.value :: acc) c.next
+  in
+  collect [] t.first
+
+let snapshot t = Marshal.to_string (to_list t) []
+
+let restore t data =
+  let values : int list = Marshal.from_string data 0 in
+  t.first <- None;
+  t.last <- None;
+  t.size <- 0;
+  List.iter
+    (fun v ->
+      let c = { value = v; next = None } in
+      (match t.last with None -> t.first <- Some c | Some l -> l.next <- Some c);
+      t.last <- Some c;
+      t.size <- t.size + 1)
+    values
+
+let is_write = function Add _ -> true | Contains _ -> false
+
+let conflict a b = is_write a || is_write b
+
+let pp_command ppf = function
+  | Contains i -> Format.fprintf ppf "contains(%d)" i
+  | Add i -> Format.fprintf ppf "add(%d)" i
+
+let pp_response ppf b = Format.pp_print_bool ppf b
+
+(** The COS view of list commands. *)
+module Command : Psmr_cos.Cos_intf.COMMAND with type t = command = struct
+  type t = command
+
+  let conflict = conflict
+  let pp = pp_command
+end

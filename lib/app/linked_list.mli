@@ -1,0 +1,41 @@
+(** The paper's evaluation application (§7.2): a linked-list
+    readers-and-writers service.  [Contains] scans a real pointer-linked
+    list (cost proportional to the initial size: 1k/10k/100k = the paper's
+    light/moderate/heavy classes); [Add] appends if absent.  Reads are
+    mutually independent; writes conflict with everything. *)
+
+type t
+
+type command = Contains of int | Add of int
+
+type response = bool
+
+val create : initial_size:int -> t
+(** List pre-filled with entries [0 .. initial_size-1]. *)
+
+val size : t -> int
+
+val mem : t -> int -> bool
+
+val execute : t -> command -> response
+(** Deterministic.  Safe for concurrent use under the conflict relation:
+    any number of concurrent [Contains], [Add] exclusive. *)
+
+
+val snapshot : t -> string
+(** Serialize the state for state transfer; equal states give equal
+    snapshots.  Not concurrency-safe with [execute]. *)
+
+val restore : t -> string -> unit
+(** Replace the state with a snapshot.  Not concurrency-safe with
+    [execute]. *)
+
+val is_write : command -> bool
+
+val conflict : command -> command -> bool
+
+val pp_command : Format.formatter -> command -> unit
+val pp_response : Format.formatter -> response -> unit
+
+(** The COS view of list commands. *)
+module Command : Psmr_cos.Cos_intf.COMMAND with type t = command

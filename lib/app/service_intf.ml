@@ -1,0 +1,36 @@
+(** Deterministic replicated services.
+
+    A service is the state machine of SMR: deterministic [execute], plus
+    the conflict relation the parallelizer needs.  Concurrency contract:
+    the scheduler guarantees that two conflicting commands never execute
+    concurrently, so [execute] implementations may mutate shared state
+    freely for the writes the conflict relation serializes, but must
+    tolerate concurrent execution of non-conflicting commands. *)
+
+module type S = sig
+  type t
+  (** Service state (one instance per replica). *)
+
+  type command
+  type response
+
+  val execute : t -> command -> response
+  (** Deterministic: equal states and equal commands yield equal responses
+      and equal successor states. *)
+
+  val snapshot : t -> string
+  (** Serialize the full service state.  Equal states yield equal snapshots
+      (used for state transfer to replicas that fell behind a truncated
+      log).  Must not run concurrently with any {!execute}. *)
+
+  val restore : t -> string -> unit
+  (** Replace the state with a previously taken {!snapshot}.  Must not run
+      concurrently with any {!execute}. *)
+
+  val conflict : command -> command -> bool
+  (** Symmetric; [true] iff the commands access a common variable and at
+      least one writes it. *)
+
+  val pp_command : Format.formatter -> command -> unit
+  val pp_response : Format.formatter -> response -> unit
+end

@@ -1,0 +1,555 @@
+(** Atomic broadcast: a leader-based (sequencer) total-order protocol for the
+    crash failure model, in the style of Viewstamped Replication — the role
+    BFT-SMaRt (configured for crash faults) plays in the paper's testbed.
+
+    [n = 2f + 1] replicas; the leader of view [v] is replica [v mod n].
+    Clients send requests to the leader (any replica forwards).  The leader
+    accumulates commands into batches (size- and time-triggered, as in
+    BFT-SMaRt), sequences each batch with a [Prepare], and commits it once
+    [f + 1] replicas (including itself) have acknowledged; commit decisions
+    propagate piggybacked on later [Prepare]s and on heartbeat [Commit]s.
+    Committed batches are handed to the delivery upcall in sequence order,
+    giving the standard atomic-broadcast properties (validity, uniform
+    agreement, uniform integrity, uniform total order).
+
+    When followers stop hearing from the leader they start a view change:
+    [Start_view_change] votes, then [Do_view_change] logs to the new leader,
+    which adopts the longest log — any committed batch is in at least one
+    log of any [f + 1] quorum — and resumes with [Start_view].
+
+    {b Checkpointing.}  Replicas periodically broadcast the sequence number
+    they have applied ([Applied]); every replica truncates its log below the
+    quorum-stable point (the [f+1]-th highest report, further bounded by its
+    own delivery point), so memory stays bounded on long runs.  Logs are
+    exchanged as [(base, suffix)] pairs during view changes and merged with
+    the receiver's own prefix; a replica that discovers a gap (possible only
+    after message loss beyond the crash model, or extreme lag) asks the
+    leader for retransmission with [Need_log].
+
+    Threading contract: this module owns no threads.  The host replica feeds
+    every incoming protocol message to {!handle} and calls {!tick}
+    periodically from the same thread, so all state is single-threaded.
+    Outgoing messages go through the [send] closure supplied at creation. *)
+
+open Psmr_platform
+
+type 'c message =
+  | Request of 'c array  (** client commands to order (client or forwarder) *)
+  | Prepare of { view : int; seq : int; cmds : 'c array; committed : int }
+  | Prepare_ok of { view : int; seq : int }
+  | Commit of { view : int; committed : int }  (** also the heartbeat *)
+  | Applied of { seq : int }  (** checkpoint report for log truncation *)
+  | Need_log of { from_seq : int }  (** gap recovery request *)
+  | Log_transfer of {
+      view : int;
+      base : int;
+      log : 'c array array;
+      committed : int;
+    }
+  | Start_view_change of { view : int }
+  | Do_view_change of {
+      view : int;
+      base : int;
+      log : 'c array array;
+      committed : int;
+    }
+  | Start_view of {
+      view : int;
+      base : int;
+      log : 'c array array;
+      committed : int;
+    }
+
+let message_kind = function
+  | Request _ -> "request"
+  | Prepare _ -> "prepare"
+  | Prepare_ok _ -> "prepare-ok"
+  | Commit _ -> "commit"
+  | Applied _ -> "applied"
+  | Need_log _ -> "need-log"
+  | Log_transfer _ -> "log-transfer"
+  | Start_view_change _ -> "start-view-change"
+  | Do_view_change _ -> "do-view-change"
+  | Start_view _ -> "start-view"
+
+type config = {
+  batch_max : int;  (** cut a batch at this many commands *)
+  batch_delay : float;  (** …or at this age, whichever first *)
+  heartbeat_interval : float;
+  election_timeout : float;
+  checkpoint_interval : int;
+      (** broadcast an [Applied] report every this many delivered batches;
+          0 disables checkpointing (the log then grows without bound) *)
+}
+
+let default_config =
+  {
+    batch_max = 64;
+    batch_delay = 1e-3;
+    heartbeat_interval = 20e-3;
+    election_timeout = 150e-3;
+    checkpoint_interval = 256;
+  }
+
+type status = Normal | View_change
+
+let log_src = Logs.Src.create "psmr.abcast" ~doc:"Atomic broadcast protocol"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Make (P : Platform_intf.S) = struct
+  module IntSet = Set.Make (Int)
+
+  type 'c t = {
+    id : int;
+    n : int;
+    f : int;
+    config : config;
+    send : int -> 'c message -> unit;
+    deliver : 'c array -> unit;  (** upcall: one committed batch, in order *)
+    mutable view : int;
+    mutable status : status;
+    log : 'c array Psmr_util.Vec.t;  (** suffix of the log, from [base] *)
+    mutable base : int;  (** sequence number of [log]'s first entry *)
+    mutable committed : int;  (** highest committed sequence, -1 initially *)
+    mutable delivered : int;  (** highest delivered sequence, -1 initially *)
+    acks : (int, IntSet.t) Hashtbl.t;  (** seq -> replicas that prepared it *)
+    pending : 'c Psmr_util.Vec.t;  (** leader: commands awaiting a batch *)
+    mutable batch_opened_at : float;
+    mutable last_heartbeat : float;
+    mutable last_leader_contact : float;
+    applied_reports : int array;  (** per replica, highest Applied heard *)
+    mutable last_report : int;  (** our last broadcast Applied seq *)
+    mutable svc_votes : (int, IntSet.t) Hashtbl.t;  (** view -> voters *)
+    mutable svc_echoed : int;  (** highest view we already voted for *)
+    dvc : (int, (int * int * 'c array array * int) list) Hashtbl.t;
+        (** view -> (sender, base, log, committed) received as new leader *)
+    mutable views_installed : int;  (** diagnostics: completed view changes *)
+    mutable stalled : bool;  (** gap beyond recovery (needs state transfer) *)
+  }
+
+  let create ?(config = default_config) ~id ~n ~send ~deliver () =
+    if n < 3 || n mod 2 = 0 then
+      invalid_arg "Abcast.create: n must be odd and at least 3";
+    if id < 0 || id >= n then invalid_arg "Abcast.create: id out of range";
+    {
+      id;
+      n;
+      f = (n - 1) / 2;
+      config;
+      send;
+      deliver;
+      view = 0;
+      status = Normal;
+      log = Psmr_util.Vec.create ();
+      base = 0;
+      committed = -1;
+      delivered = -1;
+      acks = Hashtbl.create 64;
+      pending = Psmr_util.Vec.create ();
+      batch_opened_at = 0.0;
+      last_heartbeat = 0.0;
+      last_leader_contact = P.now ();
+      applied_reports = Array.make n (-1);
+      last_report = -1;
+      svc_votes = Hashtbl.create 4;
+      svc_echoed = 0;
+      dvc = Hashtbl.create 4;
+      views_installed = 0;
+      stalled = false;
+    }
+
+  let leader_of t view = view mod t.n
+  let leader t = leader_of t t.view
+  let is_leader t = leader t = t.id
+  let view t = t.view
+  let views_installed t = t.views_installed
+  let committed_seq t = t.committed
+  let delivered_seq t = t.delivered
+  let log_base t = t.base
+  let is_stalled t = t.stalled
+
+  (* First sequence number with no log entry. *)
+  let log_end t = t.base + Psmr_util.Vec.length t.log
+  let log_length t = Psmr_util.Vec.length t.log
+  let log_get t seq = Psmr_util.Vec.get t.log (seq - t.base)
+  let log_suffix t = Psmr_util.Vec.to_array t.log
+
+  let others t = List.filter (fun r -> r <> t.id) (List.init t.n Fun.id)
+  let send_all t msg = List.iter (fun r -> t.send r msg) (others t)
+
+  (* --- checkpointing --- *)
+
+  (* The stable point: at least f+1 replicas have applied everything up to
+     (and including) it.  Our own deliveries bound truncation: entries we
+     have not yet delivered are never dropped. *)
+  let stable_seq t =
+    let sorted = Array.copy t.applied_reports in
+    Array.sort (fun a b -> compare b a) sorted;
+    sorted.(t.f)
+
+  let truncate_log t =
+    let keep_from = min (stable_seq t) t.delivered in
+    (* Drop entries strictly below [keep_from]. *)
+    if keep_from > t.base then begin
+      let drop = keep_from - t.base in
+      let suffix =
+        Array.init
+          (log_length t - drop)
+          (fun i -> Psmr_util.Vec.get t.log (i + drop))
+      in
+      Psmr_util.Vec.clear t.log;
+      Array.iter (Psmr_util.Vec.push t.log) suffix;
+      t.base <- keep_from;
+      Log.debug (fun m ->
+          m "replica %d truncated log below %d (%d entries retained)" t.id
+            keep_from (log_length t));
+      Hashtbl.filter_map_inplace
+        (fun seq set -> if seq < t.base then None else Some set)
+        t.acks
+    end
+
+  let maybe_report_applied t =
+    if
+      t.config.checkpoint_interval > 0
+      && t.delivered - t.last_report >= t.config.checkpoint_interval
+    then begin
+      t.last_report <- t.delivered;
+      t.applied_reports.(t.id) <- t.delivered;
+      send_all t (Applied { seq = t.delivered });
+      truncate_log t
+    end
+
+  (* --- delivery --- *)
+
+  (* Deliver every committed-but-undelivered batch, in order. *)
+  let deliver_ready t =
+    while
+      (not t.stalled)
+      && t.delivered < t.committed
+      && t.delivered + 1 < log_end t
+    do
+      t.delivered <- t.delivered + 1;
+      t.deliver (log_get t t.delivered)
+    done;
+    maybe_report_applied t
+
+  let note_commit t committed =
+    if committed > t.committed then begin
+      (* Never mark commits beyond what we hold: with FIFO links from the
+         leader this cannot regress deliveries. *)
+      t.committed <- min committed (log_end t - 1);
+      deliver_ready t
+    end
+
+  (* Leader: count an acknowledgement and advance the commit point over any
+     prefix that reached a quorum. *)
+  let record_ack t ~from ~seq =
+    let cur = Option.value ~default:IntSet.empty (Hashtbl.find_opt t.acks seq) in
+    Hashtbl.replace t.acks seq (IntSet.add from cur);
+    let quorum = t.f + 1 in
+    let advanced = ref true in
+    while !advanced do
+      advanced := false;
+      let next = t.committed + 1 in
+      if next < log_end t then
+        match Hashtbl.find_opt t.acks next with
+        | Some set when IntSet.cardinal set >= quorum ->
+            t.committed <- next;
+            advanced := true
+        | Some _ | None -> ()
+    done;
+    deliver_ready t
+
+  (* Leader: seal the pending commands into a numbered batch and replicate. *)
+  let cut_batch t =
+    if Psmr_util.Vec.length t.pending > 0 then begin
+      let cmds = Psmr_util.Vec.to_array t.pending in
+      Psmr_util.Vec.clear t.pending;
+      let seq = log_end t in
+      Psmr_util.Vec.push t.log cmds;
+      record_ack t ~from:t.id ~seq;
+      send_all t (Prepare { view = t.view; seq; cmds; committed = t.committed })
+    end
+
+  let enqueue_commands t cmds =
+    if Psmr_util.Vec.length t.pending = 0 then t.batch_opened_at <- P.now ();
+    Array.iter (Psmr_util.Vec.push t.pending) cmds;
+    if Psmr_util.Vec.length t.pending >= t.config.batch_max then cut_batch t
+
+  (* --- log adoption (view changes and transfers) --- *)
+
+  (* Merge an incoming (base, suffix) log into ours: keep our own prefix
+     below the incoming base (prefix-consistency makes it identical to the
+     sender's), adopt the incoming entries from there.  Returns false if a
+     gap separates our log from the incoming base — recoverable only by
+     state transfer, so the replica stalls rather than diverge. *)
+  let adopt_log t in_base (in_log : 'c array array) =
+    if in_base <= t.base then begin
+      (* The incoming log covers ours entirely. *)
+      if in_base + Array.length in_log >= t.base then begin
+        Psmr_util.Vec.clear t.log;
+        Array.iter (Psmr_util.Vec.push t.log) in_log;
+        t.base <- in_base;
+        true
+      end
+      else false (* incoming log ends before our base even starts: gap *)
+    end
+    else if in_base <= log_end t then begin
+      (* Keep our [t.base, in_base) prefix, then the incoming suffix. *)
+      let prefix = Array.init (in_base - t.base) (fun i -> Psmr_util.Vec.get t.log i) in
+      Psmr_util.Vec.clear t.log;
+      Array.iter (Psmr_util.Vec.push t.log) prefix;
+      Array.iter (Psmr_util.Vec.push t.log) in_log;
+      true
+    end
+    else false (* our log ends before the incoming base: gap *)
+
+  (* --- view change --- *)
+
+  let start_view_change t new_view =
+    if new_view > t.view || (new_view = t.view && t.status = View_change) then begin
+      t.status <- View_change;
+      t.last_leader_contact <- P.now ();
+      if new_view > t.svc_echoed then begin
+        t.svc_echoed <- new_view;
+        Log.info (fun m ->
+            m "replica %d suspects leader of view %d; voting for view %d" t.id
+              t.view new_view);
+        send_all t (Start_view_change { view = new_view })
+      end;
+      (* Count our own vote. *)
+      let cur =
+        Option.value ~default:IntSet.empty (Hashtbl.find_opt t.svc_votes new_view)
+      in
+      Hashtbl.replace t.svc_votes new_view (IntSet.add t.id cur)
+    end
+
+  let maybe_send_do_view_change t new_view =
+    match Hashtbl.find_opt t.svc_votes new_view with
+    | Some votes when IntSet.cardinal votes >= t.f + 1 ->
+        let dst = leader_of t new_view in
+        if dst = t.id then begin
+          (* Deliver to ourselves directly. *)
+          let entry = (t.id, t.base, log_suffix t, t.committed) in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt t.dvc new_view) in
+          if not (List.exists (fun (s, _, _, _) -> s = t.id) cur) then
+            Hashtbl.replace t.dvc new_view (entry :: cur)
+        end
+        else
+          t.send dst
+            (Do_view_change
+               { view = new_view; base = t.base; log = log_suffix t; committed = t.committed })
+    | Some _ | None -> ()
+
+  let install_view t new_view in_base in_log committed =
+    if adopt_log t in_base in_log then begin
+      t.view <- new_view;
+      t.status <- Normal;
+      t.views_installed <- t.views_installed + 1;
+      t.last_leader_contact <- P.now ();
+      Log.info (fun m ->
+          m "replica %d installed view %d (leader %d, committed %d)" t.id
+            new_view (leader_of t new_view) t.committed);
+      Hashtbl.reset t.acks;
+      if committed > t.committed then t.committed <- min committed (log_end t - 1);
+      deliver_ready t;
+      true
+    end
+    else begin
+      (* A gap we cannot fill from the incoming log: ask the new leader for
+         everything we miss and stall deliveries until it arrives. *)
+      t.send (leader_of t new_view) (Need_log { from_seq = log_end t });
+      t.stalled <- true;
+      Log.warn (fun m ->
+          m "replica %d: log gap at view %d (have up to %d, offered base %d); \
+             requesting transfer"
+            t.id new_view (log_end t) in_base);
+      false
+    end
+
+  (* New leader: once f+1 Do_view_change messages (ours included) arrived,
+     adopt the longest log and announce the view. *)
+  let maybe_become_leader t new_view =
+    if leader_of t new_view = t.id then
+      match Hashtbl.find_opt t.dvc new_view with
+      | Some entries when List.length entries >= t.f + 1 ->
+          let best =
+            List.fold_left
+              (fun acc (_, base, log, committed) ->
+                match acc with
+                | Some (bb, bl, bc) ->
+                    Some
+                      (if base + Array.length log > bb + Array.length bl then
+                         (base, log, max committed bc)
+                       else (bb, bl, max committed bc))
+                | None -> Some (base, log, committed))
+              None entries
+          in
+          (match best with
+          | None -> ()
+          | Some (best_base, best_log, best_committed) ->
+              Hashtbl.remove t.dvc new_view;
+              if install_view t new_view best_base best_log best_committed then begin
+                send_all t
+                  (Start_view
+                     {
+                       view = new_view;
+                       base = t.base;
+                       log = log_suffix t;
+                       committed = t.committed;
+                     });
+                (* Re-propose the uncommitted suffix under the new view. *)
+                for seq = t.committed + 1 to log_end t - 1 do
+                  let cmds = log_get t seq in
+                  record_ack t ~from:t.id ~seq;
+                  send_all t
+                    (Prepare { view = t.view; seq; cmds; committed = t.committed })
+                done
+              end)
+      | Some _ | None -> ()
+
+  (* --- message handling --- *)
+
+  let handle t ~src msg =
+    match msg with
+    | Request cmds ->
+        if t.status = Normal then
+          if is_leader t then enqueue_commands t cmds
+          else t.send (leader t) (Request cmds)
+    | Prepare { view; seq; cmds; committed } ->
+        if view = t.view && t.status = Normal && not (is_leader t) then begin
+          t.last_leader_contact <- P.now ();
+          (* FIFO links from the leader make [seq] dense; tolerate re-sent
+             prefixes after a view change. *)
+          if seq = log_end t then Psmr_util.Vec.push t.log cmds
+          else if seq >= t.base && seq < log_end t then
+            Psmr_util.Vec.set t.log (seq - t.base) cmds
+          else if seq > log_end t then
+            (* A gap: possible only outside the reliable-FIFO envelope.
+               Request retransmission. *)
+            t.send src (Need_log { from_seq = log_end t });
+          if seq < log_end t then begin
+            t.send src (Prepare_ok { view; seq });
+            note_commit t committed
+          end
+        end
+    | Prepare_ok { view; seq } ->
+        if view = t.view && t.status = Normal && is_leader t then
+          record_ack t ~from:src ~seq
+    | Commit { view; committed } ->
+        if view = t.view && t.status = Normal && not (is_leader t) then begin
+          t.last_leader_contact <- P.now ();
+          note_commit t committed
+        end
+    | Applied { seq } ->
+        if seq > t.applied_reports.(src) then begin
+          t.applied_reports.(src) <- seq;
+          truncate_log t
+        end
+    | Need_log { from_seq } ->
+        (* Send everything we hold from the requested point. *)
+        let start = max from_seq t.base in
+        if start < log_end t then begin
+          let entries =
+            Array.init (log_end t - start) (fun i -> log_get t (start + i))
+          in
+          t.send src
+            (Log_transfer
+               { view = t.view; base = start; log = entries; committed = t.committed })
+        end
+    | Log_transfer { view; base; log; committed } ->
+        if view >= t.view then
+          if adopt_log t base log then begin
+            t.stalled <- false;
+            if view > t.view then begin
+              t.view <- view;
+              t.status <- Normal
+            end;
+            note_commit t committed;
+            deliver_ready t
+          end
+          else
+            (* The sender itself truncated past our gap: only a service
+               snapshot could bring us back.  Stall rather than diverge
+               (crash-stop model: we count as slow, not faulty). *)
+            t.stalled <- true
+    | Start_view_change { view } ->
+        if view > t.view || (view = t.view && t.status = View_change) then begin
+          start_view_change t view;
+          let cur =
+            Option.value ~default:IntSet.empty (Hashtbl.find_opt t.svc_votes view)
+          in
+          Hashtbl.replace t.svc_votes view (IntSet.add src cur);
+          maybe_send_do_view_change t view;
+          maybe_become_leader t view
+        end
+    | Do_view_change { view; base; log; committed } ->
+        if view >= t.view && leader_of t view = t.id then begin
+          let cur = Option.value ~default:[] (Hashtbl.find_opt t.dvc view) in
+          if not (List.exists (fun (s, _, _, _) -> s = src) cur) then
+            Hashtbl.replace t.dvc view ((src, base, log, committed) :: cur);
+          (* Make sure our own log is counted. *)
+          start_view_change t view;
+          maybe_send_do_view_change t view;
+          maybe_become_leader t view
+        end
+    | Start_view { view; base; log; committed } ->
+        if view > t.view || (view = t.view && t.status = View_change) then
+          ignore (install_view t view base log committed : bool)
+
+  (* Fast-forward past a gap using an externally obtained service snapshot
+     taken at [seq]: everything at or below [seq] is considered delivered
+     and the log restarts empty at [seq + 1].  No-op unless it advances the
+     delivery point. *)
+  let install_snapshot t ~seq =
+    if seq > t.delivered then begin
+      Psmr_util.Vec.clear t.log;
+      Psmr_util.Vec.clear t.pending;
+      t.base <- seq + 1;
+      t.delivered <- seq;
+      if t.committed < seq then t.committed <- seq;
+      Hashtbl.reset t.acks;
+      t.stalled <- false;
+      t.applied_reports.(t.id) <- max t.applied_reports.(t.id) seq;
+      t.last_report <- max t.last_report seq;
+      Log.info (fun m ->
+          m "replica %d fast-forwarded to seq %d via snapshot" t.id seq)
+    end
+
+  (* Periodic duties: batch timers and heartbeats for the leader, failure
+     detection for followers.  Call at a granularity finer than the
+     configured delays (the host replica drives this). *)
+  let tick t =
+    let now = P.now () in
+    if t.status = Normal then begin
+      if is_leader t then begin
+        if
+          Psmr_util.Vec.length t.pending > 0
+          && now -. t.batch_opened_at >= t.config.batch_delay
+        then cut_batch t;
+        if now -. t.last_heartbeat >= t.config.heartbeat_interval then begin
+          t.last_heartbeat <- now;
+          send_all t (Commit { view = t.view; committed = t.committed })
+        end
+      end
+      else if now -. t.last_leader_contact > t.config.election_timeout then begin
+        start_view_change t (t.view + 1);
+        maybe_send_do_view_change t (t.view + 1);
+        maybe_become_leader t (t.view + 1)
+      end
+    end
+    else if now -. t.last_leader_contact > t.config.election_timeout then begin
+      (* The view change itself stalled (the would-be leader crashed too):
+         escalate to the next view. *)
+      start_view_change t (t.view + 1);
+      maybe_send_do_view_change t (t.view + 1);
+      maybe_become_leader t (t.view + 1)
+    end
+
+  (* Local submission path, used by a replica to order commands it
+     originates (e.g. client requests received directly). *)
+  let submit t cmds =
+    if is_leader t && t.status = Normal then enqueue_commands t cmds
+    else t.send (leader t) (Request cmds)
+end

@@ -1,0 +1,118 @@
+(** Atomic broadcast: a leader-based (sequencer) total-order protocol for
+    the crash failure model with [n = 2f + 1] replicas, in the style of
+    Viewstamped Replication — the role BFT-SMaRt (in crash mode) plays in
+    the paper's testbed.
+
+    Provides the four standard properties (§2 of the paper): validity,
+    uniform agreement, uniform integrity and uniform total order.  Features:
+    size- and time-triggered batching, commit on [f+1] acknowledgements,
+    heartbeats, view change on leader failure, periodic checkpoint reports
+    with quorum-stable log truncation, and gap recovery by log transfer.
+
+    Threading contract: the module owns no threads; the host feeds incoming
+    messages to {!Make.handle} and calls {!Make.tick} periodically from one
+    thread per instance. *)
+
+open Psmr_platform
+
+type 'c message =
+  | Request of 'c array  (** client commands to order (client or forwarder) *)
+  | Prepare of { view : int; seq : int; cmds : 'c array; committed : int }
+  | Prepare_ok of { view : int; seq : int }
+  | Commit of { view : int; committed : int }  (** also the heartbeat *)
+  | Applied of { seq : int }  (** checkpoint report for log truncation *)
+  | Need_log of { from_seq : int }  (** gap recovery request *)
+  | Log_transfer of {
+      view : int;
+      base : int;
+      log : 'c array array;
+      committed : int;
+    }
+  | Start_view_change of { view : int }
+  | Do_view_change of {
+      view : int;
+      base : int;
+      log : 'c array array;
+      committed : int;
+    }
+  | Start_view of {
+      view : int;
+      base : int;
+      log : 'c array array;
+      committed : int;
+    }
+
+val message_kind : 'c message -> string
+(** Short tag for logging. *)
+
+val log_src : Logs.src
+(** Protocol events (view changes, truncation, stalls) are reported through
+    this [Logs] source ("psmr.abcast"); silent unless the application sets a
+    reporter and level. *)
+
+type config = {
+  batch_max : int;  (** cut a batch at this many commands *)
+  batch_delay : float;  (** ... or at this age, whichever first *)
+  heartbeat_interval : float;
+  election_timeout : float;
+  checkpoint_interval : int;
+      (** broadcast an [Applied] report every this many delivered batches;
+          0 disables checkpointing (the log then grows without bound) *)
+}
+
+val default_config : config
+
+type status = Normal | View_change
+
+module Make (P : Platform_intf.S) : sig
+  type 'c t
+
+  val create :
+    ?config:config ->
+    id:int ->
+    n:int ->
+    send:(int -> 'c message -> unit) ->
+    deliver:('c array -> unit) ->
+    unit ->
+    'c t
+  (** One protocol instance for replica [id] of [n] (odd, >= 3).  [send]
+      transmits a message to a peer; [deliver] receives each committed
+      batch, in sequence order, from within {!handle}/{!tick}. *)
+
+  val handle : 'c t -> src:int -> 'c message -> unit
+  (** Process one incoming protocol message. *)
+
+  val tick : 'c t -> unit
+  (** Periodic duties: batch timer and heartbeat (leader), failure detection
+      (followers).  Call at a granularity finer than the configured
+      delays. *)
+
+  val submit : 'c t -> 'c array -> unit
+  (** Order commands originated at this replica: enqueued if leader,
+      forwarded otherwise. *)
+
+  (** {2 Introspection} *)
+
+  val view : 'c t -> int
+  val is_leader : 'c t -> bool
+  val views_installed : 'c t -> int
+  val committed_seq : 'c t -> int
+  val delivered_seq : 'c t -> int
+
+  val log_base : 'c t -> int
+  (** Sequence number of the first retained log entry (> 0 once
+      checkpointing has truncated). *)
+
+  val log_length : 'c t -> int
+
+  val is_stalled : 'c t -> bool
+  (** True when the replica found a gap not recoverable from peers' logs;
+      the host should obtain a service snapshot and call
+      {!install_snapshot}. *)
+
+  val install_snapshot : 'c t -> seq:int -> unit
+  (** Fast-forward past a gap: treat everything at or below [seq] as
+      delivered (the host has installed a service snapshot taken at [seq])
+      and restart the log empty at [seq + 1].  Clears the stall.  No-op
+      unless it advances the delivery point. *)
+end

@@ -1,0 +1,153 @@
+(** Coarse-grained COS — the paper's Algorithm 2 and the CBASE baseline.
+
+    One monitor (a mutex plus the [not_full] and [has_ready] conditions)
+    protects the whole dependency graph, so every [insert], [get] and
+    [remove] executes in mutual exclusion.  The graph is a delivery-ordered
+    doubly-linked list of nodes; each node records the set of older nodes it
+    still depends on ([deps_on]), so "ready" is [deps_on = \[\]].
+
+    Operation costs mirror the paper's: [insert] scans every node for
+    conflicts, [get] scans for the oldest ready node, and [remove] scans
+    every node to strip the dependency edges of the node being deleted. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
+  type cmd = C.t
+
+  type status = Waiting | Executing
+
+  type node = {
+    cmd : cmd;
+    mutable st : status;
+    mutable deps_on : node list;  (* incoming edges: older conflicting nodes *)
+    mutable prev : node option;
+    mutable next : node option;
+  }
+
+  type handle = node
+
+  type t = {
+    mutex : P.Mutex.t;
+    not_full : P.Condition.t;
+    has_ready : P.Condition.t;
+    max_size : int;
+    mutable size : int;
+    (* Sentinel-free list bounds; [first] is the oldest node. *)
+    mutable first : node option;
+    mutable last : node option;
+    mutable closed : bool;
+  }
+
+  let name = "coarse-grained"
+
+  let create ?(max_size = Cos_intf.default_max_size) () =
+    if max_size <= 0 then invalid_arg "Coarse.create: max_size must be positive";
+    {
+      mutex = P.Mutex.create ();
+      not_full = P.Condition.create ();
+      has_ready = P.Condition.create ();
+      max_size;
+      size = 0;
+      first = None;
+      last = None;
+      closed = false;
+    }
+
+  let command (n : handle) = n.cmd
+
+  let iter_nodes t f =
+    let rec go = function
+      | None -> ()
+      | Some n ->
+          P.work Visit;
+          f n;
+          go n.next
+    in
+    go t.first
+
+  let insert t c =
+    P.Mutex.lock t.mutex;
+    while t.size = t.max_size && not t.closed do
+      P.Condition.wait t.not_full t.mutex
+    done;
+    if not t.closed then begin
+      P.work Alloc;
+      let n = { cmd = c; st = Waiting; deps_on = []; prev = t.last; next = None } in
+      (* Collect dependencies on every older conflicting command. *)
+      iter_nodes t (fun older ->
+          P.work Conflict_check;
+          if C.conflict older.cmd c then n.deps_on <- older :: n.deps_on);
+      (match t.last with
+      | None -> t.first <- Some n
+      | Some l -> l.next <- Some n);
+      t.last <- Some n;
+      t.size <- t.size + 1;
+      if n.deps_on = [] then P.Condition.signal t.has_ready
+    end;
+    P.Mutex.unlock t.mutex
+
+  let find_ready t =
+    let rec go = function
+      | None -> None
+      | Some n ->
+          P.work Visit;
+          if n.st = Waiting && n.deps_on = [] then Some n else go n.next
+    in
+    go t.first
+
+  let get t =
+    P.Mutex.lock t.mutex;
+    let rec await () =
+      match find_ready t with
+      | Some n ->
+          n.st <- Executing;
+          Some n
+      | None ->
+          (* After [close], commands may still become ready as executing ones
+             are removed; give up only once the graph has drained. *)
+          if t.closed && t.size = 0 then None
+          else begin
+            P.Condition.wait t.has_ready t.mutex;
+            await ()
+          end
+    in
+    let r = await () in
+    P.Mutex.unlock t.mutex;
+    r
+
+  let unlink t n =
+    (match n.prev with None -> t.first <- n.next | Some p -> p.next <- n.next);
+    (match n.next with None -> t.last <- n.prev | Some s -> s.prev <- n.prev);
+    n.prev <- None;
+    n.next <- None;
+    t.size <- t.size - 1
+
+  let remove t n =
+    P.Mutex.lock t.mutex;
+    (* Strip the edges out of [n]; newly freed nodes become ready.  As in the
+       paper, this considers every node in the graph. *)
+    iter_nodes t (fun other ->
+        if other != n && List.memq n other.deps_on then begin
+          other.deps_on <- List.filter (fun d -> d != n) other.deps_on;
+          if other.deps_on = [] && other.st = Waiting then
+            P.Condition.signal t.has_ready
+        end);
+    unlink t n;
+    P.Condition.signal t.not_full;
+    if t.closed && t.size = 0 then P.Condition.broadcast t.has_ready;
+    P.Mutex.unlock t.mutex
+
+  let close t =
+    P.Mutex.lock t.mutex;
+    t.closed <- true;
+    P.Condition.broadcast t.has_ready;
+    P.Condition.broadcast t.not_full;
+    P.Mutex.unlock t.mutex
+
+  let pending t =
+    P.Mutex.lock t.mutex;
+    let n = t.size in
+    P.Mutex.unlock t.mutex;
+    n
+end

@@ -1,0 +1,7 @@
+(** Coarse-grained COS: the paper's Algorithm 2 (the CBASE baseline).  One
+    monitor serializes every operation on the dependency graph. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) :
+  Cos_intf.S with type cmd = C.t

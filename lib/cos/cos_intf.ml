@@ -1,0 +1,79 @@
+(** The Conflict-Ordered Set (COS) abstract data type — the paper's §3.3
+    generalization of dependency-graph command scheduling for parallel state
+    machine replication.
+
+    Sequential specification (with [#] the conflict relation):
+    - [insert c] adds command [c], after all previously inserted commands;
+    - [get] returns a command [c] such that (a) [c] is in the set, (b) no
+      previous [get] returned [c], and (c) no command [c'] inserted before
+      [c] with [c # c'] is still in the set;
+    - [remove c] deletes [c] (called after [c] has been executed).
+
+    The scheduler thread calls [insert] sequentially in atomic-broadcast
+    delivery order; any number of worker threads call [get]/[remove]
+    concurrently. *)
+
+open Psmr_platform
+
+(** Commands as seen by the COS: only the conflict relation matters here. *)
+module type COMMAND = sig
+  type t
+
+  val conflict : t -> t -> bool
+  (** [conflict a b] is true iff the commands access a common variable and at
+      least one writes it.  Must be symmetric. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type cmd
+
+  type t
+  (** A conflict-ordered set of pending commands. *)
+
+  type handle
+  (** A command reserved for execution by {!get}; pass it back to
+      {!remove}. *)
+
+  val name : string
+  (** Implementation name: "coarse-grained", "fine-grained", "lock-free" or
+      "fifo". *)
+
+  val create : ?max_size:int -> unit -> t
+  (** [create ()] returns an empty structure holding at most [max_size]
+      commands (default 150, the paper's configuration).  [insert] blocks
+      while the structure is full. *)
+
+  val insert : t -> cmd -> unit
+  (** Add a command.  Must be called by a single thread (the scheduler), in
+      delivery order; blocks while the structure is full. *)
+
+  val get : t -> handle option
+  (** Reserve the oldest command that is free of dependencies and not yet
+      reserved.  Blocks until one is available; returns [None] after
+      {!close} once nothing remains to execute.  Thread-safe. *)
+
+  val command : handle -> cmd
+
+  val remove : t -> handle -> unit
+  (** Delete an executed command, releasing commands that depended on it.
+      Thread-safe. *)
+
+  val close : t -> unit
+  (** Initiate shutdown: blocked and future {!get} calls return [None] once
+      no ready command remains.  Call after the scheduler has stopped
+      inserting.  Idempotent. *)
+
+  val pending : t -> int
+  (** Number of commands currently in the structure (inserted, not yet
+      removed).  Advisory under concurrency. *)
+end
+
+(** What each of the paper's algorithms provides: a COS for any platform and
+    any command type. *)
+module type IMPL = functor (P : Platform_intf.S) (C : COMMAND) ->
+  S with type cmd = C.t
+
+(** Paper-default bound on the dependency graph (§7.2). *)
+let default_max_size = 150

@@ -1,0 +1,95 @@
+(** FIFO COS — the sequential-SMR baseline expressed as a COS.
+
+    Every command behaves as if it conflicted with every other: [get]
+    returns commands strictly in insertion order and only after the previous
+    command has been removed, which serializes execution exactly like
+    classical state machine replication regardless of how many workers are
+    attached.  Implemented as a monitor around a queue with an
+    in-flight flag. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
+  type cmd = C.t
+  type handle = cmd
+
+  type t = {
+    mutex : P.Mutex.t;
+    not_full : P.Condition.t;
+    can_get : P.Condition.t;
+    queue : cmd Queue.t;
+    max_size : int;
+    mutable in_flight : bool;
+    mutable closed : bool;
+  }
+
+  let name = "fifo"
+
+  let create ?(max_size = Cos_intf.default_max_size) () =
+    if max_size <= 0 then invalid_arg "Fifo.create: max_size must be positive";
+    {
+      mutex = P.Mutex.create ();
+      not_full = P.Condition.create ();
+      can_get = P.Condition.create ();
+      queue = Queue.create ();
+      max_size;
+      in_flight = false;
+      closed = false;
+    }
+
+  let command (c : handle) = c
+
+  let insert t c =
+    P.Mutex.lock t.mutex;
+    while Queue.length t.queue >= t.max_size && not t.closed do
+      P.Condition.wait t.not_full t.mutex
+    done;
+    if not t.closed then begin
+      Queue.push c t.queue;
+      if not t.in_flight then P.Condition.signal t.can_get
+    end;
+    P.Mutex.unlock t.mutex
+
+  let get t =
+    P.Mutex.lock t.mutex;
+    let rec await () =
+      if (not t.in_flight) && not (Queue.is_empty t.queue) then begin
+        t.in_flight <- true;
+        Some (Queue.peek t.queue)
+      end
+      else if t.closed && Queue.is_empty t.queue && not t.in_flight then None
+      else begin
+        P.Condition.wait t.can_get t.mutex;
+        await ()
+      end
+    in
+    let r = await () in
+    P.Mutex.unlock t.mutex;
+    r
+
+  let remove t c =
+    P.Mutex.lock t.mutex;
+    (match Queue.peek_opt t.queue with
+    | Some head when head == c ->
+        ignore (Queue.pop t.queue : cmd);
+        t.in_flight <- false;
+        P.Condition.signal t.can_get;
+        P.Condition.signal t.not_full
+    | Some _ | None ->
+        P.Mutex.unlock t.mutex;
+        invalid_arg "Fifo.remove: not the in-flight command");
+    P.Mutex.unlock t.mutex
+
+  let close t =
+    P.Mutex.lock t.mutex;
+    t.closed <- true;
+    P.Condition.broadcast t.can_get;
+    P.Condition.broadcast t.not_full;
+    P.Mutex.unlock t.mutex
+
+  let pending t =
+    P.Mutex.lock t.mutex;
+    let n = Queue.length t.queue in
+    P.Mutex.unlock t.mutex;
+    n
+end

@@ -1,0 +1,8 @@
+(** FIFO COS: the sequential-SMR baseline.  Behaves as if every pair of
+    commands conflicted, so execution is serialized in delivery order no
+    matter how many workers are attached. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) :
+  Cos_intf.S with type cmd = C.t

@@ -1,0 +1,186 @@
+(** Fine-grained COS — the paper's Algorithms 3–4.
+
+    The graph is a singly-linked list of nodes in delivery order, each with
+    its own lock.  Operations traverse with hand-over-hand locking (lock
+    coupling): the successor is locked before the current node is released,
+    so operations cannot overtake each other while both hold list positions,
+    and all locks are acquired in list order (no deadlock).  Two counting
+    semaphores form the blocking layer: [space] bounds the graph, [ready]
+    counts commands free to execute.
+
+    Physical removal differs from the paper's set-based pseudocode in one
+    way: the node is unlinked at the moment the removal walk passes it
+    (when both the predecessor and the node are locked) rather than at the
+    end of the walk — unlinking at the end would require re-locking the
+    predecessor against list order.  The walk then continues from the node,
+    which stays locked, stripping its outgoing dependency edges exactly as
+    in Algorithm 4 lines 32–40. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
+  type cmd = C.t
+
+  type status = Waiting | Executing
+
+  type node = {
+    cmd : cmd option;  (* [None] only for the head sentinel *)
+    mx : P.Mutex.t;
+    mutable st : status;
+    mutable deps_on : node list;  (* older nodes this one waits for *)
+    mutable next : node option;
+  }
+
+  type handle = node
+
+  type t = {
+    head : node;  (* sentinel: lowest element of Algorithm 3 *)
+    space : P.Semaphore.t;
+    ready : P.Semaphore.t;
+    size : int P.Atomic.t;
+    closed : bool P.Atomic.t;
+  }
+
+  let name = "fine-grained"
+
+  (* Tokens released on [close] to wake any thread blocked on the
+     semaphores.  Bounds the supported number of concurrently blocked
+     threads, which is far above the paper's 64 workers. *)
+  let close_tokens = 1024
+
+  let create ?(max_size = Cos_intf.default_max_size) () =
+    if max_size <= 0 then invalid_arg "Fine.create: max_size must be positive";
+    let head =
+      { cmd = None; mx = P.Mutex.create (); st = Executing; deps_on = []; next = None }
+    in
+    {
+      head;
+      space = P.Semaphore.create max_size;
+      ready = P.Semaphore.create 0;
+      size = P.Atomic.make 0;
+      closed = P.Atomic.make false;
+    }
+
+  let command (n : handle) =
+    match n.cmd with
+    | Some c -> c
+    | None -> invalid_arg "Fine.command: sentinel node"
+
+  let insert t c =
+    P.Semaphore.acquire t.space;
+    if not (P.Atomic.get t.closed) then begin
+      P.work Alloc;
+      let n =
+        { cmd = Some c; mx = P.Mutex.create (); st = Waiting; deps_on = []; next = None }
+      in
+      P.Mutex.lock n.mx;
+      P.Mutex.lock t.head.mx;
+      (* Walk the whole list, collecting conflicts with older commands. *)
+      let rec walk prev = function
+        | None -> prev (* [prev] is the last node, still locked *)
+        | Some cur ->
+            P.Mutex.lock cur.mx;
+            P.Mutex.unlock prev.mx;
+            P.work Visit;
+            P.work Conflict_check;
+            (match cur.cmd with
+            | Some older when C.conflict older c -> n.deps_on <- cur :: n.deps_on
+            | Some _ | None -> ());
+            walk cur cur.next
+      in
+      let last = walk t.head t.head.next in
+      last.next <- Some n;
+      ignore (P.Atomic.fetch_and_add t.size 1 : int);
+      let is_ready = n.deps_on = [] in
+      P.Mutex.unlock last.mx;
+      P.Mutex.unlock n.mx;
+      if is_ready then P.Semaphore.release t.ready
+    end
+
+  (* One locked traversal looking for the oldest free waiting node; returns
+     it marked [Executing], or [None] if the scan finished without a hit
+     (the node backing our semaphore token was freed behind the scan
+     position — the caller rescans). *)
+  let scan_for_ready t =
+    P.Mutex.lock t.head.mx;
+    let rec walk prev = function
+      | None ->
+          P.Mutex.unlock prev.mx;
+          None
+      | Some cur ->
+          P.Mutex.lock cur.mx;
+          P.Mutex.unlock prev.mx;
+          P.work Visit;
+          if cur.st = Waiting && cur.deps_on = [] then begin
+            cur.st <- Executing;
+            P.Mutex.unlock cur.mx;
+            Some cur
+          end
+          else walk cur cur.next
+    in
+    walk t.head t.head.next
+
+  let get t =
+    P.Semaphore.acquire t.ready;
+    let rec attempt () =
+      match scan_for_ready t with
+      | Some n -> Some n
+      | None ->
+          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then None
+          else begin
+            P.yield ();
+            attempt ()
+          end
+    in
+    attempt ()
+
+  let remove t n =
+    (* Phase 1: walk to [n] with lock coupling and unlink it while holding
+       its predecessor. *)
+    P.Mutex.lock t.head.mx;
+    let rec find prev = function
+      | None -> invalid_arg "Fine.remove: node not in the graph"
+      | Some cur ->
+          P.Mutex.lock cur.mx;
+          P.work Visit;
+          if cur == n then begin
+            prev.next <- cur.next;
+            P.Mutex.unlock prev.mx
+            (* [cur] = [n] stays locked *)
+          end
+          else begin
+            P.Mutex.unlock prev.mx;
+            find cur cur.next
+          end
+    in
+    find t.head t.head.next;
+    (* Phase 2: continue from [n], stripping edges out of [n]; freed nodes
+       are signalled.  [n] stays locked for the whole walk, so no operation
+       overtakes the stripping. *)
+    let freed = ref 0 in
+    let rec strip prev = function
+      | None -> if prev != n then P.Mutex.unlock prev.mx
+      | Some cur ->
+          P.Mutex.lock cur.mx;
+          if prev != n then P.Mutex.unlock prev.mx;
+          P.work Visit;
+          if List.memq n cur.deps_on then begin
+            cur.deps_on <- List.filter (fun d -> d != n) cur.deps_on;
+            if cur.deps_on = [] && cur.st = Waiting then incr freed
+          end;
+          strip cur cur.next
+    in
+    strip n n.next;
+    P.Mutex.unlock n.mx;
+    ignore (P.Atomic.fetch_and_add t.size (-1) : int);
+    if !freed > 0 then P.Semaphore.release ~n:!freed t.ready;
+    P.Semaphore.release t.space
+
+  let close t =
+    if not (P.Atomic.exchange t.closed true) then begin
+      P.Semaphore.release ~n:close_tokens t.ready;
+      P.Semaphore.release ~n:close_tokens t.space
+    end
+
+  let pending t = P.Atomic.get t.size
+end

@@ -1,0 +1,8 @@
+(** Fine-grained COS: the paper's Algorithms 3-4.  Per-node locks with
+    hand-over-hand locking (lock coupling) over the delivery-ordered list;
+    counting semaphores bound the graph and count ready commands. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) :
+  Cos_intf.S with type cmd = C.t

@@ -1,0 +1,213 @@
+(** Lock-free COS — the paper's Algorithms 5–7.
+
+    Layering (§6): a {e blocking layer} of two counting semaphores handles
+    the full-graph and no-ready-command conditions; underneath, the graph
+    operations are nonblocking.  A node's lifecycle is the atomic state
+    chain [Wtg -> Rdy -> Exe -> Rmd]:
+
+    - [lf_insert] (called sequentially by the scheduler) walks the list,
+      helping to physically unlink nodes already marked [Rmd]
+      ([helped_remove]) and collecting conflict edges, then appends the new
+      node with one atomic pointer store;
+    - [lf_get] scans for a node whose state CASes [Rdy -> Exe];
+    - [lf_remove] marks the node [Rmd] (logical removal) and promotes
+      dependents whose remaining dependencies are all removed, with a
+      [Wtg -> Rdy] CAS ensuring each promotion is signalled exactly once.
+
+    Topological mutation happens only in the (single-threaded) insert path,
+    which is what makes the concurrent traversals safe: [get]'s scan may
+    run through a node being bypassed, whose [nxt] still leads back to the
+    live list — OCaml's GC plays the role the paper assigns to Java's.
+
+    Two deviations from the pseudocode:
+
+    - Algorithm 7 advances its trailing pointer [n] to every visited node,
+      including logically removed ones it just bypassed; appending or
+      bypassing from such a dead node would detach live nodes.  We track
+      the last {e live} node instead, which is the evident intent of the
+      correctness argument in §6.2.1.
+    - Nodes start in an explicit {e inserting} state ([Ins]) rather than
+      [Wtg].  With the pseudocode's [wtg] start, a remover of an
+      already-walked dependency can run [testReady] on the new node while
+      its [depOn] set is still partially built: every dependency recorded
+      {e so far} is removed, so the CAS [wtg -> rdy] succeeds and the new
+      command is released while older conflicting commands are still in
+      the structure — exactly the hazard §6.2 warns about for edges "under
+      insertion" (found by the property tests in this repository, which
+      execute adversarial schedules under the simulator).  [Ins] makes
+      that CAS fail; insert flips [Ins -> Wtg] only after every edge is in
+      place and then runs the final [testReady] itself, so a promotion
+      skipped during construction is always re-examined. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
+  type cmd = C.t
+
+  type status = Ins | Wtg | Rdy | Exe | Rmd
+
+  type node = {
+    cmd : cmd;
+    st : status P.Atomic.t;
+    dep_on : node list P.Atomic.t;  (* nodes this one depends on *)
+    dep_me : node list P.Atomic.t;  (* nodes that depend on this one *)
+    nxt : node option P.Atomic.t;  (* arrival order *)
+  }
+
+  type handle = node
+
+  type t = {
+    first : node option P.Atomic.t;  (* the list head, [N] in the paper *)
+    space : P.Semaphore.t;
+    ready : P.Semaphore.t;
+    size : int P.Atomic.t;
+    closed : bool P.Atomic.t;
+  }
+
+  let name = "lock-free"
+  let close_tokens = 1024
+
+  let create ?(max_size = Cos_intf.default_max_size) () =
+    if max_size <= 0 then invalid_arg "Lockfree.create: max_size must be positive";
+    {
+      first = P.Atomic.make None;
+      space = P.Semaphore.create max_size;
+      ready = P.Semaphore.create 0;
+      size = P.Atomic.make 0;
+      closed = P.Atomic.make false;
+    }
+
+  let command (n : handle) = n.cmd
+
+  (* Algorithm 7, testReady: promote [n] to ready iff every node it still
+     depends on has been logically removed.  The CAS makes concurrent
+     promoters signal the blocking layer exactly once. *)
+  let test_ready (n : node) =
+    let deps = P.Atomic.get n.dep_on in
+    let all_removed =
+      List.for_all
+        (fun d ->
+          P.work Visit;
+          P.Atomic.get d.st = Rmd)
+        deps
+    in
+    if all_removed && P.Atomic.compare_and_set n.st Wtg Rdy then 1 else 0
+
+  (* Algorithm 7, helpedRemove: physically unlink [dead], whose state is
+     [Rmd], from the list.  [prev_live] is the last preceding node that is
+     not removed ([None] when [dead] is first).  Runs only inside the
+     sequential insert, so plain reasoning applies to the topology. *)
+  let helped_remove t (dead : node) (prev_live : node option) =
+    List.iter
+      (fun ni ->
+        P.work Visit;
+        let rest = List.filter (fun d -> d != dead) (P.Atomic.get ni.dep_on) in
+        P.Atomic.set ni.dep_on rest)
+      (P.Atomic.get dead.dep_me);
+    let successor = P.Atomic.get dead.nxt in
+    match prev_live with
+    | None -> P.Atomic.set t.first successor
+    | Some p -> P.Atomic.set p.nxt successor
+
+  (* Algorithm 7, lfInsert.  Returns the number of ready promotions (0 or 1)
+     for the blocking layer to signal. *)
+  let lf_insert t c =
+    P.work Alloc;
+    let nn =
+      {
+        cmd = c;
+        st = P.Atomic.make Ins; (* not promotable until fully inserted *)
+        dep_on = P.Atomic.make [];
+        dep_me = P.Atomic.make [];
+        nxt = P.Atomic.make None;
+      }
+    in
+    let rec walk prev_live cur =
+      match cur with
+      | None -> prev_live
+      | Some n' ->
+          P.work Visit;
+          let nxt = P.Atomic.get n'.nxt in
+          if P.Atomic.get n'.st = Rmd then begin
+            helped_remove t n' prev_live;
+            walk prev_live nxt
+          end
+          else begin
+            P.work Conflict_check;
+            if C.conflict n'.cmd c then begin
+              P.Atomic.set n'.dep_me (nn :: P.Atomic.get n'.dep_me);
+              P.Atomic.set nn.dep_on (n' :: P.Atomic.get nn.dep_on)
+            end;
+            walk (Some n') nxt
+          end
+    in
+    let last_live = walk None (P.Atomic.get t.first) in
+    (match last_live with
+    | None -> P.Atomic.set t.first (Some nn) (* linearization point: insert *)
+    | Some p -> P.Atomic.set p.nxt (Some nn));
+    ignore (P.Atomic.fetch_and_add t.size 1 : int);
+    (* Every edge is in place: open the node for promotion and re-examine
+       it ourselves (a remover may have tried and failed while we were
+       still building the dependency set). *)
+    P.Atomic.set nn.st Wtg;
+    test_ready nn
+
+  (* Algorithm 7, lfGet: one scan for a ready node. *)
+  let lf_get t =
+    let rec walk = function
+      | None -> None
+      | Some n ->
+          P.work Visit;
+          if P.Atomic.compare_and_set n.st Rdy Exe then Some n
+          else walk (P.Atomic.get n.nxt)
+    in
+    walk (P.Atomic.get t.first)
+
+  (* Algorithm 7, lfRemove: logical removal plus promotion of freed
+     dependents; physical unlinking is left to future inserts. *)
+  let lf_remove (n : node) =
+    P.Atomic.set n.st Rmd;
+    List.fold_left
+      (fun acc ni -> acc + test_ready ni)
+      0 (P.Atomic.get n.dep_me)
+
+  (* Blocking layer (Algorithm 5). *)
+
+  let insert t c =
+    P.Semaphore.acquire t.space;
+    if not (P.Atomic.get t.closed) then begin
+      let promoted = lf_insert t c in
+      if promoted > 0 then P.Semaphore.release ~n:promoted t.ready
+    end
+
+  let get t =
+    P.Semaphore.acquire t.ready;
+    let rec attempt () =
+      match lf_get t with
+      | Some n -> Some n
+      | None ->
+          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then None
+          else begin
+            (* Our token's node was promoted behind the scan position and
+               taken over by a faster worker; its token is still in flight
+               for us.  Rescan. *)
+            P.yield ();
+            attempt ()
+          end
+    in
+    attempt ()
+
+  let remove t n =
+    let promoted = lf_remove n in
+    ignore (P.Atomic.fetch_and_add t.size (-1) : int);
+    if promoted > 0 then P.Semaphore.release ~n:promoted t.ready;
+    P.Semaphore.release t.space
+
+  let close t =
+    if not (P.Atomic.exchange t.closed true) then begin
+      P.Semaphore.release ~n:close_tokens t.ready;
+      P.Semaphore.release ~n:close_tokens t.space
+    end
+
+  let pending t = P.Atomic.get t.size
+end

@@ -1,0 +1,9 @@
+(** Lock-free COS: the paper's Algorithms 5-7.  A blocking layer of two
+    counting semaphores over nonblocking graph operations: atomic state
+    transitions [wtg -> rdy -> exe -> rmd], logical removal, and helped
+    physical removal inside the (sequential) insert. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) :
+  Cos_intf.S with type cmd = C.t

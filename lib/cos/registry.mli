@@ -1,0 +1,27 @@
+(** Value-level dispatch over the COS implementations, used by the benchmark
+    harness, the CLI and the replica layer to select an algorithm at
+    runtime. *)
+
+open Psmr_platform
+
+type impl =
+  | Coarse  (** Algorithm 2: one monitor for the whole graph *)
+  | Fine  (** Algorithms 3-4: hand-over-hand per-node locks *)
+  | Lockfree  (** Algorithms 5-7: nonblocking graph + semaphore layer *)
+  | Fifo  (** sequential baseline *)
+  | Striped of int  (** granular locks: segment capacity per lock *)
+
+val all : impl list
+(** The paper's three algorithms, in presentation order. *)
+
+val to_string : impl -> string
+
+val of_string : string -> impl option
+(** Accepts "coarse[-grained]", "fine[-grained]", "lockfree"/"lock-free",
+    "fifo"/"sequential", "striped" and "striped-<k>". *)
+
+val instantiate :
+  impl ->
+  (module Platform_intf.S) ->
+  (module Cos_intf.COMMAND with type t = 'c) ->
+  (module Cos_intf.S with type cmd = 'c)

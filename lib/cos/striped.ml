@@ -1,0 +1,247 @@
+(** Striped (segment-locked) COS — a point on the "lock granularity
+    spectrum" the paper's §7.3.2 suggests exploring between the
+    coarse-grained monitor (one lock for the whole graph) and the
+    fine-grained list (one lock per node).
+
+    Nodes are stored, in delivery order, in fixed-capacity segments; each
+    segment has its own lock.  Traversals use hand-over-hand locking at
+    segment granularity: the next segment is locked before the current one
+    is released, so operations cannot overtake each other, and locks are
+    always taken in list order (no deadlock).  With [segment_capacity = 1]
+    this degenerates to the fine-grained algorithm; with one huge segment,
+    to the coarse-grained one.
+
+    Removal marks a node as a tombstone inside its segment; a segment is
+    physically unlinked when all its slots are dead, which keeps traversals
+    short without the per-node unlink gymnastics of the fine-grained
+    variant. *)
+
+open Psmr_platform
+
+module Make_sized (Size : sig
+  val segment_capacity : int
+end)
+(P : Platform_intf.S)
+(C : Cos_intf.COMMAND) =
+struct
+  type cmd = C.t
+
+  type status = Waiting | Executing | Removed
+
+  type node = {
+    cmd : cmd;
+    mutable st : status;
+    mutable deps_on : node list;  (* live older nodes this one waits for *)
+    segment : segment;
+  }
+
+  and segment = {
+    mx : P.Mutex.t;
+    slots : node option array;
+    mutable used : int;  (* slots filled so far *)
+    mutable dead : int;  (* slots whose node is Removed *)
+    mutable next : segment option;
+  }
+
+  type handle = node
+
+  type t = {
+    head : segment;  (* sentinel segment, never holds nodes *)
+    space : P.Semaphore.t;
+    ready : P.Semaphore.t;
+    size : int P.Atomic.t;
+    closed : bool P.Atomic.t;
+  }
+
+  let capacity =
+    if Size.segment_capacity <= 0 then
+      invalid_arg "Striped: segment_capacity must be positive"
+    else Size.segment_capacity
+
+  let name = Printf.sprintf "striped-%d" capacity
+  let close_tokens = 1024
+
+  let new_segment () =
+    {
+      mx = P.Mutex.create ();
+      slots = Array.make capacity None;
+      used = 0;
+      dead = 0;
+      next = None;
+    }
+
+  let create ?(max_size = Cos_intf.default_max_size) () =
+    if max_size <= 0 then invalid_arg "Striped.create: max_size must be positive";
+    let head = new_segment () in
+    (* The sentinel is permanently "full and dead" so nothing is stored in
+       it but it is never unlinked. *)
+    head.used <- capacity;
+    head.dead <- capacity;
+    {
+      head;
+      space = P.Semaphore.create max_size;
+      ready = P.Semaphore.create 0;
+      size = P.Atomic.make 0;
+      closed = P.Atomic.make false;
+    }
+
+  let command (n : handle) = n.cmd
+
+  (* Iterate the live nodes of a locked segment. *)
+  let iter_live seg f =
+    for i = 0 to seg.used - 1 do
+      match seg.slots.(i) with
+      | Some n when n.st <> Removed ->
+          P.work Visit;
+          f n
+      | Some _ | None -> ()
+    done
+
+  (* Unlink fully-dead segments that directly follow [seg] (which is
+     locked); they can no longer be reached by anyone behind us. *)
+  let reap_after seg =
+    let rec reap () =
+      match seg.next with
+      | Some s when s.used = capacity && s.dead = capacity ->
+          P.Mutex.lock s.mx;
+          seg.next <- s.next;
+          P.Mutex.unlock s.mx;
+          reap ()
+      | Some _ | None -> ()
+    in
+    reap ()
+
+  let insert t c =
+    P.Semaphore.acquire t.space;
+    if not (P.Atomic.get t.closed) then begin
+      P.work Alloc;
+      (* The node's segment is fixed once we reach the tail. *)
+      let rec walk prev deps =
+        reap_after prev;
+        match prev.next with
+        | Some seg ->
+            P.Mutex.lock seg.mx;
+            P.Mutex.unlock prev.mx;
+            let deps = ref deps in
+            iter_live seg (fun older ->
+                P.work Conflict_check;
+                if C.conflict older.cmd c then deps := older :: !deps);
+            walk seg !deps
+        | None ->
+            (* [prev] is the last segment, still locked. *)
+            let seg =
+              if prev != t.head && prev.used < capacity then prev
+              else begin
+                let s = new_segment () in
+                prev.next <- Some s;
+                P.Mutex.lock s.mx;
+                P.Mutex.unlock prev.mx;
+                s
+              end
+            in
+            let n = { cmd = c; st = Waiting; deps_on = deps; segment = seg } in
+            seg.slots.(seg.used) <- Some n;
+            seg.used <- seg.used + 1;
+            let is_ready = n.deps_on = [] in
+            P.Mutex.unlock seg.mx;
+            ignore (P.Atomic.fetch_and_add t.size 1 : int);
+            if is_ready then P.Semaphore.release t.ready
+      in
+      P.Mutex.lock t.head.mx;
+      walk t.head []
+    end
+
+  (* Scan for the oldest free waiting node; [None] if the backing node was
+     taken behind the scan position (caller rescans). *)
+  let scan_for_ready t =
+    let found = ref None in
+    let rec walk prev =
+      reap_after prev;
+      match prev.next with
+      | None -> P.Mutex.unlock prev.mx
+      | Some seg ->
+          P.Mutex.lock seg.mx;
+          P.Mutex.unlock prev.mx;
+          (try
+             iter_live seg (fun n ->
+                 if n.st = Waiting && n.deps_on = [] then begin
+                   n.st <- Executing;
+                   found := Some n;
+                   raise Exit
+                 end)
+           with Exit -> ());
+          if !found = None then walk seg else P.Mutex.unlock seg.mx
+    in
+    P.Mutex.lock t.head.mx;
+    walk t.head;
+    !found
+
+  let get t =
+    P.Semaphore.acquire t.ready;
+    let rec attempt () =
+      match scan_for_ready t with
+      | Some n -> Some n
+      | None ->
+          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then None
+          else begin
+            P.yield ();
+            attempt ()
+          end
+    in
+    attempt ()
+
+  let remove t n =
+    (* Mark the tombstone inside its own segment, then strip dependency
+       edges from every later (and same-segment) node, walking segments
+       hand-over-hand from the start — conservative but ordered, hence
+       deadlock-free. *)
+    let freed = ref 0 in
+    let strip_in seg =
+      iter_live seg (fun other ->
+          if List.memq n other.deps_on then begin
+            other.deps_on <- List.filter (fun d -> d != n) other.deps_on;
+            if other.deps_on = [] && other.st = Waiting then incr freed
+          end)
+    in
+    let rec walk prev ~marked =
+      reap_after prev;
+      match prev.next with
+      | None -> P.Mutex.unlock prev.mx
+      | Some seg ->
+          P.Mutex.lock seg.mx;
+          P.Mutex.unlock prev.mx;
+          let marked =
+            if (not marked) && seg == n.segment then begin
+              n.st <- Removed;
+              seg.dead <- seg.dead + 1;
+              true
+            end
+            else marked
+          in
+          if marked then strip_in seg;
+          walk seg ~marked
+    in
+    P.Mutex.lock t.head.mx;
+    walk t.head ~marked:false;
+    ignore (P.Atomic.fetch_and_add t.size (-1) : int);
+    if !freed > 0 then P.Semaphore.release ~n:!freed t.ready;
+    P.Semaphore.release t.space
+
+  let close t =
+    if not (P.Atomic.exchange t.closed true) then begin
+      P.Semaphore.release ~n:close_tokens t.ready;
+      P.Semaphore.release ~n:close_tokens t.space
+    end
+
+  let pending t = P.Atomic.get t.size
+end
+
+(** The default stripe width: 16 nodes per lock, a mid-point of the
+    granularity spectrum. *)
+module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) =
+  Make_sized
+    (struct
+      let segment_capacity = 16
+    end)
+    (P)
+    (C)

@@ -1,0 +1,235 @@
+(** Ablation experiments beyond the paper's figures, probing the design
+    choices its text calls out:
+
+    - {!granularity}: §7.3.2 closes by noting that whole-graph and per-node
+      locks are "two ends of a lock granularity spectrum" and suggests
+      granular locks in between — we sweep the stripe width of the
+      segment-locked COS from per-node to whole-graph;
+    - {!graph_size}: the evaluation fixes the dependency graph at 150
+      entries; we sweep the bound to show the window/backpressure trade-off;
+    - {!realistic_conflicts}: §7.4.2 cites evidence that realistic conflict
+      rates sit between 0.3% and 2% — a fine-grained sweep over exactly that
+      band;
+    - {!failover_timeline}: throughput of a replicated deployment across a
+      leader crash, showing the outage window and recovery (the protocol
+      cost the paper's evaluation keeps out of scope). *)
+
+open Psmr_workload
+
+(* --- lock granularity spectrum --- *)
+
+(** Throughput of the striped COS as stripe width grows, bracketed by
+    fine-grained (width 1 is the same locking discipline) and the
+    coarse-grained monitor.  Returns one series per workload cost. *)
+let granularity ?(workers = 16)
+    ?(widths = [ 1; 2; 4; 8; 16; 32; 64; 150 ]) ?(write_pct = 5.0)
+    ?duration ?warmup () =
+  List.map
+    (fun cost ->
+      let points =
+        List.map
+          (fun k ->
+            let r =
+              Standalone.run
+                ~impl:(Psmr_cos.Registry.Striped k)
+                ~workers
+                ~spec:{ write_pct; cost }
+                ?duration ?warmup ()
+            in
+            (float_of_int k, r.kops))
+          widths
+      in
+      { Psmr_util.Table.name = Workload.cost_label cost; points })
+    [ Workload.Light; Workload.Moderate ]
+
+(* --- dependency graph bound --- *)
+
+(** Throughput and mean graph population as the COS capacity grows.  Small
+    graphs starve workers (insert back-pressure); large graphs lengthen
+    every traversal of the list-based algorithms. *)
+let graph_size ?(workers = 16) ?(write_pct = 5.0)
+    ?(sizes = [ 10; 25; 50; 100; 150; 300; 600; 1200 ]) ?duration ?warmup () =
+  List.map
+    (fun impl ->
+      let points =
+        List.map
+          (fun max_size ->
+            let r =
+              Standalone.run ~impl ~workers ~max_size
+                ~spec:{ write_pct; cost = Workload.Moderate }
+                ?duration ?warmup ()
+            in
+            (float_of_int max_size, r.kops))
+          sizes
+      in
+      { Psmr_util.Table.name = Psmr_cos.Registry.to_string impl; points })
+    Psmr_cos.Registry.all
+
+(* --- the realistic conflict band (0.3%..2% writes) --- *)
+
+let realistic_conflicts ?(workers = 16)
+    ?(write_pcts = [ 0.3; 0.5; 0.75; 1.0; 1.25; 1.5; 2.0 ]) ?duration ?warmup
+    () =
+  List.map
+    (fun impl ->
+      let points =
+        List.map
+          (fun pct ->
+            let r =
+              Standalone.run ~impl ~workers
+                ~spec:{ write_pct = pct; cost = Workload.Moderate }
+                ?duration ?warmup ()
+            in
+            (pct, r.kops))
+          write_pcts
+      in
+      { Psmr_util.Table.name = Psmr_cos.Registry.to_string impl; points })
+    Psmr_cos.Registry.all
+
+(* --- early vs late scheduling --- *)
+
+(* Standalone throughput of the early (queue-dispatch) scheduler on the
+   simulated platform, mirroring [Standalone.run]'s setup so the comparison
+   with the COS algorithms is apples to apples. *)
+let run_early ~workers ~(spec : Workload.spec) ?(duration = 0.08)
+    ?(warmup = 0.02) ?(seed = 42L) () =
+  let engine = Psmr_sim.Engine.create () in
+  let (module SP) = Psmr_sim.Sim_platform.make engine Model.sim_costs in
+  let module Rw = struct
+    type t = bool
+
+    let is_write w = w
+    let pp ppf w = Format.pp_print_string ppf (if w then "w" else "r")
+  end in
+  let module E = Psmr_sched.Early.Make (SP) (Rw) in
+  let cpu = Psmr_sim.Sim_sync.Cpu.create ~cores:Model.cores in
+  let measuring = ref false in
+  let completed = ref 0 in
+  let execute is_write =
+    Psmr_sim.Sim_sync.Cpu.use cpu (Model.exec_cost spec.cost ~is_write);
+    if !measuring then incr completed
+  in
+  let sched = E.start ~workers ~execute () in
+  let rng = Psmr_util.Rng.create ~seed in
+  Psmr_sim.Engine.spawn engine (fun () ->
+      let rec feed () =
+        (* Early scheduling has no bounded shared structure; throttle the
+           inserter to a bounded in-flight window comparable to the COS
+           bound so queues do not grow without limit. *)
+        if E.in_flight sched < 150 then
+          E.submit sched (Psmr_util.Rng.below_percent rng spec.write_pct)
+        else SP.sleep 2e-6;
+        feed ()
+      in
+      feed ());
+  Psmr_sim.Engine.spawn engine ~delay:warmup (fun () -> measuring := true);
+  Psmr_sim.Engine.run ~until:(warmup +. duration) engine;
+  float_of_int !completed /. duration /. 1000.0
+
+(** Early (queue-dispatch) scheduling versus the lock-free COS across the
+    write-percentage axis, light cost: early scheduling wins at very low
+    conflict rates (no scheduling structure at all) and degrades faster as
+    every write barriers all workers. *)
+let early_vs_late ?(workers = 16)
+    ?(write_pcts = [ 0.; 1.; 5.; 10.; 15.; 25.; 50.; 100. ]) ?duration ?warmup
+    () =
+  let early =
+    {
+      Psmr_util.Table.name = "early scheduling";
+      points =
+        List.map
+          (fun pct ->
+            ( pct,
+              run_early ~workers
+                ~spec:{ Workload.write_pct = pct; cost = Workload.Light }
+                ?duration ?warmup () ))
+          write_pcts;
+    }
+  in
+  let late impl =
+    {
+      Psmr_util.Table.name = Psmr_cos.Registry.to_string impl;
+      points =
+        List.map
+          (fun pct ->
+            let r =
+              Standalone.run ~impl ~workers
+                ~spec:{ Workload.write_pct = pct; cost = Workload.Light }
+                ?duration ?warmup ()
+            in
+            (pct, r.kops))
+          write_pcts;
+    }
+  in
+  [ early; late Psmr_cos.Registry.Lockfree; late Psmr_cos.Registry.Coarse ]
+
+(* --- failover timeline --- *)
+
+(** Run a replicated deployment, crash the leader mid-run, and sample the
+    surviving replica's completed-command count in fixed buckets.  Returns
+    (bucket_end_time, kops within bucket) — the outage dip and recovery are
+    directly visible. *)
+let failover_timeline ?(crash_at = 0.3) ?(until = 1.0) ?(bucket = 0.02)
+    ?(clients = 100)
+    ?(mode =
+      Psmr_replica.Replica.Parallel
+        { impl = Psmr_cos.Registry.Lockfree; workers = 16 }) () =
+  let engine = Psmr_sim.Engine.create () in
+  let (module SP) = Psmr_sim.Sim_platform.make engine Model.sim_costs in
+  let module SMR = Psmr_replica.Replica.Make (SP) (Costed_list) in
+  let spec = { Workload.write_pct = 5.0; cost = Workload.Light } in
+  let make_service _ =
+    let cpu = Psmr_sim.Sim_sync.Cpu.create ~cores:Model.cores in
+    Costed_list.create
+      ~initial_size:(Workload.list_size spec.cost)
+      ~charge:(fun ~is_write ->
+        Psmr_sim.Sim_sync.Cpu.use cpu (Model.exec_cost spec.cost ~is_write))
+  in
+  let cfg =
+    {
+      (SMR.Deployment.default_config ~make_service ()) with
+      clients;
+      mode;
+      abcast = Model.smr_abcast;
+      tick_interval = Model.smr_tick_interval;
+      client_timeout = 0.1 (* fail over quickly relative to the timeline *);
+      latency = (fun ~src:_ ~dst:_ -> Model.lan_latency);
+    }
+  in
+  let d = SMR.Deployment.create cfg in
+  let master_rng = Psmr_util.Rng.create ~seed:3L in
+  Psmr_sim.Engine.spawn engine (fun () ->
+      SMR.Deployment.start d;
+      for ci = 0 to clients - 1 do
+        let rng = Psmr_util.Rng.split master_rng in
+        SP.spawn (fun () ->
+            let c = SMR.Deployment.client d ci in
+            let rec loop () =
+              let cmds =
+                Array.init 10 (fun _ -> Workload.next_list_command spec rng)
+              in
+              match SMR.call_batch c cmds with Some _ -> loop () | None -> ()
+            in
+            loop ())
+      done);
+  Psmr_sim.Engine.spawn engine ~delay:crash_at (fun () ->
+      SMR.Deployment.crash_replica d 0);
+  (* Sample executed counters at bucket boundaries.  Replica 1 survives and
+     becomes the new leader. *)
+  let samples = Psmr_util.Vec.create () in
+  let last = ref 0 in
+  let schedule_sample t =
+    if t <= until +. 1e-9 then
+      Psmr_sim.Engine.spawn engine ~delay:t (fun () ->
+          let now_exec = SMR.Deployment.replica_executed d 1 in
+          Psmr_util.Vec.push samples
+            (t, float_of_int (now_exec - !last) /. bucket /. 1000.0);
+          last := now_exec)
+  in
+  let n_buckets = int_of_float (Float.round (until /. bucket)) in
+  for i = 1 to n_buckets do
+    schedule_sample (float_of_int i *. bucket)
+  done;
+  Psmr_sim.Engine.run ~until engine;
+  let views = SMR.Deployment.replica_view d 1 in
+  (Psmr_util.Vec.to_list samples, views)

@@ -1,0 +1,63 @@
+(** Ablation experiments beyond the paper's figures — see each function and
+    DESIGN.md's experiment index (A1-A5). *)
+
+val granularity :
+  ?workers:int ->
+  ?widths:int list ->
+  ?write_pct:float ->
+  ?duration:float ->
+  ?warmup:float ->
+  unit ->
+  Psmr_util.Table.series list
+(** A1 — the lock-granularity spectrum (§7.3.2): striped-COS throughput per
+    stripe width, one series per cost class. *)
+
+val graph_size :
+  ?workers:int ->
+  ?write_pct:float ->
+  ?sizes:int list ->
+  ?duration:float ->
+  ?warmup:float ->
+  unit ->
+  Psmr_util.Table.series list
+(** A2 — sweep of the dependency-graph bound (the paper fixes 150). *)
+
+val realistic_conflicts :
+  ?workers:int ->
+  ?write_pcts:float list ->
+  ?duration:float ->
+  ?warmup:float ->
+  unit ->
+  Psmr_util.Table.series list
+(** A3 — the 0.3–2% conflict band the paper cites as realistic (§7.4.2). *)
+
+val run_early :
+  workers:int ->
+  spec:Psmr_workload.Workload.spec ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?seed:int64 ->
+  unit ->
+  float
+(** Standalone throughput (kops/s) of the early scheduler under the same
+    setup as [Standalone.run]. *)
+
+val early_vs_late :
+  ?workers:int ->
+  ?write_pcts:float list ->
+  ?duration:float ->
+  ?warmup:float ->
+  unit ->
+  Psmr_util.Table.series list
+(** A4 — queue-dispatch early scheduling vs the lock-free and coarse COS. *)
+
+val failover_timeline :
+  ?crash_at:float ->
+  ?until:float ->
+  ?bucket:float ->
+  ?clients:int ->
+  ?mode:Psmr_replica.Replica.mode ->
+  unit ->
+  (float * float) list * int
+(** A5 — per-bucket throughput (kops/s) of a replicated deployment across a
+    leader crash, and the number of views the survivors installed. *)

@@ -1,0 +1,50 @@
+(** The linked-list service with virtual-time execution cost, for running
+    replicated experiments under the simulator.
+
+    Semantically equivalent to {!Psmr_app.Linked_list} (same responses, same
+    conflict relation) but the scan cost is charged to a simulated CPU
+    through the [charge] closure installed per instance, instead of being
+    paid in real pointer chasing.  Membership is tracked in O(1) so the
+    simulation spends wall-clock time only on events, not on scans. *)
+
+type t = {
+  initial_size : int;
+  extra : (int, unit) Hashtbl.t;  (* entries added beyond the initial fill *)
+  charge : is_write:bool -> unit;
+}
+
+type command = Psmr_app.Linked_list.command
+type response = bool
+
+let create ~initial_size ~charge =
+  if initial_size < 0 then invalid_arg "Costed_list.create: negative size";
+  { initial_size; extra = Hashtbl.create 64; charge }
+
+let mem t i = (i >= 0 && i < t.initial_size) || Hashtbl.mem t.extra i
+
+let execute t = function
+  | Psmr_app.Linked_list.Contains i ->
+      t.charge ~is_write:false;
+      mem t i
+  | Psmr_app.Linked_list.Add i ->
+      t.charge ~is_write:true;
+      if mem t i then false
+      else begin
+        Hashtbl.replace t.extra i ();
+        true
+      end
+
+let snapshot t =
+  let extras = Hashtbl.fold (fun k () acc -> k :: acc) t.extra [] in
+  Marshal.to_string (t.initial_size, List.sort compare extras) []
+
+let restore t data =
+  let (initial, extras) : int * int list = Marshal.from_string data 0 in
+  if initial <> t.initial_size then
+    invalid_arg "Costed_list.restore: size mismatch";
+  Hashtbl.reset t.extra;
+  List.iter (fun k -> Hashtbl.replace t.extra k ()) extras
+
+let conflict = Psmr_app.Linked_list.conflict
+let pp_command = Psmr_app.Linked_list.pp_command
+let pp_response = Format.pp_print_bool

@@ -1,0 +1,26 @@
+(** The linked-list service with virtual-time execution cost: semantically
+    equivalent to {!Psmr_app.Linked_list} (same responses and conflict
+    relation) but the scan cost is charged through a per-instance [charge]
+    closure (e.g. simulated CPU time) while membership is tracked in O(1).
+    Used by the replicated experiments under the simulator. *)
+
+type t
+
+type command = Psmr_app.Linked_list.command
+
+type response = bool
+
+val create : initial_size:int -> charge:(is_write:bool -> unit) -> t
+val execute : t -> command -> response
+
+val snapshot : t -> string
+(** Serialize the state for state transfer; equal states give equal
+    snapshots.  Not concurrency-safe with [execute]. *)
+
+val restore : t -> string -> unit
+(** Replace the state with a snapshot.  Not concurrency-safe with
+    [execute]. *)
+
+val conflict : command -> command -> bool
+val pp_command : Format.formatter -> command -> unit
+val pp_response : Format.formatter -> response -> unit

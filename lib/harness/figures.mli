@@ -1,0 +1,55 @@
+(** Definitions of every figure of the paper's evaluation (§7) plus the
+    ablation report; see DESIGN.md's experiment index.  All functions run
+    the simulation harness and return printable series. *)
+
+type options = {
+  duration : float;  (** standalone measurement window (virtual seconds) *)
+  warmup : float;
+  smr_duration : float;
+  smr_warmup : float;
+  workers : int list;  (** x-axis of Figures 2 and 4 *)
+  write_pcts : float list;  (** x-axis of Figures 3 and 5 *)
+  clients : int;  (** closed-loop clients for Figures 4 and 5 *)
+  client_sweep : int list;  (** load points for Figure 6 *)
+  csv_dir : string option;  (** write CSV files here when set *)
+  progress : bool;  (** log each run to stderr *)
+}
+
+val default_options : options
+(** The paper's axes (workers 1..64, writes 0..100%, 200 clients). *)
+
+val fast_options : options
+(** Subsampled axes and short windows, for smoke runs. *)
+
+val fig2 : options -> Psmr_workload.Workload.cost_class -> Psmr_util.Table.series list
+(** Standalone COS throughput vs workers, 0% writes. *)
+
+val fig3 : options -> Psmr_workload.Workload.cost_class -> Psmr_util.Table.series list
+(** Standalone throughput vs write percentage at best worker counts. *)
+
+val fig4 : options -> Psmr_workload.Workload.cost_class -> Psmr_util.Table.series list
+(** Replicated throughput vs workers plus the sequential-SMR baseline. *)
+
+val fig5 : options -> Psmr_workload.Workload.cost_class -> Psmr_util.Table.series list
+(** Replicated throughput vs write percentage plus sequential SMR. *)
+
+type fig6_mode = { label : string; mode : Psmr_replica.Replica.mode }
+
+val fig6_modes : fig6_mode list
+(** The four configurations of the paper's Figure 6. *)
+
+val fig6 : options -> write_pct:float -> Psmr_util.Table.series list
+(** Per mode: (throughput kops/s, mean latency ms) per client count. *)
+
+val render_figure :
+  title:string -> x_label:string -> y_label:string ->
+  Psmr_util.Table.series list -> string
+
+val fig6_table : Psmr_util.Table.series list -> string
+
+val render_ablations : options -> string
+(** Run and render the five ablation experiments (A1-A5). *)
+
+val run_all : ?opts:options -> unit -> string
+(** Every figure and ablation as one report (tens of minutes with
+    {!default_options}). *)

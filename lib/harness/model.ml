@@ -1,0 +1,107 @@
+(** The calibrated simulation model for the paper's testbed.
+
+    The paper's replicas are Dell R815 nodes: four 16-core AMD Opteron
+    6366HE (64 hardware threads), 1 Gbps switched network, Java 10 runtime.
+    The numbers below approximate that platform's primitive costs; the
+    justification and a sensitivity note are in EXPERIMENTS.md.  Shapes in
+    the reproduced figures come from the algorithms executing under these
+    costs, not from per-figure tuning. *)
+
+let cores = 64
+
+let ns x = x *. 1e-9
+let us x = x *. 1e-6
+
+(** Synchronization primitive costs on the simulated 64-way server.
+
+    - Atomics: register-to-cache CAS, tens of ns under sharing.
+    - Mutex/semaphore: JUC-style CAS fast path plus queue maintenance.
+    - [wakeup]: unpark/futex round trip — the price of blocking, which the
+      lock-free algorithm avoids on its hot path.
+    - [visit]: one pointer chase in a graph whose ~150 nodes mostly stay in
+      cache, plus bookkeeping per visited node.
+    - [conflict_check]: one virtual call comparing two commands. *)
+let sim_costs : Psmr_sim.Costs.t =
+  {
+    mutex_lock = ns 220.0;
+    mutex_unlock = ns 150.0;
+    condition_wait = ns 150.0;
+    condition_signal = ns 100.0;
+    semaphore_op = ns 500.0;
+    (* Atomic loads are cache-satisfied and effectively free next to the
+       [visit] charge per traversed node; keeping them at zero also lets the
+       harness read instrumentation counters from outside simulated
+       processes. *)
+    atomic_read = 0.0;
+    atomic_write = ns 40.0;
+    wakeup = us 1.8;
+    visit = ns 30.0;
+    conflict_check = ns 25.0;
+    alloc = ns 400.0;
+    marshal = ns 1200.0;
+  }
+
+(** Command execution cost: scanning the linked list.
+
+    Per-element traversal cost grows with the list's cache footprint (1k
+    entries sit in L1/L2; 100k entries spill to L3/DRAM).  A [Contains] on a
+    uniformly random present entry scans half the list on average; an [Add]
+    of a present entry also stops halfway, but the paper's add percentage is
+    the "write" knob and a write's dominant cost is the full duplicate
+    scan — we charge a full traversal. *)
+let per_element_cost = function
+  | Psmr_workload.Workload.Light -> ns 4.0
+  | Moderate -> ns 4.5
+  | Heavy -> ns 13.0
+
+let exec_cost cost ~is_write =
+  let n = float_of_int (Psmr_workload.Workload.list_size cost) in
+  let factor = if is_write then 1.0 else 0.55 in
+  factor *. n *. per_element_cost cost
+
+(** Replica network: 1 Gbps switched LAN, one-way latency with serialization
+    and switching ~60 us. *)
+let lan_latency = us 60.0
+
+(** Ordering-protocol configuration used for the replicated experiments
+    (BFT-SMaRt-style batching). *)
+let smr_abcast : Psmr_broadcast.Abcast.config =
+  {
+    batch_max = 256;
+    batch_delay = 0.5e-3;
+    heartbeat_interval = 20e-3;
+    election_timeout = 150e-3;
+    checkpoint_interval = 256;
+  }
+
+let smr_tick_interval = 0.25e-3
+let smr_client_timeout = 0.25
+
+(** Per-figure best worker counts, as the paper reports in the legends of
+    Figures 3 and 5 ("we picked for each technique the best performing
+    number of threads"). *)
+let fig3_best_workers cost (impl : Psmr_cos.Registry.impl) =
+  match (cost, impl) with
+  | Psmr_workload.Workload.Light, Psmr_cos.Registry.Coarse -> 10
+  | Light, Fine -> 1
+  | Light, Lockfree -> 2
+  | Moderate, Coarse -> 12
+  | Moderate, Fine -> 6
+  | Moderate, Lockfree -> 16
+  | Heavy, Coarse -> 48
+  | Heavy, Fine -> 32
+  | Heavy, Lockfree -> 64
+  | _, (Fifo | Striped _) -> 1
+
+let fig5_best_workers cost (impl : Psmr_cos.Registry.impl) =
+  match (cost, impl) with
+  | Psmr_workload.Workload.Light, Psmr_cos.Registry.Coarse -> 12
+  | Light, Fine -> 4
+  | Light, Lockfree -> 8
+  | Moderate, Coarse -> 12
+  | Moderate, Fine -> 6
+  | Moderate, Lockfree -> 32
+  | Heavy, Coarse -> 40
+  | Heavy, Fine -> 32
+  | Heavy, Lockfree -> 64
+  | _, (Fifo | Striped _) -> 1

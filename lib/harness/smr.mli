@@ -1,0 +1,27 @@
+(** Replicated (parallel-SMR) experiments under the simulator — the paper's
+    §7.4 setup (Figures 4-6): three simulated 64-way replicas on a 1 Gbps
+    LAN, closed-loop clients with command batching, the full
+    broadcast/replica/COS stack. *)
+
+type result = {
+  kops : float;  (** commands executed per second at replica 0, thousands *)
+  mean_latency_ms : float;  (** client-side request latency, mean *)
+  p99_latency_ms : float;
+  completed_calls : int;
+  views : int;  (** view changes observed (0 in healthy runs) *)
+}
+
+val default_duration : float
+val default_warmup : float
+val default_cmds_per_request : int
+
+val run :
+  mode:Psmr_replica.Replica.mode ->
+  spec:Psmr_workload.Workload.spec ->
+  clients:int ->
+  ?cmds_per_request:int ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?seed:int64 ->
+  unit ->
+  result

@@ -1,0 +1,71 @@
+(** Standalone data-structure experiments (paper §7.3, Figures 2 and 3):
+    one inserter thread at maximum rate, W worker threads, no SMR stack.
+
+    The COS implementations run unmodified on the simulated platform; the
+    command execution cost occupies one of the {!Model.cores} simulated
+    cores for the workload's scan time. *)
+
+(* The COS only needs to know whether a command writes: reads conflict with
+   writers, writers with everything (the readers-writers list relation). *)
+module Rw = struct
+  type t = bool (* is_write *)
+
+  let conflict a b = a || b
+  let pp ppf w = Format.pp_print_string ppf (if w then "w" else "r")
+end
+
+type result = {
+  kops : float;  (** completed commands per second, in thousands *)
+  mean_population : float;  (** mean number of commands in the graph *)
+  executed : int;
+}
+
+let default_duration = 0.08
+let default_warmup = 0.02
+
+let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
+    ?(costs = Model.sim_costs) ?(duration = default_duration)
+    ?(warmup = default_warmup) ?(seed = 42L) () =
+  let engine = Psmr_sim.Engine.create () in
+  let (module SP) = Psmr_sim.Sim_platform.make engine costs in
+  let (module Cos : Psmr_cos.Cos_intf.S with type cmd = bool) =
+    Psmr_cos.Registry.instantiate impl (module SP) (module Rw)
+  in
+  let module Sched = Psmr_sched.Scheduler.Make (SP) (Cos) in
+  let cpu = Psmr_sim.Sim_sync.Cpu.create ~cores:Model.cores in
+  let measuring = ref false in
+  let completed = ref 0 in
+  let execute is_write =
+    Psmr_sim.Sim_sync.Cpu.use cpu (Model.exec_cost spec.cost ~is_write);
+    if !measuring then incr completed
+  in
+  let sched = Sched.start ?max_size ~workers ~execute () in
+  (* Scheduler thread: insert as fast as the structure admits (§7.3: "one
+     thread looped without waiting interval ... and invoked insert"). *)
+  let rng = Psmr_util.Rng.create ~seed in
+  Psmr_sim.Engine.spawn engine (fun () ->
+      let rec feed () =
+        Sched.submit sched (Psmr_util.Rng.below_percent rng spec.write_pct);
+        feed ()
+      in
+      feed ());
+  (* Population probe: samples the graph occupancy during the window. *)
+  let pop_sum = ref 0 and pop_n = ref 0 in
+  Psmr_sim.Engine.spawn engine (fun () ->
+      let rec probe () =
+        SP.sleep 1e-3;
+        if !measuring then begin
+          pop_sum := !pop_sum + Sched.in_flight sched;
+          incr pop_n
+        end;
+        probe ()
+      in
+      probe ());
+  Psmr_sim.Engine.spawn engine ~delay:warmup (fun () -> measuring := true);
+  Psmr_sim.Engine.run ~until:(warmup +. duration) engine;
+  {
+    kops = float_of_int !completed /. duration /. 1000.0;
+    mean_population =
+      (if !pop_n = 0 then 0.0 else float_of_int !pop_sum /. float_of_int !pop_n);
+    executed = !completed;
+  }

@@ -1,0 +1,27 @@
+(** Standalone data-structure experiments (paper §7.3, Figures 2 and 3):
+    one inserter thread at maximum rate and W workers over a COS on the
+    simulated platform, no replication stack. *)
+
+type result = {
+  kops : float;  (** completed commands per second, in thousands *)
+  mean_population : float;  (** mean number of commands in the graph *)
+  executed : int;
+}
+
+val default_duration : float
+val default_warmup : float
+
+val run :
+  impl:Psmr_cos.Registry.impl ->
+  workers:int ->
+  spec:Psmr_workload.Workload.spec ->
+  ?max_size:int ->
+  ?costs:Psmr_sim.Costs.t ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?seed:int64 ->
+  unit ->
+  result
+(** Deterministic for fixed arguments (virtual time). [max_size] bounds the
+    dependency graph (default 150, the paper's setting); [costs] overrides
+    the calibrated model (for sensitivity studies). *)

@@ -1,0 +1,64 @@
+(** In-process message-passing network: a fixed set of endpoints with FIFO
+    mailboxes, configurable per-link latency, and fault injection (crashes,
+    partitions).  Platform-generic: real threads or simulated time.
+
+    Guarantees (matching the paper's §2 model): per-link FIFO delivery, no
+    duplication, no corruption; crashed endpoints neither send nor receive.
+    Loss happens only through {!crash} and {!set_link_filter}. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) : sig
+  type addr = int
+
+  type 'msg envelope = { src : addr; dst : addr; payload : 'msg }
+
+  type 'msg t
+
+  val create :
+    ?latency:(src:addr -> dst:addr -> float) -> nodes:int -> unit -> 'msg t
+  (** [nodes] endpoints addressed 0..nodes-1.  [latency] (default zero)
+      gives the one-way delay per message; zero delivers synchronously,
+      positive delays go through the platform timer. *)
+
+  val size : 'msg t -> int
+
+  val send : 'msg t -> src:addr -> dst:addr -> 'msg -> unit
+  (** Fire-and-forget.  Dropped silently when either side is crashed or the
+      link is filtered. *)
+
+  val broadcast : 'msg t -> src:addr -> dsts:addr list -> 'msg -> unit
+
+  val recv : 'msg t -> addr -> 'msg envelope option
+  (** Blocking receive; [None] once the endpoint is crashed or the network
+      is {!shutdown} (and its queue drained). *)
+
+  val try_recv : 'msg t -> addr -> 'msg envelope option
+
+  val crash : 'msg t -> addr -> unit
+  (** Permanently silence an endpoint (crash-stop). *)
+
+  val is_crashed : 'msg t -> addr -> bool
+
+  val set_link_filter : 'msg t -> (src:addr -> dst:addr -> bool) -> unit
+  (** Messages on links where the filter is [false] are dropped at send
+      time (network partitions). *)
+
+  val heal : 'msg t -> unit
+  (** Remove any link filter. *)
+
+  val shutdown : 'msg t -> unit
+  (** Close every mailbox; blocked receivers drain and get [None]. *)
+
+  val stats : 'msg t -> int * int
+  (** (messages sent, messages delivered). *)
+
+  val uniform_latency :
+    ?jitter:float ->
+    rng:Psmr_util.Rng.t ->
+    float ->
+    src:addr ->
+    dst:addr ->
+    float
+  (** Convenience latency model: [base] plus uniform jitter. *)
+end

@@ -1,0 +1,38 @@
+(** Countdown latch, generic over the platform.
+
+    A latch created with count [n] releases every waiter once [count_down]
+    has been called [n] times.  Used to join worker pools and replica threads
+    on both platforms (platform [spawn] intentionally returns no handle). *)
+
+module Make (P : Platform_intf.S) = struct
+  type t = {
+    mutex : P.Mutex.t;
+    cond : P.Condition.t;
+    mutable remaining : int;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Latch.create: negative count";
+    { mutex = P.Mutex.create (); cond = P.Condition.create (); remaining = n }
+
+  let count_down t =
+    P.Mutex.lock t.mutex;
+    if t.remaining > 0 then begin
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then P.Condition.broadcast t.cond
+    end;
+    P.Mutex.unlock t.mutex
+
+  let wait t =
+    P.Mutex.lock t.mutex;
+    while t.remaining > 0 do
+      P.Condition.wait t.cond t.mutex
+    done;
+    P.Mutex.unlock t.mutex
+
+  let remaining t =
+    P.Mutex.lock t.mutex;
+    let r = t.remaining in
+    P.Mutex.unlock t.mutex;
+    r
+end

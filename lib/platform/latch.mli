@@ -1,0 +1,19 @@
+(** Countdown latch, generic over the platform: created with count [n], it
+    releases every waiter once [count_down] has been called [n] times.  Used
+    to join worker pools and replica threads (platform [spawn] returns no
+    handle by design). *)
+
+module Make (P : Platform_intf.S) : sig
+  type t
+
+  val create : int -> t
+  (** @raise Invalid_argument on a negative count. *)
+
+  val count_down : t -> unit
+  (** Decrement; calls beyond zero are ignored. *)
+
+  val wait : t -> unit
+  (** Block until the count reaches zero (returns immediately at zero). *)
+
+  val remaining : t -> int
+end

@@ -1,0 +1,24 @@
+(** Unbounded multi-producer multi-consumer FIFO mailbox, generic over the
+    platform — the building block of the network substrate and replica
+    queues. *)
+
+module Make (P : Platform_intf.S) : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val put : 'a t -> 'a -> bool
+  (** Enqueue; [false] if the mailbox was closed (message dropped). *)
+
+  val take : 'a t -> 'a option
+  (** Blocking dequeue; [None] once closed and drained. *)
+
+  val try_take : 'a t -> 'a option
+  val length : 'a t -> int
+
+  val close : 'a t -> unit
+  (** Reject further [put]s and wake blocked takers (they drain what is
+      queued, then get [None]). *)
+
+  val is_closed : 'a t -> bool
+end

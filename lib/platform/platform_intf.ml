@@ -1,0 +1,115 @@
+(** The execution-platform abstraction.
+
+    Every concurrent component of this library (the three COS
+    implementations, the scheduler/worker runtime, the network, the atomic
+    broadcast and the replicas) is a functor over {!S}.  Two implementations
+    exist:
+
+    - {!Real_platform}: OS threads, real mutexes/semaphores/atomics and wall
+      clock — used by the test suite, the examples and the real
+      micro-benchmarks;
+    - [Psmr_sim.Sim_platform]: cooperative processes over a discrete-event
+      engine with virtual time, where every synchronization primitive
+      advances the clock by a configurable cost — used to reproduce the
+      paper's 64-core scalability figures on small hardware.
+
+    Keeping a single algorithm source for both runtimes is the point: the
+    simulated figures exercise exactly the statements that the tests verify.  *)
+
+module type MUTEX = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+end
+
+module type CONDITION = sig
+  type t
+  type mutex
+
+  val create : unit -> t
+
+  val wait : t -> mutex -> unit
+  (** Atomically release the mutex and block until signalled; the mutex is
+      re-acquired before returning.  As with POSIX conditions, spurious
+      wake-ups are permitted: callers must re-check their predicate. *)
+
+  val signal : t -> unit
+  val broadcast : t -> unit
+end
+
+module type SEMAPHORE = sig
+  type t
+
+  val create : int -> t
+  (** [create n] returns a counting semaphore with initial value [n >= 0]. *)
+
+  val acquire : t -> unit
+  (** Decrement, blocking while the value is zero. *)
+
+  val release : ?n:int -> t -> unit
+  (** Increment by [n] (default 1), waking blocked acquirers. *)
+
+  val value : t -> int
+  (** Instantaneous value; advisory only under concurrency. *)
+end
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  (** Physical-equality compare-and-set, as [Stdlib.Atomic]. *)
+
+  val fetch_and_add : int t -> int -> int
+end
+
+(** Kinds of algorithm-internal work charged to the cost model.  The real
+    platform ignores these (the surrounding code {e is} the work); the
+    simulated platform advances virtual time by a configured amount per
+    kind.  This is how O(graph-size) traversal costs of the COS algorithms
+    become visible to the simulator. *)
+type work_kind =
+  | Visit  (** following one node of a graph / list traversal *)
+  | Conflict_check  (** evaluating the conflict relation on a command pair *)
+  | Alloc  (** allocating a node structure *)
+  | Marshal
+      (** per-command protocol processing on a replica's delivery path
+          (deserialization, envelope construction, reply serialization) *)
+
+module type S = sig
+  val name : string
+  (** Human-readable platform name ("threads" or "sim"). *)
+
+  module Mutex : MUTEX
+  module Condition : CONDITION with type mutex := Mutex.t
+  module Semaphore : SEMAPHORE
+  module Atomic : ATOMIC
+
+  val spawn : ?name:string -> (unit -> unit) -> unit
+  (** Start an independent thread of control running the closure.  Completion
+      is observed with application-level synchronization (see {!Latch}). *)
+
+  val yield : unit -> unit
+  (** Politely give up the processor (no-op on the simulator, where blocking
+      is explicit). *)
+
+  val now : unit -> float
+  (** Current time in seconds: wall clock or virtual clock. *)
+
+  val sleep : float -> unit
+  (** Block the calling thread for the given number of seconds. *)
+
+  val after : float -> (unit -> unit) -> unit
+  (** [after d f] runs [f] in a fresh thread of control once [d] seconds have
+      elapsed.  Used for protocol timeouts and simulated link latency. *)
+
+  val work : work_kind -> unit
+  (** Charge one unit of internal work to the cost model (see
+      {!type:work_kind}). *)
+end

@@ -1,0 +1,65 @@
+(** The OS-thread platform: systhreads, [Stdlib] mutexes, conditions,
+    counting semaphores and atomics, and the wall clock. *)
+
+module Sys_mutex = Mutex
+module Sys_condition = Condition
+module Sys_semaphore = Semaphore
+module Sys_atomic = Atomic
+
+let name = "threads"
+
+module Mutex = struct
+  type t = Sys_mutex.t
+
+  let create = Sys_mutex.create
+  let lock = Sys_mutex.lock
+  let unlock = Sys_mutex.unlock
+end
+
+module Condition = struct
+  type t = Sys_condition.t
+
+  let create = Sys_condition.create
+  let wait = Sys_condition.wait
+  let signal = Sys_condition.signal
+  let broadcast = Sys_condition.broadcast
+end
+
+module Semaphore = struct
+  type t = Sys_semaphore.Counting.t
+
+  let create n = Sys_semaphore.Counting.make n
+  let acquire t = Sys_semaphore.Counting.acquire t
+
+  let release ?(n = 1) t =
+    for _ = 1 to n do
+      Sys_semaphore.Counting.release t
+    done
+
+  let value t = Sys_semaphore.Counting.get_value t
+end
+
+module Atomic = struct
+  type 'a t = 'a Sys_atomic.t
+
+  let make = Sys_atomic.make
+  let get = Sys_atomic.get
+  let set = Sys_atomic.set
+  let exchange = Sys_atomic.exchange
+  let compare_and_set = Sys_atomic.compare_and_set
+  let fetch_and_add = Sys_atomic.fetch_and_add
+end
+
+let spawn ?name:_ f = ignore (Thread.create f () : Thread.t)
+let yield () = Thread.yield ()
+let now () = Unix.gettimeofday ()
+let sleep d = if d > 0.0 then Thread.delay d
+
+let after d f =
+  let run () =
+    sleep d;
+    f ()
+  in
+  ignore (Thread.create run () : Thread.t)
+
+let work (_ : Platform_intf.work_kind) = ()

@@ -1,0 +1,92 @@
+(** Replicated state machines over atomic broadcast — the deployment layer
+    corresponding to the paper's BFT-SMaRt testbed (Figure 1).
+
+    [Make (P) (S)] assembles, for service [S] on platform [P]: the wire
+    protocol, replicas (protocol event loop + parallelizer thread +
+    sequential or COS-parallel executor + at-most-once reply cache),
+    batched closed-loop clients with timeout failover, and the deployment
+    wiring over an in-process network.  Runs identically on real threads
+    (tests, examples) and under the simulator (benchmark harness). *)
+
+open Psmr_platform
+
+type mode =
+  | Sequential  (** classical SMR: execute in delivery order, one at a time *)
+  | Parallel of { impl : Psmr_cos.Registry.impl; workers : int }
+      (** scheduler + COS + worker pool (Algorithm 1) *)
+
+val mode_label : mode -> string
+
+module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) : sig
+  module Net : module type of Psmr_net.Network.Make (P)
+
+  type envelope = { client : int; rid : int; cmd : S.command }
+  (** A client command with its at-most-once identity. *)
+
+  type wire =
+    | Proto of envelope Psmr_broadcast.Abcast.message
+    | Reply of { rid : int; resp : S.response; replica : int }
+    | Tick
+    | Client_timeout of { rid : int; attempt : int }
+    | Snapshot_request of { have_seq : int }
+        (** a replica stalled behind a truncated log asking for state *)
+    | Snapshot of { state : string; rids : (int * int) list; seq : int }
+        (** service snapshot + at-most-once table, cut at batch [seq] *)
+
+  (** {2 Clients} *)
+
+  type client
+
+  val call_batch : client -> S.command array -> S.response array option
+  (** Send all commands in one request (BFT-SMaRt-style client batching)
+      and wait for a reply to each, failing over to the next replica on
+      timeout.  [None] only when the network was shut down. *)
+
+  val call : client -> S.command -> S.response option
+  (** [call_batch] with a single command. *)
+
+  val client_retries : client -> int
+  (** Timeout-triggered retries so far (diagnostics). *)
+
+  (** {2 Deployments} *)
+
+  module Deployment : sig
+    type config = {
+      replicas : int;  (** odd, >= 3 *)
+      clients : int;
+      mode : mode;
+      cos_max_size : int option;  (** parallel executors' graph bound *)
+      abcast : Psmr_broadcast.Abcast.config;
+      tick_interval : float;
+      client_timeout : float;
+      latency : src:int -> dst:int -> float;
+      make_service : int -> S.t;  (** fresh service state for replica [i] *)
+    }
+
+    val default_config : make_service:(int -> S.t) -> unit -> config
+    (** 3 replicas, 1 client, sequential mode, zero latency. *)
+
+    type t
+
+    val create : config -> t
+
+    val start : t -> unit
+    (** Spawn every replica's protocol loop, parallelizer and ticker. *)
+
+    val client : t -> int -> client
+    (** The [i]-th client endpoint (0-based; create one handle per calling
+        thread). *)
+
+    val crash_replica : t -> int -> unit
+    (** Crash-stop: the replica stops sending and receiving forever. *)
+
+    val replica_view : t -> int -> int
+    val replica_delivered : t -> int -> int
+    val replica_executed : t -> int -> int
+    val network : t -> wire Net.t
+
+    val shutdown : t -> unit
+    (** Close the network and join every replica thread (crashed ones
+        included). *)
+  end
+end

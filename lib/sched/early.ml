@@ -1,0 +1,132 @@
+(** Early scheduling — the alternative P-SMR architecture of the paper's
+    related-work class (i) (Alchieri et al., "Early Scheduling in Parallel
+    State Machine Replication", SoCC '18), specialized to readers-writers
+    workloads like the paper's evaluation application.
+
+    Where the COS approach decides {e late} (workers pick any ready command
+    from a shared dependency structure), early scheduling decides at
+    delivery time: the scheduler dispatches each read to one worker's
+    private FIFO queue (round robin) and turns each write into a
+    {e synchronization token} enqueued on {b every} queue.  A worker that
+    pops a token joins a barrier: the last to arrive executes the write
+    while the others wait.  Queue FIFO order then guarantees exactly the
+    COS ordering constraints for the readers-writers conflict relation —
+    with no shared scheduling structure at all, at the price of
+    full-barrier writes and no work stealing between queues.
+
+    The ablation harness compares this against the three COS algorithms
+    (see [Psmr_harness.Ablations.early_vs_late]). *)
+
+open Psmr_platform
+
+module type RW_COMMAND = sig
+  type t
+
+  val is_write : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (P : Platform_intf.S) (C : RW_COMMAND) = struct
+  module MB = Mailbox.Make (P)
+  module Latch = Latch.Make (P)
+
+  type barrier = {
+    cmd : C.t;
+    remaining : int P.Atomic.t;
+    mutex : P.Mutex.t;
+    done_cond : P.Condition.t;
+    mutable completed : bool;
+  }
+
+  type token = Read of C.t | Write_barrier of barrier
+
+  type t = {
+    queues : token MB.t array;
+    workers : int;
+    mutable next_queue : int;  (* round-robin cursor; scheduler-private *)
+    submitted : int P.Atomic.t;
+    executed : int P.Atomic.t;
+    joined : Latch.t;
+  }
+
+  let start ~workers ~execute () =
+    if workers <= 0 then invalid_arg "Early.start: workers must be positive";
+    let t =
+      {
+        queues = Array.init workers (fun _ -> MB.create ());
+        workers;
+        next_queue = 0;
+        submitted = P.Atomic.make 0;
+        executed = P.Atomic.make 0;
+        joined = Latch.create workers;
+      }
+    in
+    for i = 0 to workers - 1 do
+      P.spawn ~name:(Printf.sprintf "early-worker-%d" i) (fun () ->
+          let rec loop () =
+            match MB.take t.queues.(i) with
+            | None -> Latch.count_down t.joined
+            | Some (Read c) ->
+                execute c;
+                ignore (P.Atomic.fetch_and_add t.executed 1 : int);
+                loop ()
+            | Some (Write_barrier b) ->
+                let arrivals_left = P.Atomic.fetch_and_add b.remaining (-1) in
+                if arrivals_left = 1 then begin
+                  (* Last to arrive: every queue has passed all tokens that
+                     preceded this write, so it executes in isolation. *)
+                  execute b.cmd;
+                  ignore (P.Atomic.fetch_and_add t.executed 1 : int);
+                  P.Mutex.lock b.mutex;
+                  b.completed <- true;
+                  P.Condition.broadcast b.done_cond;
+                  P.Mutex.unlock b.mutex
+                end
+                else begin
+                  P.Mutex.lock b.mutex;
+                  while not b.completed do
+                    P.Condition.wait b.done_cond b.mutex
+                  done;
+                  P.Mutex.unlock b.mutex
+                end;
+                loop ()
+          in
+          loop ())
+    done;
+    t
+
+  (* Single-threaded caller, in delivery order (the "parallelizer"). *)
+  let submit t c =
+    ignore (P.Atomic.fetch_and_add t.submitted 1 : int);
+    if C.is_write c then begin
+      let b =
+        {
+          cmd = c;
+          remaining = P.Atomic.make t.workers;
+          mutex = P.Mutex.create ();
+          done_cond = P.Condition.create ();
+          completed = false;
+        }
+      in
+      Array.iter (fun q -> ignore (MB.put q (Write_barrier b) : bool)) t.queues
+    end
+    else begin
+      let q = t.queues.(t.next_queue) in
+      t.next_queue <- (t.next_queue + 1) mod t.workers;
+      ignore (MB.put q (Read c) : bool)
+    end
+
+  let submitted t = P.Atomic.get t.submitted
+  let executed t = P.Atomic.get t.executed
+  let in_flight t = submitted t - executed t
+
+  let drain ?(poll = 1e-4) t =
+    while executed t < submitted t do
+      P.sleep poll
+    done
+
+  let shutdown ?poll t =
+    drain ?poll t;
+    Array.iter MB.close t.queues;
+    Latch.wait t.joined
+end

@@ -1,0 +1,35 @@
+(** Early scheduling: the delivery-time queue-dispatch P-SMR architecture
+    (the paper's related-work class (i)), specialized to readers-writers
+    conflict relations.  Reads are dispatched round-robin to per-worker FIFO
+    queues; writes become barrier tokens enqueued on every queue, executed
+    by the last worker to arrive while the others wait.  No shared
+    scheduling structure at all — the trade-off explored in ablation A4. *)
+
+open Psmr_platform
+
+module type RW_COMMAND = sig
+  type t
+
+  val is_write : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (P : Platform_intf.S) (C : RW_COMMAND) : sig
+  type t
+
+  val start : workers:int -> execute:(C.t -> unit) -> unit -> t
+  (** [execute] must tolerate concurrent invocation on reads; writes are
+      invoked in isolation. *)
+
+  val submit : t -> C.t -> unit
+  (** Single-threaded caller, in delivery order.  Never blocks (queues are
+      unbounded): the caller is responsible for bounding in-flight work,
+      e.g. via {!in_flight}. *)
+
+  val submitted : t -> int
+  val executed : t -> int
+  val in_flight : t -> int
+
+  val drain : ?poll:float -> t -> unit
+  val shutdown : ?poll:float -> t -> unit
+end

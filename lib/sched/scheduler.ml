@@ -1,0 +1,71 @@
+(** The generic parallel-SMR execution runtime — the paper's Algorithm 1.
+
+    A single scheduler thread (the "parallelizer") inserts delivered
+    commands into a COS; a pool of worker threads loops over
+    [get; execute; remove].  The runtime is agnostic to which COS
+    implementation and which platform it runs on.
+
+    Shutdown protocol: the owner stops submitting, calls {!shutdown}, which
+    waits for the structure to drain, closes it (making blocked [get]s
+    return [None]) and joins the workers. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) = struct
+  module Latch = Latch.Make (P)
+
+  type t = {
+    cos : Cos.t;
+    workers : int;
+    joined : Latch.t;
+    submitted : int P.Atomic.t;
+    executed : int P.Atomic.t;
+  }
+
+  let start ?max_size ~workers ~execute () =
+    if workers <= 0 then invalid_arg "Scheduler.start: workers must be positive";
+    let cos = Cos.create ?max_size () in
+    let t =
+      {
+        cos;
+        workers;
+        joined = Latch.create workers;
+        submitted = P.Atomic.make 0;
+        executed = P.Atomic.make 0;
+      }
+    in
+    for i = 1 to workers do
+      P.spawn ~name:(Printf.sprintf "worker-%d" i) (fun () ->
+          let rec loop () =
+            match Cos.get cos with
+            | None -> Latch.count_down t.joined
+            | Some h ->
+                execute (Cos.command h);
+                Cos.remove cos h;
+                ignore (P.Atomic.fetch_and_add t.executed 1 : int);
+                loop ()
+          in
+          loop ())
+    done;
+    t
+
+  let submit t c =
+    ignore (P.Atomic.fetch_and_add t.submitted 1 : int);
+    Cos.insert t.cos c
+
+  let submitted t = P.Atomic.get t.submitted
+  let executed t = P.Atomic.get t.executed
+  let in_flight t = submitted t - executed t
+
+  (* Polling drain: cheap on the real platform, and on the simulator each
+     probe is just one virtual-time event. *)
+  let drain ?(poll = 1e-4) t =
+    while executed t < submitted t do
+      P.sleep poll
+    done
+
+  let shutdown ?poll t =
+    drain ?poll t;
+    Cos.close t.cos;
+    Latch.wait t.joined
+end

@@ -1,0 +1,41 @@
+(** The generic parallel-SMR execution runtime (the paper's Algorithm 1):
+    a single scheduler thread inserting delivered commands into a COS and a
+    pool of worker threads looping over get/execute/remove.
+
+    Platform- and algorithm-agnostic: instantiate with any
+    {!Psmr_platform.Platform_intf.S} and any {!Psmr_cos.Cos_intf.S}. *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) : sig
+  type t
+
+  val start :
+    ?max_size:int ->
+    workers:int ->
+    execute:(Cos.cmd -> unit) ->
+    unit ->
+    t
+  (** Create the COS (bounded by [max_size], default 150) and spawn
+      [workers] worker threads running [execute] on each command they
+      reserve.  [execute] must tolerate concurrent invocation on
+      non-conflicting commands. *)
+
+  val submit : t -> Cos.cmd -> unit
+  (** Insert the next command, in delivery order.  Single-threaded caller
+      (the scheduler); blocks while the COS is full. *)
+
+  val submitted : t -> int
+  val executed : t -> int
+
+  val in_flight : t -> int
+  (** [submitted - executed]; advisory under concurrency. *)
+
+  val drain : ?poll:float -> t -> unit
+  (** Block until everything submitted has executed (polling every [poll]
+      seconds, default 100 us). *)
+
+  val shutdown : ?poll:float -> t -> unit
+  (** [drain], close the COS, and join the workers.  The caller must have
+      stopped submitting. *)
+end

@@ -1,0 +1,48 @@
+type t = {
+  mutex_lock : float;
+  mutex_unlock : float;
+  condition_wait : float;
+  condition_signal : float;
+  semaphore_op : float;
+  atomic_read : float;
+  atomic_write : float;
+  wakeup : float;
+  visit : float;
+  conflict_check : float;
+  alloc : float;
+  marshal : float;
+}
+
+let ns x = x *. 1e-9
+
+let default =
+  {
+    mutex_lock = ns 60.0;
+    mutex_unlock = ns 40.0;
+    condition_wait = ns 120.0;
+    condition_signal = ns 80.0;
+    semaphore_op = ns 150.0;
+    atomic_read = ns 8.0;
+    atomic_write = ns 25.0;
+    wakeup = ns 1500.0;
+    visit = ns 18.0;
+    conflict_check = ns 12.0;
+    alloc = ns 150.0;
+    marshal = ns 800.0;
+  }
+
+let zero =
+  {
+    mutex_lock = 0.0;
+    mutex_unlock = 0.0;
+    condition_wait = 0.0;
+    condition_signal = 0.0;
+    semaphore_op = 0.0;
+    atomic_read = 0.0;
+    atomic_write = 0.0;
+    wakeup = 0.0;
+    visit = 0.0;
+    conflict_check = 0.0;
+    alloc = 0.0;
+    marshal = 0.0;
+  }

@@ -1,0 +1,35 @@
+(** Cost model for the simulated platform.
+
+    Every field is in seconds.  The defaults approximate uncontended
+    primitive costs on a 2010s x86 server JVM/runtime (tens of nanoseconds
+    for atomics, a few hundred for semaphore operations, microseconds to be
+    rescheduled after blocking).  The benchmark harness derives its
+    calibrated model from {!default} (see EXPERIMENTS.md); the figures'
+    shapes are robust to moderate variations. *)
+
+type t = {
+  mutex_lock : float;  (** uncontended mutex acquisition *)
+  mutex_unlock : float;
+  condition_wait : float;  (** bookkeeping to enqueue on a condition *)
+  condition_signal : float;
+  semaphore_op : float;  (** one semaphore acquire or release *)
+  atomic_read : float;
+  atomic_write : float;  (** set, exchange or compare-and-set *)
+  wakeup : float;
+      (** latency between being woken (mutex handoff, condition signal,
+          semaphore release) and running again — the scheduler/futex round
+          trip that blocking synchronization pays and lock-free code does
+          not *)
+  visit : float;  (** following one node in a traversal (pointer chase) *)
+  conflict_check : float;  (** one evaluation of the conflict relation *)
+  alloc : float;  (** allocating a node structure *)
+  marshal : float;
+      (** per-command protocol processing (deserialize, envelope, reply
+          serialization) on a replica's delivery path *)
+}
+
+val default : t
+
+val zero : t
+(** All-zero costs: the simulator then only orders events, useful in
+    tests. *)

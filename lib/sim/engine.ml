@@ -1,0 +1,94 @@
+open Effect
+open Effect.Deep
+
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  events : event Psmr_util.Heap.t;
+  mutable failure : exn option;
+  mutable executed : int;
+}
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let compare_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  {
+    clock = 0.0;
+    seq = 0;
+    events = Psmr_util.Heap.create ~cmp:compare_event;
+    failure = None;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ?(delay = 0.0) thunk =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  t.seq <- t.seq + 1;
+  Psmr_util.Heap.add t.events { time = t.clock +. delay; seq = t.seq; thunk }
+
+let delay d = if d > 0.0 then perform (Delay d) else ()
+let yield () = perform (Delay 0.0)
+let suspend register = perform (Suspend register)
+
+(* Run [f] as a process: every [Delay]/[Suspend] it performs is handled by
+   scheduling its continuation on this engine.  The handler is deep, so the
+   whole dynamic extent of [f] — including code resumed later from the event
+   loop — stays covered. *)
+let run_process t ?name:_ f =
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> if t.failure = None then t.failure <- Some e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  schedule t ~delay:d (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  register (fun () -> schedule t (fun () -> continue k ())))
+          | _ -> None);
+    }
+
+let spawn t ?(delay = 0.0) ?name f =
+  schedule t ~delay (fun () -> run_process t ?name f)
+
+let run ?until t =
+  let stop = ref false in
+  while not !stop do
+    match Psmr_util.Heap.peek t.events with
+    | None -> stop := true
+    | Some ev -> (
+        match until with
+        | Some limit when ev.time > limit ->
+            t.clock <- limit;
+            stop := true
+        | _ ->
+            ignore (Psmr_util.Heap.pop t.events : event option);
+            t.clock <- ev.time;
+            t.executed <- t.executed + 1;
+            ev.thunk ();
+            (match t.failure with
+            | Some e ->
+                t.failure <- None;
+                raise e
+            | None -> ()))
+  done;
+  match until with
+  | Some limit when t.clock < limit && Psmr_util.Heap.is_empty t.events ->
+      t.clock <- limit
+  | _ -> ()
+
+let events_executed t = t.executed

@@ -1,0 +1,61 @@
+(** Discrete-event simulation engine.
+
+    Processes are cooperative coroutines implemented with OCaml 5 effect
+    handlers.  A process runs until it performs {!delay} (advance virtual
+    time) or {!suspend} (park until resumed by another process), at which
+    point the engine switches to the next pending event.  Time is virtual:
+    a simulated second costs only as much wall time as the events it
+    contains.
+
+    The engine is deliberately single-threaded: simulated "threads"
+    interleave only at explicit blocking points, which makes simulated
+    synchronization primitives trivial to implement exactly (see
+    {!Sim_sync}) and simulations deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> ?delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs plain callback [f] at [now t +. delay].
+    [f] must not perform process effects; use {!spawn} for that. *)
+
+val spawn : t -> ?delay:float -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t f] creates a process executing [f], starting at
+    [now t +. delay].  Exceptions escaping [f] abort the simulation: they are
+    re-raised by {!run}. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events in time order until the queue is empty, or until virtual
+    time would exceed [until] (remaining events stay queued, [now] is set to
+    [until]).  Processes still blocked on {!suspend} when the queue drains
+    are simply never resumed — the normal fate of, e.g., a worker waiting on
+    an empty queue at the end of an experiment.
+
+    @raise e if a process raised [e]. *)
+
+val events_executed : t -> int
+(** Total number of events executed so far (diagnostics). *)
+
+(** {2 Process operations}
+
+    These may only be called from inside a process spawned on some engine;
+    elsewhere they raise [Stdlib.Effect.Unhandled]. *)
+
+val delay : float -> unit
+(** Advance this process's virtual time by the given non-negative amount,
+    yielding to other processes. *)
+
+val yield : unit -> unit
+(** Re-queue this process behind events already scheduled at the current
+    instant. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the calling process.  [register] is called
+    immediately (before any interleaving) with a [resume] closure; stash it
+    somewhere.  Invoking [resume] — exactly once, from any process or
+    callback — schedules the parked process to continue at the then-current
+    virtual time. *)

@@ -1,0 +1,6 @@
+(** Packages an {!Engine} and a {!Costs} model as a first-class
+    [Psmr_platform.Platform_intf.S], so any component functorized over the
+    platform runs unmodified under virtual time. *)
+
+val make :
+  Engine.t -> Costs.t -> (module Psmr_platform.Platform_intf.S)

@@ -1,0 +1,132 @@
+(** Synchronization primitives for simulated processes.
+
+    All primitives keep FIFO waiter queues and hand ownership (or semaphore
+    tokens) directly to the longest-waiting process, so simulated scheduling
+    is fair and deterministic.  Because the engine is single-threaded, each
+    primitive's bookkeeping is naturally atomic; costs from {!Costs} are the
+    only thing that advances the clock.
+
+    A process resumed after blocking additionally pays [costs.wakeup],
+    modelling the OS/futex round trip.  This asymmetry — blocking
+    synchronization pays wake-up latency, nonblocking code pays only CAS
+    costs — is the mechanism behind the coarse/fine vs. lock-free separation
+    in the paper's figures. *)
+
+module Mutex = struct
+  type t = {
+    costs : Costs.t;
+    mutable locked : bool;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create costs = { costs; locked = false; waiters = Queue.create () }
+
+  let lock t =
+    Engine.delay t.costs.mutex_lock;
+    if not t.locked then t.locked <- true
+    else begin
+      Engine.suspend (fun resume -> Queue.push resume t.waiters);
+      (* Ownership was handed over by the unlocker; pay the wake-up. *)
+      Engine.delay t.costs.wakeup
+    end
+
+  (* Release without charging cost; must stay free of engine effects so it
+     can run inside a [suspend] registration (see [Condition.wait]). *)
+  let unlock_transfer t =
+    match Queue.pop t.waiters with
+    | resume -> resume () (* stays locked: direct handoff *)
+    | exception Queue.Empty -> t.locked <- false
+
+  let unlock t =
+    Engine.delay t.costs.mutex_unlock;
+    unlock_transfer t
+end
+
+module Condition = struct
+  type t = { costs : Costs.t; waiters : (unit -> unit) Queue.t }
+
+  let create costs = { costs; waiters = Queue.create () }
+
+  let wait t (m : Mutex.t) =
+    (* Charge the bookkeeping and the mutex release up front; enqueueing and
+       releasing then happen atomically inside the suspension (the register
+       callback must not perform engine effects). *)
+    Engine.delay (t.costs.condition_wait +. t.costs.mutex_unlock);
+    Engine.suspend (fun resume ->
+        Queue.push resume t.waiters;
+        Mutex.unlock_transfer m);
+    Engine.delay t.costs.wakeup;
+    Mutex.lock m
+
+  let signal t =
+    Engine.delay t.costs.condition_signal;
+    match Queue.pop t.waiters with
+    | resume -> resume ()
+    | exception Queue.Empty -> ()
+
+  let broadcast t =
+    Engine.delay t.costs.condition_signal;
+    let pending = Queue.copy t.waiters in
+    Queue.clear t.waiters;
+    Queue.iter (fun resume -> resume ()) pending
+end
+
+module Semaphore = struct
+  type t = {
+    costs : Costs.t;
+    mutable count : int;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create costs n =
+    if n < 0 then invalid_arg "Sim_sync.Semaphore.create: negative count";
+    { costs; count = n; waiters = Queue.create () }
+
+  let acquire t =
+    Engine.delay t.costs.semaphore_op;
+    if t.count > 0 then t.count <- t.count - 1
+    else begin
+      Engine.suspend (fun resume -> Queue.push resume t.waiters);
+      (* The token was handed to us by [release]. *)
+      Engine.delay t.costs.wakeup
+    end
+
+  let release ?(n = 1) t =
+    Engine.delay t.costs.semaphore_op;
+    for _ = 1 to n do
+      match Queue.pop t.waiters with
+      | resume -> resume () (* token handoff *)
+      | exception Queue.Empty -> t.count <- t.count + 1
+    done
+
+  let value t = t.count
+end
+
+(** A bank of processor cores: at most [cores] processes hold a slot at a
+    time.  [use t d] models executing [d] seconds of computation.  FIFO
+    admission. *)
+module Cpu = struct
+  type t = {
+    cores : int;
+    mutable busy : int;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create ~cores =
+    if cores <= 0 then invalid_arg "Sim_sync.Cpu.create: cores must be positive";
+    { cores; busy = 0; waiters = Queue.create () }
+
+  let acquire t =
+    if t.busy < t.cores then t.busy <- t.busy + 1
+    else Engine.suspend (fun resume -> Queue.push resume t.waiters)
+
+  let release t =
+    match Queue.pop t.waiters with
+    | resume -> resume () (* slot handoff: busy count unchanged *)
+    | exception Queue.Empty -> t.busy <- t.busy - 1
+
+  let use t d =
+    acquire t;
+    Engine.delay d;
+    release t
+end

@@ -1,0 +1,49 @@
+(** Synchronization primitives for simulated processes: FIFO mutexes,
+    condition variables, counting semaphores and a bounded CPU bank, all
+    advancing virtual time according to a {!Costs.t}.  Processes resumed
+    after blocking additionally pay [costs.wakeup] — the asymmetry that
+    separates blocking synchronization from lock-free code in the
+    reproduced figures. *)
+
+module Mutex : sig
+  type t
+
+  val create : Costs.t -> t
+  val lock : t -> unit
+
+  val unlock_transfer : t -> unit
+  (** Release without charging cost and without performing engine effects
+      (safe inside a [suspend] registration). *)
+
+  val unlock : t -> unit
+end
+
+module Condition : sig
+  type t
+
+  val create : Costs.t -> t
+  val wait : t -> Mutex.t -> unit
+  val signal : t -> unit
+  val broadcast : t -> unit
+end
+
+module Semaphore : sig
+  type t
+
+  val create : Costs.t -> int -> t
+  val acquire : t -> unit
+  val release : ?n:int -> t -> unit
+  val value : t -> int
+end
+
+(** A bank of processor cores: at most [cores] processes hold a slot at a
+    time; [use t d] models executing [d] seconds of computation.  FIFO
+    admission. *)
+module Cpu : sig
+  type t
+
+  val create : cores:int -> t
+  val acquire : t -> unit
+  val release : t -> unit
+  val use : t -> float -> unit
+end

@@ -1,0 +1,32 @@
+(** Imperative binary min-heap.
+
+    Used as the event queue of the discrete-event simulator and as the
+    pending-delivery queue of the network substrate.  Not thread-safe; callers
+    synchronize externally. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] returns an empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** O(log n) insertion. *)
+
+val peek : 'a t -> 'a option
+(** Smallest element, or [None] when empty. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element.  O(log n). *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument when the heap is empty. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: elements in ascending order.  O(n log n); intended for
+    tests and debugging. *)

@@ -1,0 +1,83 @@
+let sub_buckets = 16
+let min_exp = -64 (* ~5e-20 *)
+let max_exp = 64 (* ~1.8e19 *)
+let n_buckets = (max_exp - min_exp) * sub_buckets
+
+type t = {
+  buckets : int array;
+  mutable underflow : int;
+  mutable total : int;
+  mutable max_seen : float;
+}
+
+let create () =
+  { buckets = Array.make n_buckets 0; underflow = 0; total = 0; max_seen = 0.0 }
+
+let index_of v =
+  let m, e = Float.frexp v in
+  (* m in [0.5, 1): spread over [sub_buckets] linear sub-buckets. *)
+  let sub = int_of_float ((m -. 0.5) *. 2.0 *. float_of_int sub_buckets) in
+  let sub = if sub >= sub_buckets then sub_buckets - 1 else sub in
+  let e = if e < min_exp then min_exp else if e >= max_exp then max_exp - 1 else e in
+  ((e - min_exp) * sub_buckets) + sub
+
+let value_of_index i =
+  let e = (i / sub_buckets) + min_exp in
+  let sub = i mod sub_buckets in
+  (* Upper edge of the sub-bucket. *)
+  let m = 0.5 +. (float_of_int (sub + 1) /. (2.0 *. float_of_int sub_buckets)) in
+  Float.ldexp m e
+
+let record t v =
+  t.total <- t.total + 1;
+  if v <= 0.0 then t.underflow <- t.underflow + 1
+  else begin
+    if v > t.max_seen then t.max_seen <- v;
+    let i = index_of v in
+    t.buckets.(i) <- t.buckets.(i) + 1
+  end
+
+let count t = t.total
+
+let merge a b =
+  let t = create () in
+  Array.iteri (fun i c -> t.buckets.(i) <- c + b.buckets.(i)) a.buckets;
+  t.underflow <- a.underflow + b.underflow;
+  t.total <- a.total + b.total;
+  t.max_seen <- Float.max a.max_seen b.max_seen;
+  t
+
+let quantile t q =
+  if t.total = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = int_of_float (Float.ceil (q *. float_of_int t.total)) in
+    let target = if target <= 0 then 1 else target in
+    let rec scan i acc =
+      if i >= n_buckets then t.max_seen
+      else begin
+        let acc = acc + t.buckets.(i) in
+        if acc >= target then Float.min (value_of_index i) t.max_seen
+        else scan (i + 1) acc
+      end
+    in
+    scan 0 t.underflow
+  end
+
+let mean t =
+  if t.total = 0 then 0.0
+  else begin
+    let sum = ref 0.0 in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          let e = (i / sub_buckets) + min_exp in
+          let sub = i mod sub_buckets in
+          let mid = 0.5 +. ((float_of_int sub +. 0.5) /. (2.0 *. float_of_int sub_buckets)) in
+          sum := !sum +. (float_of_int c *. Float.ldexp mid e)
+        end)
+      t.buckets;
+    !sum /. float_of_int t.total
+  end
+
+let max_value t = t.max_seen

@@ -1,0 +1,30 @@
+(** Logarithmically-bucketed histogram for latency recording.
+
+    Values (seconds, or any positive metric) are bucketed with a fixed number
+    of sub-buckets per power of two, giving bounded relative error with O(1)
+    recording and small memory.  Quantiles are answered from bucket
+    boundaries.  Not thread-safe; use one histogram per recording thread and
+    [merge]. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> float -> unit
+(** Record a sample.  Non-positive samples are counted in an underflow
+    bucket. *)
+
+val count : t -> int
+
+val merge : t -> t -> t
+(** [merge a b] returns a new histogram containing all samples of both. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [\[0,1\]]: an upper bound of the value at
+    quantile [q].  0 when the histogram is empty. *)
+
+val mean : t -> float
+(** Approximate mean (bucket mid-points). *)
+
+val max_value : t -> float
+(** Largest recorded sample (exact). *)

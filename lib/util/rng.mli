@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable PRNG (SplitMix64).  Every stochastic component
+    of the library (workload generators, network latency jitter, simulation)
+    takes an explicit generator so that experiments are reproducible from a
+    seed. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator from [t],
+    advancing [t].  Useful to give each simulated client its own stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform integer in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] returns a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val below_percent : t -> float -> bool
+(** [below_percent t p] is [true] with probability [p/100].  Used for, e.g.,
+    "15% writes" workloads. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] samples an exponential distribution; used for
+    Poisson arrival processes and latency jitter. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,92 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some l when List.length l = ncols -> Array.of_list l
+    | _ -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols && String.length cell > widths.(i) then
+          widths.(i) <- String.length cell)
+      row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad aligns.(i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+type series = { name : string; points : (float * float) list }
+
+let xs_of_series series =
+  let xs =
+    List.concat_map (fun s -> List.map fst s.points) series
+    |> List.sort_uniq compare
+  in
+  xs
+
+let float_cell v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.2f" v
+
+let lookup s x =
+  List.assoc_opt x s.points
+
+let render_series ~x_label ~y_label series =
+  let xs = xs_of_series series in
+  let header = x_label :: List.map (fun s -> s.name) series in
+  let rows =
+    List.map
+      (fun x ->
+        float_cell x
+        :: List.map
+             (fun s -> match lookup s x with Some y -> float_cell y | None -> "-")
+             series)
+      xs
+  in
+  Printf.sprintf "(y = %s)\n%s" y_label (render ~header rows)
+
+let csv_of_series ~x_label series =
+  let xs = xs_of_series series in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," (x_label :: List.map (fun s -> s.name) series));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun x ->
+      let cells =
+        Printf.sprintf "%g" x
+        :: List.map
+             (fun s ->
+               match lookup s x with Some y -> Printf.sprintf "%g" y | None -> "")
+             series
+      in
+      Buffer.add_string buf (String.concat "," cells);
+      Buffer.add_char buf '\n')
+    xs;
+  Buffer.contents buf

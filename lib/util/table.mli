@@ -1,0 +1,24 @@
+(** Plain-text rendering of experiment results.
+
+    Two shapes are used throughout the benchmark harness:
+    - {!render}: a classic aligned table with a header row;
+    - {!render_series}: one row per x-value with one column per data series,
+      which is the textual equivalent of the paper's figures. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] aligns columns (default: first column left, rest
+    right) and returns the formatted table, ending with a newline. *)
+
+type series = { name : string; points : (float * float) list }
+(** A named data series: (x, y) points, as plotted in one figure line. *)
+
+val render_series :
+  x_label:string -> y_label:string -> series list -> string
+(** Tabulates the union of x values of all series; missing points render as
+    ["-"].  The y values print with up to 2 decimals. *)
+
+val csv_of_series : x_label:string -> series list -> string
+(** Same data as comma-separated values, for external plotting. *)

@@ -1,0 +1,37 @@
+(** Growable array (the standard library gains [Dynarray] only in 5.2).
+
+    Amortized O(1) push; O(1) random access.  Not thread-safe. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_array : 'a t -> 'a array
+
+val of_array : 'a array -> 'a t
+
+val to_list : 'a t -> 'a list
+
+val sort : cmp:('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort of the live prefix. *)

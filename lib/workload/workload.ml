@@ -1,0 +1,84 @@
+(** Workload specification and generation, following the paper's §7.2.
+
+    The evaluation service is the readers-and-writers linked list.  A
+    workload is a percentage of writes and an execution-cost class given by
+    the initial list size: light (1k entries), moderate (10k) and heavy
+    (100k).  Operation targets are uniformly random positions in the
+    list. *)
+
+type cost_class = Light | Moderate | Heavy
+
+let all_costs = [ Light; Moderate; Heavy ]
+
+let cost_label = function
+  | Light -> "light"
+  | Moderate -> "moderate"
+  | Heavy -> "heavy"
+
+let cost_of_string s =
+  match String.lowercase_ascii s with
+  | "light" -> Some Light
+  | "moderate" -> Some Moderate
+  | "heavy" -> Some Heavy
+  | _ -> None
+
+(** Initial list size for a cost class (§7.2: 1k, 10k, 100k). *)
+let list_size = function Light -> 1_000 | Moderate -> 10_000 | Heavy -> 100_000
+
+type spec = {
+  write_pct : float;  (** 0..100: fraction of [Add] operations *)
+  cost : cost_class;
+}
+
+(** The paper's write percentages for Figures 3 and 5. *)
+let paper_write_percentages = [ 0.; 1.; 5.; 10.; 15.; 20.; 25.; 50.; 100. ]
+
+(** The paper's worker counts for Figures 2 and 4. *)
+let paper_worker_counts = [ 1; 2; 4; 6; 8; 10; 12; 16; 24; 32; 40; 48; 56; 64 ]
+
+let pp_spec ppf s =
+  Format.fprintf ppf "%s/%.0f%%w" (cost_label s.cost) s.write_pct
+
+(** Draw the next linked-list command: a uniformly random entry, read or
+    write according to [spec.write_pct]. *)
+let next_list_command spec rng =
+  let target = Psmr_util.Rng.int rng (list_size spec.cost) in
+  if Psmr_util.Rng.below_percent rng spec.write_pct then
+    Psmr_app.Linked_list.Add target
+  else Psmr_app.Linked_list.Contains target
+
+(** Pre-generate a command trace (e.g. to spare generation cost inside a
+    measured loop, as the paper does). *)
+let generate_trace spec rng n = Array.init n (fun _ -> next_list_command spec rng)
+
+(** Zipf-distributed key sampler (exponent [theta]), for skewed KV workloads
+    in the examples and extension experiments.  Uses the standard inverse-CDF
+    over precomputed cumulative weights. *)
+module Zipf = struct
+  type t = { cdf : float array }
+
+  let create ~n ~theta =
+    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+    if theta < 0.0 then invalid_arg "Zipf.create: negative theta";
+    let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let acc = ref 0.0 in
+    let cdf =
+      Array.map
+        (fun w ->
+          acc := !acc +. (w /. total);
+          !acc)
+        weights
+    in
+    { cdf }
+
+  let sample t rng =
+    let u = Psmr_util.Rng.float rng 1.0 in
+    (* Binary search for the first cdf entry >= u. *)
+    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+end

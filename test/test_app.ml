@@ -1,0 +1,296 @@
+(* Tests for the replicated services: determinism, conflict relations, and
+   the FIFO (sequential baseline) COS. *)
+
+module LL = Psmr_app.Linked_list
+module KV = Psmr_app.Kv_store
+module Bank = Psmr_app.Bank
+
+(* --- linked list --- *)
+
+let test_ll_init () =
+  let l = LL.create ~initial_size:5 in
+  Alcotest.(check int) "size" 5 (LL.size l);
+  for i = 0 to 4 do
+    Alcotest.(check bool) "member" true (LL.execute l (LL.Contains i))
+  done;
+  Alcotest.(check bool) "absent" false (LL.execute l (LL.Contains 5))
+
+let test_ll_add () =
+  let l = LL.create ~initial_size:3 in
+  Alcotest.(check bool) "new entry" true (LL.execute l (LL.Add 10));
+  Alcotest.(check bool) "duplicate" false (LL.execute l (LL.Add 10));
+  Alcotest.(check int) "size grew once" 4 (LL.size l);
+  Alcotest.(check bool) "now present" true (LL.execute l (LL.Contains 10))
+
+let test_ll_empty () =
+  let l = LL.create ~initial_size:0 in
+  Alcotest.(check int) "empty" 0 (LL.size l);
+  Alcotest.(check bool) "nothing" false (LL.execute l (LL.Contains 0));
+  Alcotest.(check bool) "add to empty" true (LL.execute l (LL.Add 0))
+
+let test_ll_conflicts () =
+  Alcotest.(check bool) "r/r" false (LL.conflict (Contains 1) (Contains 1));
+  Alcotest.(check bool) "r/w" true (LL.conflict (Contains 1) (Add 2));
+  Alcotest.(check bool) "w/r" true (LL.conflict (Add 2) (Contains 1));
+  Alcotest.(check bool) "w/w" true (LL.conflict (Add 1) (Add 2))
+
+let prop_ll_deterministic =
+  QCheck.Test.make ~name:"linked list execution is deterministic" ~count:100
+    QCheck.(list (pair bool (int_range 0 50)))
+    (fun ops ->
+      let run () =
+        let l = LL.create ~initial_size:10 in
+        List.map
+          (fun (w, i) -> LL.execute l (if w then LL.Add i else LL.Contains i))
+          ops
+      in
+      run () = run ())
+
+(* --- kv store --- *)
+
+let test_kv_get_put () =
+  let s = KV.create ~capacity:4 in
+  Alcotest.(check bool) "empty get" true (KV.execute s (KV.Get 0) = Value None);
+  Alcotest.(check bool) "put" true (KV.execute s (KV.Put (0, 42)) = Stored);
+  Alcotest.(check bool) "get back" true (KV.execute s (KV.Get 0) = Value (Some 42))
+
+let test_kv_bounds () =
+  let s = KV.create ~capacity:4 in
+  Alcotest.check_raises "key out of range"
+    (Invalid_argument "Kv_store: key 4 out of range") (fun () ->
+      ignore (KV.execute s (KV.Get 4) : KV.response))
+
+let test_kv_conflicts () =
+  Alcotest.(check bool) "same-key get/get" false (KV.conflict (Get 1) (Get 1));
+  Alcotest.(check bool) "same-key get/put" true (KV.conflict (Get 1) (Put (1, 0)));
+  Alcotest.(check bool) "diff-key put/put" false (KV.conflict (Put (0, 1)) (Put (1, 2)));
+  Alcotest.(check bool) "same-key put/put" true (KV.conflict (Put (1, 1)) (Put (1, 2)))
+
+(* --- bank --- *)
+
+let test_bank_transfer () =
+  let b = Bank.create ~accounts:3 ~initial_balance:100 in
+  Alcotest.(check bool) "transfer ok" true
+    (Bank.execute b (Transfer { src = 0; dst = 1; amount = 40 }) = Ok);
+  Alcotest.(check bool) "src debited" true (Bank.execute b (Balance 0) = Amount 60);
+  Alcotest.(check bool) "dst credited" true (Bank.execute b (Balance 1) = Amount 140);
+  Alcotest.(check int) "conservation" 300 (Bank.total b)
+
+let test_bank_insufficient () =
+  let b = Bank.create ~accounts:2 ~initial_balance:10 in
+  Alcotest.(check bool) "rejected" true
+    (Bank.execute b (Transfer { src = 0; dst = 1; amount = 11 }) = Insufficient);
+  Alcotest.(check int) "unchanged" 20 (Bank.total b)
+
+let test_bank_conflicts () =
+  let t a b amt = Bank.Transfer { src = a; dst = b; amount = amt } in
+  Alcotest.(check bool) "shared account" true (Bank.conflict (t 0 1 5) (t 1 2 5));
+  Alcotest.(check bool) "disjoint" false (Bank.conflict (t 0 1 5) (t 2 3 5));
+  Alcotest.(check bool) "balance vs balance" false
+    (Bank.conflict (Balance 0) (Balance 0));
+  Alcotest.(check bool) "balance vs transfer" true
+    (Bank.conflict (Balance 0) (t 0 1 5))
+
+let prop_bank_conserves =
+  QCheck.Test.make ~name:"transfers conserve total balance" ~count:100
+    QCheck.(list (pair (pair (int_range 0 4) (int_range 0 4)) (int_range 0 50)))
+    (fun ops ->
+      let b = Bank.create ~accounts:5 ~initial_balance:100 in
+      List.iter
+        (fun ((src, dst), amount) ->
+          ignore (Bank.execute b (Transfer { src; dst; amount }) : Bank.response))
+        ops;
+      Bank.total b = 500)
+
+let prop_conflict_symmetric =
+  QCheck.Test.make ~name:"bank conflict relation is symmetric" ~count:200
+    (let cmd =
+       QCheck.oneof
+         [
+           QCheck.map (fun a -> Bank.Balance a) (QCheck.int_range 0 4);
+           QCheck.map (fun (a, v) -> Bank.Deposit (a, v))
+             QCheck.(pair (int_range 0 4) (int_range 0 9));
+           QCheck.map
+             (fun ((s, d), v) -> Bank.Transfer { src = s; dst = d; amount = v })
+             QCheck.(pair (pair (int_range 0 4) (int_range 0 4)) (int_range 0 9));
+         ]
+     in
+     QCheck.pair cmd cmd)
+    (fun (a, b) -> Bank.conflict a b = Bank.conflict b a)
+
+(* --- snapshot / restore round trips (state transfer support) --- *)
+
+let test_ll_snapshot_roundtrip () =
+  let a = LL.create ~initial_size:5 in
+  ignore (LL.execute a (LL.Add 42) : bool);
+  ignore (LL.execute a (LL.Add 17) : bool);
+  let b = LL.create ~initial_size:0 in
+  LL.restore b (LL.snapshot a);
+  Alcotest.(check int) "size" (LL.size a) (LL.size b);
+  for i = 0 to 4 do
+    Alcotest.(check bool) "member" true (LL.execute b (LL.Contains i))
+  done;
+  Alcotest.(check bool) "42" true (LL.execute b (LL.Contains 42));
+  Alcotest.(check bool) "17" true (LL.execute b (LL.Contains 17));
+  (* Divergent execution after restore stays independent. *)
+  ignore (LL.execute b (LL.Add 99) : bool);
+  Alcotest.(check bool) "a unaffected" false (LL.execute a (LL.Contains 99))
+
+let test_ll_snapshot_deterministic () =
+  let a = LL.create ~initial_size:10 in
+  let b = LL.create ~initial_size:10 in
+  Alcotest.(check bool) "equal states, equal snapshots" true
+    (LL.snapshot a = LL.snapshot b)
+
+let test_kv_snapshot_roundtrip () =
+  let a = KV.create ~capacity:8 in
+  ignore (KV.execute a (Put (3, 33)) : KV.response);
+  ignore (KV.execute a (Put (7, 77)) : KV.response);
+  let b = KV.create ~capacity:8 in
+  KV.restore b (KV.snapshot a);
+  Alcotest.(check bool) "slot 3" true (KV.execute b (Get 3) = Value (Some 33));
+  Alcotest.(check bool) "slot 7" true (KV.execute b (Get 7) = Value (Some 77));
+  Alcotest.(check bool) "slot 0 empty" true (KV.execute b (Get 0) = Value None)
+
+let test_kv_snapshot_capacity_mismatch () =
+  let a = KV.create ~capacity:8 in
+  let b = KV.create ~capacity:4 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Kv_store.restore: capacity mismatch") (fun () ->
+      KV.restore b (KV.snapshot a))
+
+let test_bank_snapshot_roundtrip () =
+  let a = Bank.create ~accounts:3 ~initial_balance:100 in
+  ignore (Bank.execute a (Transfer { src = 0; dst = 2; amount = 30 }) : Bank.response);
+  let b = Bank.create ~accounts:3 ~initial_balance:0 in
+  Bank.restore b (Bank.snapshot a);
+  Alcotest.(check bool) "acct 0" true (Bank.execute b (Balance 0) = Amount 70);
+  Alcotest.(check bool) "acct 2" true (Bank.execute b (Balance 2) = Amount 130);
+  Alcotest.(check int) "total preserved" 300 (Bank.total b)
+
+let test_costed_list_snapshot_roundtrip () =
+  let charges = ref 0 in
+  let charge ~is_write:_ = incr charges in
+  let a = Psmr_harness.Costed_list.create ~initial_size:10 ~charge in
+  ignore (Psmr_harness.Costed_list.execute a (Add 50) : bool);
+  let b = Psmr_harness.Costed_list.create ~initial_size:10 ~charge in
+  Psmr_harness.Costed_list.restore b (Psmr_harness.Costed_list.snapshot a);
+  Alcotest.(check bool) "extra present" true
+    (Psmr_harness.Costed_list.execute b (Contains 50));
+  Alcotest.(check bool) "initial present" true
+    (Psmr_harness.Costed_list.execute b (Contains 3))
+
+(* --- the FIFO COS (sequential baseline) --- *)
+
+module RP = Psmr_platform.Real_platform
+
+module Fifo =
+  Psmr_cos.Fifo.Make
+    (RP)
+    (struct
+      type t = int
+
+      let conflict _ _ = true
+      let pp = Format.pp_print_int
+    end)
+
+let test_fifo_order () =
+  let t = Fifo.create () in
+  for i = 0 to 9 do
+    Fifo.insert t i
+  done;
+  for i = 0 to 9 do
+    let h = Option.get (Fifo.get t) in
+    Alcotest.(check int) "fifo order" i (Fifo.command h);
+    Fifo.remove t h
+  done
+
+let test_fifo_serializes_even_reads () =
+  (* Even with many workers, fifo admits one in-flight command at a time:
+     a second get blocks until remove. *)
+  let t = Fifo.create () in
+  Fifo.insert t 0;
+  Fifo.insert t 1;
+  let h0 = Option.get (Fifo.get t) in
+  let second = Atomic.make (-1) in
+  let th =
+    Thread.create
+      (fun () ->
+        let h = Option.get (Fifo.get t) in
+        Atomic.set second (Fifo.command h);
+        Fifo.remove t h)
+      ()
+  in
+  Thread.delay 0.05;
+  Alcotest.(check int) "second blocked" (-1) (Atomic.get second);
+  Fifo.remove t h0;
+  Thread.join th;
+  Alcotest.(check int) "second released in order" 1 (Atomic.get second)
+
+let test_fifo_close () =
+  let t = Fifo.create () in
+  Fifo.close t;
+  Alcotest.(check bool) "none after close" true (Fifo.get t = None)
+
+let test_fifo_scheduler_end_to_end () =
+  let module Sched = Psmr_sched.Scheduler.Make (RP) (Fifo) in
+  let order = ref [] in
+  let mu = Mutex.create () in
+  let execute i =
+    Mutex.lock mu;
+    order := i :: !order;
+    Mutex.unlock mu
+  in
+  let sched = Sched.start ~workers:4 ~execute () in
+  for i = 0 to 99 do
+    Sched.submit sched i
+  done;
+  Sched.shutdown sched;
+  Alcotest.(check (list int)) "sequential order despite 4 workers"
+    (List.init 100 Fun.id) (List.rev !order)
+
+let () =
+  Alcotest.run "app"
+    [
+      ( "linked-list",
+        [
+          Alcotest.test_case "init" `Quick test_ll_init;
+          Alcotest.test_case "add" `Quick test_ll_add;
+          Alcotest.test_case "empty" `Quick test_ll_empty;
+          Alcotest.test_case "conflicts" `Quick test_ll_conflicts;
+          QCheck_alcotest.to_alcotest prop_ll_deterministic;
+        ] );
+      ( "kv-store",
+        [
+          Alcotest.test_case "get/put" `Quick test_kv_get_put;
+          Alcotest.test_case "bounds" `Quick test_kv_bounds;
+          Alcotest.test_case "conflicts" `Quick test_kv_conflicts;
+        ] );
+      ( "bank",
+        [
+          Alcotest.test_case "transfer" `Quick test_bank_transfer;
+          Alcotest.test_case "insufficient" `Quick test_bank_insufficient;
+          Alcotest.test_case "conflicts" `Quick test_bank_conflicts;
+          QCheck_alcotest.to_alcotest prop_bank_conserves;
+          QCheck_alcotest.to_alcotest prop_conflict_symmetric;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "linked list roundtrip" `Quick test_ll_snapshot_roundtrip;
+          Alcotest.test_case "linked list deterministic" `Quick
+            test_ll_snapshot_deterministic;
+          Alcotest.test_case "kv roundtrip" `Quick test_kv_snapshot_roundtrip;
+          Alcotest.test_case "kv capacity mismatch" `Quick
+            test_kv_snapshot_capacity_mismatch;
+          Alcotest.test_case "bank roundtrip" `Quick test_bank_snapshot_roundtrip;
+          Alcotest.test_case "costed list roundtrip" `Quick
+            test_costed_list_snapshot_roundtrip;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "order" `Quick test_fifo_order;
+          Alcotest.test_case "serializes" `Quick test_fifo_serializes_even_reads;
+          Alcotest.test_case "close" `Quick test_fifo_close;
+          Alcotest.test_case "end-to-end" `Quick test_fifo_scheduler_end_to_end;
+        ] );
+    ]

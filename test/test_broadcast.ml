@@ -1,0 +1,387 @@
+(* Unit tests for the atomic broadcast protocol, driven deterministically on
+   the simulated platform: virtual time controls batching, heartbeats and
+   election timeouts exactly. *)
+
+open Psmr_broadcast
+
+(* A 3-replica harness on the simulator: replicas exchange protocol messages
+   through the simulated network; each replica has an event-loop process and
+   a ticker process, mirroring the deployment wiring. *)
+module Harness = struct
+  type t = {
+    engine : Psmr_sim.Engine.t;
+    deliveries : int list list ref array;  (* per replica, batches in order *)
+    views : (unit -> int) array;
+    log_info : (unit -> int * int) array;  (* per replica: (base, length) *)
+    crash : int -> unit;
+    partition : (src:int -> dst:int -> bool) -> unit;
+    heal : unit -> unit;
+    run_until : float -> unit;
+  }
+
+  let config =
+    {
+      Abcast.batch_max = 8;
+      batch_delay = 1e-3;
+      heartbeat_interval = 5e-3;
+      election_timeout = 50e-3;
+      checkpoint_interval = 16;
+    }
+
+  let make ?(config = config) ?(n = 3) ?(latency = 1e-4) ?(submit = fun _ -> [])
+      () =
+    let engine = Psmr_sim.Engine.create () in
+    let (module SP) = Psmr_sim.Sim_platform.make engine Psmr_sim.Costs.zero in
+    let module Net = Psmr_net.Network.Make (SP) in
+    let module Ab = Abcast.Make (SP) in
+    (* Wire type: protocol messages plus self-addressed ticks. *)
+    let net = Net.create ~latency:(fun ~src:_ ~dst:_ -> latency) ~nodes:n () in
+    let deliveries = Array.init n (fun _ -> ref []) in
+    let abs =
+      Array.init n (fun id ->
+          Ab.create ~config ~id ~n
+            ~send:(fun dst msg -> Net.send net ~src:id ~dst (`Proto msg))
+            ~deliver:(fun batch ->
+              deliveries.(id) := Array.to_list batch :: !(deliveries.(id)))
+            ())
+    in
+    Array.iteri
+      (fun id ab ->
+        Psmr_sim.Engine.spawn engine (fun () ->
+            let rec loop () =
+              match Net.recv net id with
+              | None -> ()
+              | Some { src; payload; _ } ->
+                  (match payload with
+                  | `Proto m -> Ab.handle ab ~src m
+                  | `Tick -> Ab.tick ab);
+                  loop ()
+            in
+            loop ());
+        Psmr_sim.Engine.spawn engine (fun () ->
+            let rec tick_loop () =
+              if not (Net.is_crashed net id) then begin
+                SP.sleep 1e-3;
+                Net.send net ~src:id ~dst:id `Tick;
+                tick_loop ()
+              end
+            in
+            tick_loop ()))
+      abs;
+    (* Command source: at time given by [submit], feed commands to the
+       replica of choice. *)
+    List.iter
+      (fun (at, replica, cmds) ->
+        Psmr_sim.Engine.spawn engine ~delay:at (fun () ->
+            Ab.submit abs.(replica) (Array.of_list cmds)))
+      (submit ());
+    {
+      engine;
+      deliveries;
+      views = Array.map (fun ab () -> Ab.view ab) abs;
+      log_info = Array.map (fun ab () -> (Ab.log_base ab, Ab.log_length ab)) abs;
+      crash = (fun id -> Net.crash net id);
+      partition = (fun f -> Net.set_link_filter net f);
+      heal = (fun () -> Net.heal net);
+      run_until = (fun t -> Psmr_sim.Engine.run ~until:t engine);
+    }
+
+  let delivered t id = List.rev !(t.deliveries.(id)) |> List.concat
+end
+
+let test_total_order_basic () =
+  let h =
+    Harness.make ~submit:(fun () -> [ (0.001, 0, [ 1; 2; 3 ]) ]) ()
+  in
+  h.run_until 0.5;
+  let d0 = Harness.delivered h 0 in
+  Alcotest.(check (list int)) "leader delivers" [ 1; 2; 3 ] d0;
+  Alcotest.(check (list int)) "replica 1 same" d0 (Harness.delivered h 1);
+  Alcotest.(check (list int)) "replica 2 same" d0 (Harness.delivered h 2)
+
+let test_submit_via_follower_forwards () =
+  let h = Harness.make ~submit:(fun () -> [ (0.001, 1, [ 42 ]) ]) () in
+  h.run_until 0.5;
+  Alcotest.(check (list int)) "ordered via leader" [ 42 ] (Harness.delivered h 2)
+
+let test_batching_by_size () =
+  (* 8 commands at once fit exactly one batch (batch_max = 8): they must be
+     delivered contiguously and immediately, without waiting batch_delay. *)
+  let h =
+    Harness.make ~submit:(fun () -> [ (0.001, 0, [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ]) ()
+  in
+  h.run_until 0.01;
+  Alcotest.(check (list int)) "full batch cut immediately"
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ] (Harness.delivered h 1)
+
+let test_batching_by_delay () =
+  (* A single command must wait for the batch timer (1ms) but no longer. *)
+  let h = Harness.make ~submit:(fun () -> [ (0.001, 0, [ 9 ]) ]) () in
+  h.run_until 0.02;
+  Alcotest.(check (list int)) "timer flushes partial batch" [ 9 ]
+    (Harness.delivered h 1)
+
+let test_many_batches_total_order () =
+  let submits =
+    List.init 40 (fun i -> (0.001 +. (0.0007 *. float_of_int i), 0, [ i ]))
+  in
+  let h = Harness.make ~submit:(fun () -> submits) () in
+  h.run_until 1.0;
+  let d0 = Harness.delivered h 0 in
+  Alcotest.(check int) "all delivered" 40 (List.length d0);
+  Alcotest.(check (list int)) "in submission order" (List.init 40 Fun.id) d0;
+  Alcotest.(check (list int)) "replica1 identical" d0 (Harness.delivered h 1);
+  Alcotest.(check (list int)) "replica2 identical" d0 (Harness.delivered h 2)
+
+let test_no_quorum_no_delivery () =
+  (* Crash both followers: the leader alone (1 of 3 < f+1 = 2) must not
+     commit anything. *)
+  let h = Harness.make ~submit:(fun () -> [ (0.005, 0, [ 7 ]) ]) () in
+  h.crash 1;
+  h.crash 2;
+  h.run_until 0.3;
+  Alcotest.(check (list int)) "nothing committed" [] (Harness.delivered h 0)
+
+let test_view_change_on_leader_crash () =
+  let h = Harness.make ~submit:(fun () -> [ (0.2, 1, [ 5 ]) ]) () in
+  (* Let view 0 settle, then kill the leader before the submission. *)
+  h.run_until 0.05;
+  h.crash 0;
+  h.run_until 1.0;
+  Alcotest.(check bool) "replica 1 moved to a later view" true (h.views.(1) () > 0);
+  Alcotest.(check bool) "replicas agree on view" true (h.views.(1) () = h.views.(2) ());
+  Alcotest.(check (list int)) "command ordered by new leader" [ 5 ]
+    (Harness.delivered h 1);
+  Alcotest.(check (list int)) "both survivors deliver" [ 5 ]
+    (Harness.delivered h 2)
+
+let test_uncommitted_survive_view_change () =
+  (* Commands committed in view 0 are preserved across a view change. *)
+  let h = Harness.make ~submit:(fun () -> [ (0.001, 0, [ 1; 2; 3 ]) ]) () in
+  h.run_until 0.05;
+  (* committed in view 0 *)
+  h.crash 0;
+  let h2_submit = [ 4; 5 ] in
+  ignore h2_submit;
+  h.run_until 1.0;
+  Alcotest.(check (list int)) "prefix preserved at replica 1" [ 1; 2; 3 ]
+    (Harness.delivered h 1);
+  Alcotest.(check (list int)) "prefix preserved at replica 2" [ 1; 2; 3 ]
+    (Harness.delivered h 2)
+
+let test_delivery_after_view_change_continues () =
+  let h =
+    Harness.make
+      ~submit:(fun () -> [ (0.001, 0, [ 1 ]); (0.5, 1, [ 2 ]); (0.6, 2, [ 3 ]) ])
+      ()
+  in
+  h.run_until 0.05;
+  h.crash 0;
+  h.run_until 2.0;
+  Alcotest.(check (list int)) "old and new commands, one order" [ 1; 2; 3 ]
+    (Harness.delivered h 1);
+  Alcotest.(check (list int)) "identical at replica 2" [ 1; 2; 3 ]
+    (Harness.delivered h 2)
+
+(* --- checkpointing and log truncation --- *)
+
+let test_log_truncation_bounds_memory () =
+  (* 200 single-command batches with checkpoint interval 16: by the end,
+     every replica must have truncated most of its log. *)
+  let submits =
+    List.init 200 (fun i -> (0.001 +. (0.002 *. float_of_int i), 0, [ i ]))
+  in
+  let h = Harness.make ~submit:(fun () -> submits) () in
+  h.run_until 2.0;
+  for id = 0 to 2 do
+    let base, len = h.log_info.(id) () in
+    if base < 150 then
+      Alcotest.failf "replica %d: base %d too low (log never truncated)" id base;
+    if len > 64 then Alcotest.failf "replica %d: log length %d unbounded" id len
+  done;
+  (* Truncation must not have disturbed delivery. *)
+  let d0 = Harness.delivered h 0 in
+  Alcotest.(check int) "all delivered" 200 (List.length d0);
+  Alcotest.(check (list int)) "replica1 identical" d0 (Harness.delivered h 1)
+
+let test_view_change_after_truncation () =
+  (* Commit and truncate, then crash the leader: the survivors must agree
+     on a view and keep making progress from their truncated logs. *)
+  let submits =
+    List.init 100 (fun i -> (0.001 +. (0.002 *. float_of_int i), 0, [ i ]))
+    @ [ (1.0, 1, [ 1000 ]) ]
+  in
+  let h = Harness.make ~submit:(fun () -> submits) () in
+  h.run_until 0.5;
+  let base1, _ = h.log_info.(1) () in
+  Alcotest.(check bool) "truncated before crash" true (base1 > 0);
+  h.crash 0;
+  h.run_until 3.0;
+  let d1 = Harness.delivered h 1 in
+  Alcotest.(check int) "all 101 delivered" 101 (List.length d1);
+  Alcotest.(check (list int)) "survivors identical" d1 (Harness.delivered h 2);
+  Alcotest.(check bool) "post-crash command included" true
+    (List.mem 1000 d1)
+
+let test_gap_recovery_via_log_transfer () =
+  (* Partition replica 2 away from the leader while traffic flows, then
+     heal: replica 2 discovers the gap from a later Prepare and catches up
+     through Need_log / Log_transfer.  Checkpointing is disabled so the gap
+     stays recoverable from peers' logs (a truncated-past gap needs service
+     snapshots, out of the crash-stop scope — see the stall test below). *)
+  let submits =
+    List.init 60 (fun i -> (0.001 +. (0.005 *. float_of_int i), 0, [ i ]))
+  in
+  let h =
+    Harness.make
+      ~config:{ Harness.config with checkpoint_interval = 0 }
+      ~submit:(fun () -> submits)
+      ()
+  in
+  h.run_until 0.05;
+  (* Cut only leader -> replica 2 for a while (one-directional loss). *)
+  h.partition (fun ~src ~dst -> not (src = 0 && dst = 2));
+  h.run_until 0.2;
+  h.heal ();
+  h.run_until 2.0;
+  let d0 = Harness.delivered h 0 in
+  Alcotest.(check int) "all delivered at leader" 60 (List.length d0);
+  Alcotest.(check (list int)) "replica 2 caught up" d0 (Harness.delivered h 2)
+
+(* --- five replicas: f = 2 --- *)
+
+let test_five_replicas_two_crashes () =
+  (* n=5 tolerates two crashes; kill leaders of view 0 and view 1 in turn
+     and keep committing. *)
+  let h =
+    Harness.make ~n:5
+      ~submit:(fun () -> [ (0.01, 0, [ 1 ]); (0.5, 2, [ 2 ]); (1.5, 3, [ 3 ]) ])
+      ()
+  in
+  h.run_until 0.1;
+  h.crash 0;
+  h.run_until 1.0;
+  h.crash 1;
+  h.run_until 3.0;
+  let d2 = Harness.delivered h 2 in
+  Alcotest.(check (list int)) "all three commands survive two crashes"
+    [ 1; 2; 3 ] d2;
+  Alcotest.(check (list int)) "replica 3 identical" d2 (Harness.delivered h 3);
+  Alcotest.(check (list int)) "replica 4 identical" d2 (Harness.delivered h 4);
+  Alcotest.(check bool) "view advanced at least twice" true (h.views.(2) () >= 2)
+
+let test_five_replicas_three_crashes_no_progress () =
+  (* Beyond f=2 the system must stop committing (but never diverge). *)
+  let h =
+    Harness.make ~n:5 ~submit:(fun () -> [ (0.3, 3, [ 9 ]) ]) ()
+  in
+  h.run_until 0.05;
+  h.crash 0;
+  h.crash 1;
+  h.crash 2;
+  h.run_until 2.0;
+  Alcotest.(check (list int)) "no quorum, no delivery" []
+    (Harness.delivered h 3);
+  Alcotest.(check (list int)) "replica 4 agrees" [] (Harness.delivered h 4)
+
+(* Property: crash the current leader at a random time while random
+   submissions flow; all surviving replicas must deliver identical sequences
+   with no duplicates (safety under failover). *)
+let prop_safety_under_leader_crash =
+  QCheck.Test.make ~name:"identical delivery despite random leader crash"
+    ~count:20
+    QCheck.(
+      pair (int_range 10 800)
+        (list_of_size Gen.(int_range 1 25) (pair (int_range 1 2) (int_range 0 1200))))
+    (fun (crash_ms, submissions) ->
+      (* Submissions go to replicas 1-2 so they survive the crash of 0. *)
+      let submits =
+        List.mapi
+          (fun i (replica, at_ms) ->
+            (0.001 +. (float_of_int at_ms /. 1000.0), replica, [ i ]))
+          submissions
+      in
+      let h = Harness.make ~submit:(fun () -> submits) () in
+      h.run_until (float_of_int crash_ms /. 1000.0);
+      h.crash 0;
+      h.run_until 5.0;
+      let d1 = Harness.delivered h 1 and d2 = Harness.delivered h 2 in
+      let no_dups l = List.length (List.sort_uniq compare l) = List.length l in
+      d1 = d2 && no_dups d1
+      (* prefix-of check against submissions is implied by integrity: *)
+      && List.for_all (fun c -> c >= 0 && c < List.length submissions) d1)
+
+(* Property: under random submission times and different latencies, all
+   replicas deliver identical sequences (uniform total order + integrity). *)
+let prop_total_order =
+  QCheck.Test.make ~name:"replicas deliver identical sequences" ~count:25
+    QCheck.(
+      pair (int_range 0 1000)
+        (list_of_size Gen.(int_range 1 30) (pair (int_range 0 2) (int_range 0 400))))
+    (fun (lat_us, submissions) ->
+      let submits =
+        List.mapi
+          (fun i (replica, at_ms) ->
+            (0.001 +. (float_of_int at_ms /. 1000.0), replica, [ i ]))
+          submissions
+      in
+      let h =
+        Harness.make
+          ~latency:(float_of_int lat_us *. 1e-6)
+          ~submit:(fun () -> submits)
+          ()
+      in
+      h.run_until 3.0;
+      let d0 = Harness.delivered h 0 in
+      let sorted = List.sort compare d0 in
+      let expected = List.sort compare (List.init (List.length submissions) Fun.id) in
+      d0 = Harness.delivered h 1
+      && d0 = Harness.delivered h 2
+      && sorted = expected (* integrity: each exactly once, none lost *))
+
+let () =
+  Alcotest.run "broadcast"
+    [
+      ( "ordering",
+        [
+          Alcotest.test_case "basic total order" `Quick test_total_order_basic;
+          Alcotest.test_case "follower forwards" `Quick test_submit_via_follower_forwards;
+          Alcotest.test_case "many batches" `Quick test_many_batches_total_order;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "by size" `Quick test_batching_by_size;
+          Alcotest.test_case "by delay" `Quick test_batching_by_delay;
+        ] );
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "no quorum, no delivery" `Quick test_no_quorum_no_delivery;
+          Alcotest.test_case "view change on leader crash" `Quick
+            test_view_change_on_leader_crash;
+          Alcotest.test_case "committed prefix survives" `Quick
+            test_uncommitted_survive_view_change;
+          Alcotest.test_case "progress after view change" `Quick
+            test_delivery_after_view_change_continues;
+        ] );
+      ( "checkpointing",
+        [
+          Alcotest.test_case "truncation bounds the log" `Quick
+            test_log_truncation_bounds_memory;
+          Alcotest.test_case "view change after truncation" `Quick
+            test_view_change_after_truncation;
+          Alcotest.test_case "gap recovery via log transfer" `Quick
+            test_gap_recovery_via_log_transfer;
+        ] );
+      ( "five-replicas",
+        [
+          Alcotest.test_case "two crashes tolerated" `Quick
+            test_five_replicas_two_crashes;
+          Alcotest.test_case "three crashes stop progress" `Quick
+            test_five_replicas_three_crashes_no_progress;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_total_order;
+          QCheck_alcotest.to_alcotest prop_safety_under_leader_crash;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Tests for the early (queue-dispatch) scheduler: the related-work baseline
+   architecture where scheduling decisions happen at delivery time. *)
+
+module RP = Psmr_platform.Real_platform
+
+module Rw = struct
+  type t = { idx : int; write : bool }
+
+  let is_write c = c.write
+  let pp ppf c = Format.fprintf ppf "%s%d" (if c.write then "w" else "r") c.idx
+end
+
+module E = Psmr_sched.Early.Make (RP) (Rw)
+
+let test_reads_parallel_writes_exclusive () =
+  let inside = Atomic.make 0 in
+  let write_overlap = Atomic.make false in
+  let peak_reads = Atomic.make 0 in
+  let execute (c : Rw.t) =
+    let now_inside = 1 + Atomic.fetch_and_add inside 1 in
+    if c.write && now_inside > 1 then Atomic.set write_overlap true;
+    if not c.write then begin
+      let rec bump () =
+        let cur = Atomic.get peak_reads in
+        if now_inside > cur && not (Atomic.compare_and_set peak_reads cur now_inside)
+        then bump ()
+      in
+      bump ()
+    end;
+    Thread.yield ();
+    Atomic.decr inside
+  in
+  let sched = E.start ~workers:4 ~execute () in
+  let rng = Psmr_util.Rng.create ~seed:31L in
+  for i = 0 to 999 do
+    E.submit sched { Rw.idx = i; write = Psmr_util.Rng.below_percent rng 10.0 }
+  done;
+  E.shutdown sched;
+  Alcotest.(check int) "all executed" 1000 (E.executed sched);
+  Alcotest.(check bool) "writes ran alone" false (Atomic.get write_overlap)
+
+let test_equivalent_to_sequential () =
+  (* Execute a real linked-list workload and compare responses with
+     sequential delivery-order execution (same check as for the COS). *)
+  let commands = 1500 in
+  let rng = Psmr_util.Rng.create ~seed:32L in
+  let cmds =
+    Array.init commands (fun i ->
+        let target = Psmr_util.Rng.int rng 200 in
+        ( i,
+          if Psmr_util.Rng.below_percent rng 25.0 then
+            Psmr_app.Linked_list.Add target
+          else Psmr_app.Linked_list.Contains target ))
+  in
+  let ref_list = Psmr_app.Linked_list.create ~initial_size:100 in
+  let expected =
+    Array.map (fun (_, c) -> Psmr_app.Linked_list.execute ref_list c) cmds
+  in
+  let par_list = Psmr_app.Linked_list.create ~initial_size:100 in
+  let responses = Array.make commands None in
+  let execute (c : Rw.t) =
+    let _, real = cmds.(c.Rw.idx) in
+    responses.(c.Rw.idx) <- Some (Psmr_app.Linked_list.execute par_list real)
+  in
+  let sched = E.start ~workers:6 ~execute () in
+  Array.iter
+    (fun (i, c) ->
+      E.submit sched { Rw.idx = i; write = Psmr_app.Linked_list.is_write c })
+    cmds;
+  E.shutdown sched;
+  Array.iteri
+    (fun i exp ->
+      match responses.(i) with
+      | Some got when got = exp -> ()
+      | Some got -> Alcotest.failf "response %d: expected %b got %b" i exp got
+      | None -> Alcotest.failf "missing response %d" i)
+    expected;
+  Alcotest.(check int) "final size" (Psmr_app.Linked_list.size ref_list)
+    (Psmr_app.Linked_list.size par_list)
+
+let test_single_worker_sequential () =
+  let order = ref [] in
+  let execute (c : Rw.t) = order := c.Rw.idx :: !order in
+  let sched = E.start ~workers:1 ~execute () in
+  for i = 0 to 49 do
+    E.submit sched { Rw.idx = i; write = i mod 3 = 0 }
+  done;
+  E.shutdown sched;
+  Alcotest.(check (list int)) "delivery order" (List.init 50 Fun.id)
+    (List.rev !order)
+
+let test_all_writes_totally_ordered () =
+  let last = Atomic.make (-1) in
+  let ok = Atomic.make true in
+  let execute (c : Rw.t) =
+    if Atomic.exchange last c.Rw.idx >= c.Rw.idx then Atomic.set ok false
+  in
+  let sched = E.start ~workers:8 ~execute () in
+  for i = 0 to 299 do
+    E.submit sched { Rw.idx = i; write = true }
+  done;
+  E.shutdown sched;
+  Alcotest.(check bool) "monotone execution order" true (Atomic.get ok)
+
+let test_on_sim_deterministic () =
+  let open Psmr_sim in
+  let run () =
+    let e = Engine.create () in
+    let (module SP) = Sim_platform.make e Costs.default in
+    let module SE = Psmr_sched.Early.Make (SP) (Rw) in
+    let executed_at = ref 0.0 in
+    Engine.spawn e (fun () ->
+        let sched = SE.start ~workers:8 ~execute:(fun _ -> SP.sleep 1e-5) () in
+        let rng = Psmr_util.Rng.create ~seed:33L in
+        for i = 0 to 499 do
+          SE.submit sched
+            { Rw.idx = i; write = Psmr_util.Rng.below_percent rng 15.0 }
+        done;
+        SE.shutdown sched;
+        executed_at := SP.now ());
+    Engine.run e;
+    !executed_at
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "ran" true (a > 0.0);
+  Alcotest.(check (float 0.0)) "deterministic" a b
+
+let () =
+  Alcotest.run "early-scheduler"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "reads parallel, writes exclusive" `Quick
+            test_reads_parallel_writes_exclusive;
+          Alcotest.test_case "equivalent to sequential" `Quick
+            test_equivalent_to_sequential;
+          Alcotest.test_case "single worker sequential" `Quick
+            test_single_worker_sequential;
+          Alcotest.test_case "writes totally ordered" `Quick
+            test_all_writes_totally_ordered;
+        ] );
+      ( "sim",
+        [ Alcotest.test_case "deterministic" `Quick test_on_sim_deterministic ]
+      );
+    ]

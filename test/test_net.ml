@@ -1,0 +1,163 @@
+(* Tests for the in-process network substrate, on real threads and on the
+   simulator. *)
+
+module RP = Psmr_platform.Real_platform
+module Net = Psmr_net.Network.Make (RP)
+
+let test_send_recv () =
+  let n = Net.create ~nodes:2 () in
+  Net.send n ~src:0 ~dst:1 "hello";
+  (match Net.recv n 1 with
+  | Some { src; dst; payload } ->
+      Alcotest.(check int) "src" 0 src;
+      Alcotest.(check int) "dst" 1 dst;
+      Alcotest.(check string) "payload" "hello" payload
+  | None -> Alcotest.fail "no message");
+  Net.shutdown n
+
+let test_fifo_per_link () =
+  let n = Net.create ~nodes:2 () in
+  for i = 0 to 99 do
+    Net.send n ~src:0 ~dst:1 i
+  done;
+  for i = 0 to 99 do
+    match Net.recv n 1 with
+    | Some { payload; _ } -> Alcotest.(check int) "in order" i payload
+    | None -> Alcotest.fail "missing"
+  done;
+  Net.shutdown n
+
+let test_crash_drops () =
+  let n = Net.create ~nodes:3 () in
+  Net.crash n 1;
+  Alcotest.(check bool) "crashed" true (Net.is_crashed n 1);
+  Net.send n ~src:0 ~dst:1 "lost";
+  Net.send n ~src:1 ~dst:2 "lost too";
+  Alcotest.(check bool) "from crashed: dropped" true (Net.try_recv n 2 = None);
+  Alcotest.(check bool) "recv on crashed returns None" true
+    (Net.recv n 1 = None);
+  Net.shutdown n
+
+let test_partition () =
+  let n = Net.create ~nodes:2 () in
+  Net.set_link_filter n (fun ~src ~dst -> not (src = 0 && dst = 1));
+  Net.send n ~src:0 ~dst:1 "blocked";
+  Alcotest.(check bool) "dropped by partition" true (Net.try_recv n 1 = None);
+  Net.heal n;
+  Net.send n ~src:0 ~dst:1 "through";
+  Alcotest.(check bool) "delivered after heal" true
+    (match Net.try_recv n 1 with Some { payload = "through"; _ } -> true | _ -> false);
+  Net.shutdown n
+
+let test_blocking_recv_across_threads () =
+  let n = Net.create ~nodes:2 () in
+  let got = Atomic.make None in
+  let th =
+    Thread.create (fun () -> Atomic.set got (Net.recv n 1)) ()
+  in
+  Thread.delay 0.02;
+  Net.send n ~src:0 ~dst:1 "wake";
+  Thread.join th;
+  (match Atomic.get got with
+  | Some { payload = "wake"; _ } -> ()
+  | Some _ | None -> Alcotest.fail "wrong message");
+  Net.shutdown n
+
+let test_stats () =
+  let n = Net.create ~nodes:2 () in
+  Net.send n ~src:0 ~dst:1 "x";
+  Net.send n ~src:1 ~dst:0 "y";
+  let sent, delivered = Net.stats n in
+  Alcotest.(check int) "sent" 2 sent;
+  Alcotest.(check int) "delivered" 2 delivered;
+  Net.shutdown n
+
+let test_out_of_range () =
+  let n = Net.create ~nodes:2 () in
+  Alcotest.check_raises "bad address"
+    (Invalid_argument "Network: address 5 out of range") (fun () ->
+      Net.send n ~src:0 ~dst:5 "x");
+  Net.shutdown n
+
+(* --- latency on the simulator --- *)
+
+let test_sim_latency () =
+  let open Psmr_sim in
+  let e = Engine.create () in
+  let (module SP) = Sim_platform.make e Costs.zero in
+  let module SNet = Psmr_net.Network.Make (SP) in
+  let n = SNet.create ~latency:(fun ~src:_ ~dst:_ -> 0.005) ~nodes:2 () in
+  let arrival = ref 0.0 in
+  Engine.spawn e (fun () ->
+      match SNet.recv n 1 with
+      | Some { payload = "delayed"; _ } -> arrival := Engine.now e
+      | Some _ | None -> failwith "wrong message");
+  Engine.spawn e (fun () ->
+      Engine.delay 0.001;
+      SNet.send n ~src:0 ~dst:1 "delayed");
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "arrives after latency" 0.006 !arrival
+
+let test_sim_latency_preserves_order () =
+  (* Equal per-link latency keeps FIFO even through the timer path. *)
+  let open Psmr_sim in
+  let e = Engine.create () in
+  let (module SP) = Sim_platform.make e Costs.zero in
+  let module SNet = Psmr_net.Network.Make (SP) in
+  let n = SNet.create ~latency:(fun ~src:_ ~dst:_ -> 0.001) ~nodes:2 () in
+  let received = ref [] in
+  Engine.spawn e (fun () ->
+      let rec loop k =
+        if k < 50 then
+          match SNet.recv n 1 with
+          | Some { payload; _ } ->
+              received := payload :: !received;
+              loop (k + 1)
+          | None -> ()
+      in
+      loop 0);
+  Engine.spawn e (fun () ->
+      for i = 0 to 49 do
+        SNet.send n ~src:0 ~dst:1 i
+      done);
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo through timers" (List.init 50 Fun.id)
+    (List.rev !received)
+
+let test_crash_in_flight () =
+  (* A message already in flight is not delivered to a crashed destination. *)
+  let open Psmr_sim in
+  let e = Engine.create () in
+  let (module SP) = Sim_platform.make e Costs.zero in
+  let module SNet = Psmr_net.Network.Make (SP) in
+  let n = SNet.create ~latency:(fun ~src:_ ~dst:_ -> 0.010) ~nodes:2 () in
+  Engine.spawn e (fun () -> SNet.send n ~src:0 ~dst:1 "in-flight");
+  Engine.spawn e ~delay:0.001 (fun () -> SNet.crash n 1);
+  Engine.run e;
+  let _, delivered = SNet.stats n in
+  Alcotest.(check int) "dropped at delivery time" 0 delivered
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "send/recv" `Quick test_send_recv;
+          Alcotest.test_case "fifo per link" `Quick test_fifo_per_link;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "address range" `Quick test_out_of_range;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash drops" `Quick test_crash_drops;
+          Alcotest.test_case "partition" `Quick test_partition;
+        ] );
+      ( "threads",
+        [ Alcotest.test_case "blocking recv" `Quick test_blocking_recv_across_threads ] );
+      ( "sim",
+        [
+          Alcotest.test_case "latency" `Quick test_sim_latency;
+          Alcotest.test_case "latency keeps fifo" `Quick test_sim_latency_preserves_order;
+          Alcotest.test_case "crash in flight" `Quick test_crash_in_flight;
+        ] );
+    ]

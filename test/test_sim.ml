@@ -1,0 +1,309 @@
+(* Tests for the discrete-event engine and its synchronization primitives. *)
+
+open Psmr_sim
+
+let test_delay_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      Engine.delay 2.0;
+      log := ("b", Engine.now e) :: !log);
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      log := ("a", Engine.now e) :: !log);
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "events in time order"
+    [ ("a", 1.0); ("b", 2.0) ]
+    (List.rev !log)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.spawn e (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo at equal time" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.spawn e (fun () ->
+      let rec tick () =
+        incr hits;
+        Engine.delay 1.0;
+        tick ()
+      in
+      tick ());
+  Engine.run ~until:10.5 e;
+  Alcotest.(check int) "ticks before cutoff" 11 !hits;
+  Alcotest.(check (float 1e-9)) "clock at limit" 10.5 (Engine.now e)
+
+let test_suspend_resume () =
+  let e = Engine.create () in
+  let resume_ref = ref (fun () -> ()) in
+  let state = ref "init" in
+  Engine.spawn e (fun () ->
+      Engine.suspend (fun resume -> resume_ref := resume);
+      state := "resumed");
+  Engine.spawn e ~delay:5.0 (fun () -> !resume_ref ());
+  Engine.run e;
+  Alcotest.(check string) "resumed" "resumed" !state
+
+let test_exception_propagates () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () -> failwith "boom");
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () -> Engine.run e)
+
+let test_nested_spawn () =
+  let e = Engine.create () in
+  let total = ref 0 in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 3 do
+        Engine.spawn e (fun () ->
+            Engine.delay 0.5;
+            incr total)
+      done);
+  Engine.run e;
+  Alcotest.(check int) "children ran" 3 !total
+
+let test_events_counted () =
+  let e = Engine.create () in
+  for _ = 1 to 5 do
+    Engine.spawn e (fun () -> Engine.delay 0.1)
+  done;
+  Engine.run e;
+  (* Each process costs at least two events: start and post-delay resume. *)
+  Alcotest.(check bool) "counted" true (Engine.events_executed e >= 10)
+
+let test_negative_delay_clamped () =
+  let e = Engine.create () in
+  let at = ref (-1.0) in
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      Engine.schedule e ~delay:(-5.0) (fun () -> at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "clamped to now" 1.0 !at
+
+let test_suspended_forever_is_fine () =
+  (* A process parked without a resume simply never runs again; the engine
+     still terminates when the queue drains — the normal fate of an idle
+     worker at the end of an experiment. *)
+  let e = Engine.create () in
+  let after_park = ref false in
+  Engine.spawn e (fun () ->
+      Engine.suspend (fun _resume -> ());
+      after_park := true);
+  Engine.spawn e (fun () -> Engine.delay 1.0);
+  Engine.run e;
+  Alcotest.(check bool) "never resumed" false !after_park;
+  Alcotest.(check (float 1e-9)) "time advanced past it" 1.0 (Engine.now e)
+
+(* --- simulated synchronization --- *)
+
+let costs = Costs.zero
+
+let test_mutex_exclusion () =
+  let e = Engine.create () in
+  let m = Sim_sync.Mutex.create { costs with mutex_lock = 0.001 } in
+  let inside = ref 0 and max_inside = ref 0 and done_count = ref 0 in
+  for _ = 1 to 10 do
+    Engine.spawn e (fun () ->
+        Sim_sync.Mutex.lock m;
+        incr inside;
+        if !inside > !max_inside then max_inside := !inside;
+        Engine.delay 0.01;
+        decr inside;
+        Sim_sync.Mutex.unlock m;
+        incr done_count)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all finished" 10 !done_count;
+  Alcotest.(check int) "mutual exclusion" 1 !max_inside
+
+let test_mutex_fifo_handoff () =
+  let e = Engine.create () in
+  let m = Sim_sync.Mutex.create costs in
+  let order = ref [] in
+  Engine.spawn e (fun () ->
+      Sim_sync.Mutex.lock m;
+      Engine.delay 1.0;
+      Sim_sync.Mutex.unlock m);
+  for i = 1 to 3 do
+    Engine.spawn e ~delay:(0.1 *. float_of_int i) (fun () ->
+        Sim_sync.Mutex.lock m;
+        order := i :: !order;
+        Sim_sync.Mutex.unlock m)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_semaphore_counting () =
+  let e = Engine.create () in
+  let s = Sim_sync.Semaphore.create costs 2 in
+  let concurrent = ref 0 and peak = ref 0 in
+  for _ = 1 to 6 do
+    Engine.spawn e (fun () ->
+        Sim_sync.Semaphore.acquire s;
+        incr concurrent;
+        if !concurrent > !peak then peak := !concurrent;
+        Engine.delay 1.0;
+        decr concurrent;
+        Sim_sync.Semaphore.release s)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "at most 2 inside" 2 !peak
+
+let test_semaphore_release_n () =
+  let e = Engine.create () in
+  let s = Sim_sync.Semaphore.create costs 0 in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Sim_sync.Semaphore.acquire s;
+        incr woken)
+  done;
+  Engine.spawn e ~delay:1.0 (fun () -> Sim_sync.Semaphore.release ~n:3 s);
+  Engine.run e;
+  Alcotest.(check int) "all three woken" 3 !woken
+
+let test_condition_signal_broadcast () =
+  let e = Engine.create () in
+  let m = Sim_sync.Mutex.create costs in
+  let c = Sim_sync.Condition.create costs in
+  let ready = ref false and woken = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn e (fun () ->
+        Sim_sync.Mutex.lock m;
+        while not !ready do
+          Sim_sync.Condition.wait c m
+        done;
+        incr woken;
+        Sim_sync.Mutex.unlock m)
+  done;
+  Engine.spawn e ~delay:1.0 (fun () ->
+      Sim_sync.Mutex.lock m;
+      ready := true;
+      Sim_sync.Condition.broadcast c;
+      Sim_sync.Mutex.unlock m);
+  Engine.run e;
+  Alcotest.(check int) "broadcast wakes all" 4 !woken
+
+let test_cpu_capacity () =
+  let e = Engine.create () in
+  let cpu = Sim_sync.Cpu.create ~cores:4 in
+  let t_done = ref 0.0 in
+  let finished = ref 0 in
+  for _ = 1 to 8 do
+    Engine.spawn e (fun () ->
+        Sim_sync.Cpu.use cpu 1.0;
+        incr finished;
+        t_done := Engine.now e)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all ran" 8 !finished;
+  (* 8 unit-length jobs on 4 cores need 2 time units. *)
+  Alcotest.(check (float 1e-9)) "makespan" 2.0 !t_done
+
+let test_costs_advance_clock () =
+  let e = Engine.create () in
+  let m = Sim_sync.Mutex.create { costs with mutex_lock = 0.25; mutex_unlock = 0.25 } in
+  Engine.spawn e (fun () ->
+      Sim_sync.Mutex.lock m;
+      Sim_sync.Mutex.unlock m);
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "lock+unlock cost" 0.5 (Engine.now e)
+
+let test_wakeup_cost () =
+  let e = Engine.create () in
+  let m = Sim_sync.Mutex.create { costs with wakeup = 1.0 } in
+  let t_second = ref 0.0 in
+  Engine.spawn e (fun () ->
+      Sim_sync.Mutex.lock m;
+      Engine.delay 2.0;
+      Sim_sync.Mutex.unlock m);
+  Engine.spawn e ~delay:0.5 (fun () ->
+      Sim_sync.Mutex.lock m;
+      t_second := Engine.now e;
+      Sim_sync.Mutex.unlock m);
+  Engine.run e;
+  (* Unlock at t=2, plus wakeup latency 1.0. *)
+  Alcotest.(check (float 1e-9)) "wakeup charged" 3.0 !t_second
+
+(* --- the platform packaging --- *)
+
+let test_platform_atomics () =
+  let e = Engine.create () in
+  let (module P) = Sim_platform.make e Costs.default in
+  let ok = ref false in
+  Engine.spawn e (fun () ->
+      let a = P.Atomic.make 0 in
+      ignore (P.Atomic.fetch_and_add a 5 : int);
+      let swapped = P.Atomic.compare_and_set a 5 9 in
+      let old = P.Atomic.exchange a 1 in
+      ok := swapped && old = 9 && P.Atomic.get a = 1);
+  Engine.run e;
+  Alcotest.(check bool) "atomic ops" true !ok
+
+let test_platform_after () =
+  let e = Engine.create () in
+  let (module P) = Sim_platform.make e Costs.zero in
+  let fired_at = ref 0.0 in
+  Engine.spawn e (fun () -> P.after 3.0 (fun () -> fired_at := P.now ()));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "after fires at delay" 3.0 !fired_at
+
+let test_determinism () =
+  let run_once () =
+    let e = Engine.create () in
+    let (module P) = Sim_platform.make e Costs.default in
+    let trace = Buffer.create 64 in
+    Engine.spawn e (fun () ->
+        let m = P.Mutex.create () in
+        for i = 1 to 5 do
+          P.spawn (fun () ->
+              P.Mutex.lock m;
+              P.sleep 0.001;
+              Buffer.add_string trace (Printf.sprintf "%d@%.6f;" i (P.now ()));
+              P.Mutex.unlock m)
+        done);
+    Engine.run e;
+    (Buffer.contents trace, Engine.now e)
+  in
+  let a = run_once () and b = run_once () in
+  Alcotest.(check (pair string (float 0.0))) "identical runs" a b
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "delay ordering" `Quick test_delay_ordering;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+          Alcotest.test_case "events counted" `Quick test_events_counted;
+          Alcotest.test_case "negative delay clamped" `Quick test_negative_delay_clamped;
+          Alcotest.test_case "parked forever" `Quick test_suspended_forever_is_fine;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "mutex exclusion" `Quick test_mutex_exclusion;
+          Alcotest.test_case "mutex fifo handoff" `Quick test_mutex_fifo_handoff;
+          Alcotest.test_case "semaphore counting" `Quick test_semaphore_counting;
+          Alcotest.test_case "semaphore release n" `Quick test_semaphore_release_n;
+          Alcotest.test_case "condition broadcast" `Quick test_condition_signal_broadcast;
+          Alcotest.test_case "cpu capacity" `Quick test_cpu_capacity;
+          Alcotest.test_case "costs advance clock" `Quick test_costs_advance_clock;
+          Alcotest.test_case "wakeup cost" `Quick test_wakeup_cost;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "atomics" `Quick test_platform_atomics;
+          Alcotest.test_case "after" `Quick test_platform_after;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+    ]
