@@ -1,0 +1,222 @@
+(* Model-checking driver for the COS implementations.
+
+   Examples:
+     psmr-check --impl lockfree --schedules 5000 --seed 42
+     psmr-check --impl coarse --dfs --commands 4 --workers 2
+     psmr-check --impl broken-wtg-start --schedules 2000 --stop-on-first
+     psmr-check --impl lockfree --replay 1234567890 --commands 6
+
+   Exit status: 0 when every explored schedule is clean, 1 when an oracle
+   reported a violation, 2 on usage errors. *)
+
+open Cmdliner
+module Check = Psmr_checker
+
+let target_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "broken-wtg-start" | "wtg-start" ->
+        Ok
+          (Check.Cos_check.Custom
+             ("broken-wtg-start", (module Check.Broken.Wtg_start)))
+    | "broken-lost-signal" | "lost-signal" ->
+        Ok
+          (Check.Cos_check.Custom
+             ("broken-lost-signal", (module Check.Broken.Lost_signal)))
+    | s -> (
+        match Psmr_cos.Registry.of_string s with
+        | Some i -> Ok (Check.Cos_check.Impl i)
+        | None -> Error (`Msg (Printf.sprintf "unknown implementation %S" s)))
+  in
+  let print ppf t = Format.pp_print_string ppf (Check.Cos_check.target_name t) in
+  Arg.conv (parse, print)
+
+let impl_arg =
+  Arg.(
+    value
+    & opt target_conv (Check.Cos_check.Impl Psmr_cos.Registry.Lockfree)
+    & info [ "impl" ] ~docv:"IMPL"
+        ~doc:
+          "Implementation to check: coarse, fine, lockfree, striped[-K], \
+           fifo, or a planted-bug variant (broken-wtg-start, \
+           broken-lost-signal).")
+
+let workers_arg =
+  Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N" ~doc:"Worker processes.")
+
+let commands_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "commands" ] ~docv:"N" ~doc:"Commands the inserter delivers.")
+
+let writes_arg =
+  Arg.(
+    value & opt float 40.0
+    & info [ "writes" ] ~docv:"PCT" ~doc:"Write percentage of the workload.")
+
+let max_size_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-size" ] ~docv:"N" ~doc:"COS capacity bound (small values \
+        exercise the full-structure path).")
+
+let no_drain_arg =
+  Arg.(
+    value & flag
+    & info [ "no-drain" ]
+        ~doc:
+          "Close without waiting for execution to finish, racing close \
+           against the workers.")
+
+let workload_seed_arg =
+  Arg.(
+    value & opt int64 1L
+    & info [ "workload-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the command sequence (independent of the schedule seed).")
+
+let seed_arg =
+  Arg.(
+    value & opt int64 42L
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Base seed for random-walk exploration; run $(i,i) uses a seed \
+          derived from it, so one value reproduces the whole batch.")
+
+let schedules_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "schedules" ] ~docv:"N" ~doc:"Random-walk schedules to explore.")
+
+let dfs_arg =
+  Arg.(
+    value & flag
+    & info [ "dfs" ]
+        ~doc:
+          "Exhaustive preemption-bounded DFS instead of random walk (use \
+           small scenarios).")
+
+let bound_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "preemption-bound" ] ~docv:"K" ~doc:"DFS preemption budget.")
+
+let max_schedules_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "max-schedules" ] ~docv:"N" ~doc:"DFS schedule cap.")
+
+let max_steps_arg =
+  Arg.(
+    value & opt int 50_000
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:"Decision points per schedule before the run is truncated.")
+
+let time_box_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-box" ] ~docv:"SEC"
+        ~doc:"Stop exploring after $(docv) seconds of CPU time.")
+
+let stop_on_first_arg =
+  Arg.(
+    value & flag
+    & info [ "stop-on-first" ] ~doc:"Stop at the first failing schedule.")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "replay" ] ~docv:"SEED"
+        ~doc:
+          "Replay the single schedule of $(docv) (a derived seed printed \
+           for a failure) and dump its operation trace.")
+
+let print_failure sc (f : Check.Explore.failure) =
+  Printf.printf "  schedule %d%s: %d decision points\n" f.schedule
+    (match f.seed with
+    | Some s -> Printf.sprintf " (replay seed %Ld)" s
+    | None -> "")
+    (Array.length f.choices);
+  List.iter (fun v -> Printf.printf "    %s\n" v) f.violations;
+  match f.seed with
+  | Some s ->
+      Printf.printf "    replay: psmr-check --impl %s --replay %Ld%s\n"
+        (Check.Cos_check.target_name sc.Check.Cos_check.target)
+        s
+        (if sc.Check.Cos_check.drain_before_close then "" else " --no-drain")
+  | None -> ()
+
+let run target workers commands writes max_size no_drain workload_seed seed
+    schedules dfs bound max_schedules max_steps time_box stop_on_first replay =
+  let sc =
+    Check.Cos_check.scenario ~target ~workers ~commands ~write_pct:writes
+      ~max_size ~drain_before_close:(not no_drain) ~workload_seed ()
+  in
+  match replay with
+  | Some s ->
+      let o = Check.Explore.replay ~max_steps sc ~seed:s in
+      Printf.printf "replaying seed %Ld on %s: %d decision points%s\n" s
+        (Check.Cos_check.target_name target)
+        o.decisions
+        (if o.truncated then " (truncated)" else "");
+      List.iter
+        (fun (p, op) -> Printf.printf "  p%-2d %s\n" p op)
+        o.oplog;
+      if o.violations = [] then print_endline "clean: no violations"
+      else begin
+        print_endline "violations:";
+        List.iter (fun v -> Printf.printf "  %s\n" v) o.violations;
+        exit 1
+      end
+  | None ->
+      let deadline =
+        match time_box with
+        | None -> None
+        | Some tb ->
+            let t0 = Sys.time () in
+            Some (fun () -> Sys.time () -. t0 > tb)
+      in
+      let r =
+        if dfs then
+          Check.Explore.dfs ?deadline ~max_steps ~max_schedules
+            ~preemption_bound:bound ~stop_on_first sc
+        else
+          Check.Explore.random_walk ?deadline ~max_steps ~stop_on_first sc
+            ~seed ~schedules
+      in
+      Printf.printf
+        "%s: %d schedules (%d distinct), %d decision points, %d truncated, \
+         %d incomplete%s\n"
+        (Check.Cos_check.target_name target)
+        r.schedules r.distinct r.decisions r.truncated r.incomplete
+        (if r.exhausted then ", bounded tree exhausted" else "");
+      if r.failures = [] then print_endline "clean: no violations"
+      else begin
+        Printf.printf "%d failing schedule(s):\n" (List.length r.failures);
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | x :: rest -> x :: take (n - 1) rest
+        in
+        List.iter (print_failure sc) (take 5 r.failures);
+        if List.length r.failures > 5 then
+          Printf.printf "  ... and %d more\n" (List.length r.failures - 5);
+        exit 1
+      end
+
+let () =
+  let info =
+    Cmd.info "psmr-check" ~version:"1.0.0"
+      ~doc:
+        "Schedule-exploring model checker for the COS implementations: \
+         linearizability, data races, invariants and deadlocks under \
+         exhaustively or randomly explored interleavings."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const run $ impl_arg $ workers_arg $ commands_arg $ writes_arg
+            $ max_size_arg $ no_drain_arg $ workload_seed_arg $ seed_arg
+            $ schedules_arg $ dfs_arg $ bound_arg $ max_schedules_arg
+            $ max_steps_arg $ time_box_arg $ stop_on_first_arg $ replay_arg)))

@@ -1,0 +1,201 @@
+(* Platform-discipline lint.
+
+   Every algorithm in this repository is a functor over [Platform_intf.S];
+   the whole point is that the same source runs on real threads, on the
+   deterministic simulator and under the model checker.  That property
+   breaks silently the moment any module reaches for the real
+   concurrency/timing primitives directly, so this lint fails the build if
+   production code (lib/ and bin/) uses them outside the one module that is
+   allowed to: lib/platform/real_platform.ml.
+
+   Checked: direct use of the stdlib Mutex/Condition/Semaphore/Atomic
+   modules and of the threads library, plus wall-clock access
+   (Unix.gettimeofday / Unix.sleepf).  Qualified platform uses such as
+   [P.Mutex.lock] or [SP.Atomic.get] do not match: a token only counts when
+   the module path starts with it.  A file that itself defines or declares
+   [module Mutex] (the platform layers do — they implement these modules)
+   shadows the stdlib one, so bare references to that name inside such a
+   file are to the local module and are not flagged; [Stdlib.Mutex]-style
+   paths are flagged regardless.  Comments and string literals are ignored.
+   Tests are not scanned — instantiating concrete platforms is their job.
+
+   Wired into [dune runtest] via the rule in the root dune file; exits 1
+   with file:line diagnostics on any hit. *)
+
+(* Assembled from pieces so this file cannot flag itself when scanned. *)
+let bare_heads =
+  List.map
+    (fun s -> s ^ ".")
+    [ "Mut" ^ "ex"; "Condi" ^ "tion"; "Thr" ^ "ead"; "Ato" ^ "mic"; "Sema" ^ "phore" ]
+
+(* [Stdlib.Mutex]-style qualified paths dodge the bare-head rule (the head
+   is preceded by a dot), so they get their own token list. *)
+let qualified =
+  List.map
+    (fun s -> "Stdlib." ^ s)
+    [ "Mut" ^ "ex"; "Condi" ^ "tion"; "Thr" ^ "ead"; "Ato" ^ "mic"; "Sema" ^ "phore" ]
+
+let wall_clock = [ "Unix." ^ "gettimeofday"; "Unix." ^ "sleepf" ]
+
+let exempt path =
+  let norm = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let suffix = "lib/platform/real_platform.ml" in
+  let n = String.length norm and s = String.length suffix in
+  n >= s && String.sub norm (n - s) s = suffix
+
+(* Blank out comments (nested) and string literals, preserving newlines so
+   reported line numbers stay correct. *)
+let strip src =
+  let b = Bytes.of_string src in
+  let n = Bytes.length b in
+  let blank i = if Bytes.get b i <> '\n' then Bytes.set b i ' ' in
+  let i = ref 0 in
+  let depth = ref 0 in
+  while !i < n do
+    let c = Bytes.get b !i in
+    if !depth > 0 then begin
+      if c = '(' && !i + 1 < n && Bytes.get b (!i + 1) = '*' then begin
+        blank !i;
+        blank (!i + 1);
+        incr depth;
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && Bytes.get b (!i + 1) = ')' then begin
+        blank !i;
+        blank (!i + 1);
+        decr depth;
+        i := !i + 2
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && Bytes.get b (!i + 1) = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      depth := 1;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let c = Bytes.get b !i in
+        if c = '\\' && !i + 1 < n then begin
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else begin
+          if c = '"' then closed := true;
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else incr i
+  done;
+  Bytes.to_string b
+
+let ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\'' || c = '.'
+
+let starts_with src i tok =
+  let n = String.length tok in
+  i + n <= String.length src && String.sub src i n = tok
+
+let line_of src i =
+  let line = ref 1 in
+  for j = 0 to i - 1 do
+    if src.[j] = '\n' then incr line
+  done;
+  !line
+
+(* Heads the file defines or declares itself ([module Mutex = ...],
+   [module Mutex : MUTEX], ...): local shadowing, so bare references are to
+   the local module. *)
+let shadowed_heads s =
+  List.filter
+    (fun tok ->
+      let head = String.sub tok 0 (String.length tok - 1) in
+      let def = "module " ^ head in
+      let n = String.length def in
+      let found = ref false in
+      String.iteri
+        (fun i _ ->
+          if
+            (not !found)
+            && starts_with s i def
+            && i + n < String.length s
+            && not (ident_char s.[i + n])
+          then found := true)
+        s;
+      !found)
+    bare_heads
+
+let scan_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let s = strip src in
+  let shadowed = shadowed_heads s in
+  let live_heads = List.filter (fun t -> not (List.mem t shadowed)) bare_heads in
+  let hits = ref [] in
+  String.iteri
+    (fun i _ ->
+      let head_ok = i = 0 || not (ident_char s.[i - 1]) in
+      if head_ok then begin
+        List.iter
+          (fun tok ->
+            if starts_with s i tok then
+              hits := (line_of s i, String.sub tok 0 (String.length tok - 1)) :: !hits)
+          live_heads;
+        List.iter
+          (fun tok -> if starts_with s i tok then hits := (line_of s i, tok) :: !hits)
+          (qualified @ wall_clock)
+      end)
+    s;
+  List.rev !hits
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then
+        if entry = "_build" || String.length entry > 0 && entry.[0] = '.' then acc
+        else walk path acc
+      else if
+        Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+      then path :: acc
+      else acc)
+    acc (Sys.readdir dir)
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib"; "bin" ] | _ :: r -> r
+  in
+  let files =
+    List.concat_map (fun r -> if Sys.file_exists r then walk r [] else []) roots
+    |> List.sort compare
+  in
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      if not (exempt path) then
+        List.iter
+          (fun (line, tok) ->
+            failed := true;
+            Printf.printf
+              "%s:%d: direct use of %s — go through the Platform_intf.S \
+               functor parameter instead\n"
+              path line tok)
+          (scan_file path))
+    files;
+  if !failed then exit 1;
+  Printf.printf "platform-discipline lint: %d files clean\n" (List.length files)

@@ -1,0 +1,74 @@
+(** COS scenario runner and oracles for the controlled scheduler: executes
+    one insert/get/remove/close scenario under a chosen schedule and checks
+    linearizability against the sequential COS specification, data-race
+    freedom, structural invariants and deadlock-freedom. *)
+
+open Psmr_cos
+
+(** Readers-writers commands (the paper's application model): writes
+    conflict with everything, reads only with writes. *)
+module Cmd : sig
+  type t = { idx : int; write : bool }
+
+  val conflict : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** What to check: a registered implementation, or a custom functor (used
+    for the deliberately broken variants). *)
+type target =
+  | Impl of Registry.impl
+  | Custom of string * (module Cos_intf.IMPL)
+
+val target_name : target -> string
+
+type scenario = {
+  target : target;
+  workers : int;
+  writes : bool array;  (** one command per entry, in delivery order *)
+  max_size : int;
+  drain_before_close : bool;
+      (** [true]: the inserter waits for all commands to execute before
+          [close] (the production shutdown protocol); [false]: [close]
+          races with the workers, exercising the close-drain path. *)
+}
+
+val scenario :
+  ?target:target ->
+  ?workers:int ->
+  ?commands:int ->
+  ?write_pct:float ->
+  ?max_size:int ->
+  ?drain_before_close:bool ->
+  workload_seed:int64 ->
+  unit ->
+  scenario
+(** Build a scenario with a pseudo-random command sequence; the workload is
+    fully determined by [workload_seed] and independent of the schedule
+    exploration seed.  Defaults: lock-free target, 3 workers, 10 commands,
+    40% writes, [max_size] 8, drain before close. *)
+
+type outcome = {
+  completed : bool;  (** every process ran to completion *)
+  violations : string list;  (** what the oracles found ([[]] = clean) *)
+  decisions : int;
+  truncated : bool;  (** cut off at [max_steps] decision points *)
+  choices : int array;  (** chosen process id at every decision point *)
+  trace_hash : int64;  (** hash of [choices]: schedule identity *)
+  oplog : (int * string) list;  (** per-step (pid, op) log when [trace] *)
+}
+
+exception Truncated
+(** Raised internally by the step bound; escapes only through a picker that
+    deliberately re-raises it. *)
+
+val run_schedule :
+  ?max_steps:int ->
+  ?trace:bool ->
+  scenario ->
+  pick:(last:int -> int array -> int) ->
+  outcome
+(** Run the scenario once on a fresh engine + check platform under [pick]
+    (see [Strategy]) and apply all oracles.  [max_steps] (default 50_000)
+    bounds the decision points so that strategies which starve a polling
+    loop cannot hang the run. *)

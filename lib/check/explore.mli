@@ -1,0 +1,52 @@
+(** Exploration drivers: run a scenario under many schedules and aggregate
+    oracle reports.  See [Strategy] for the two exploration strategies. *)
+
+type failure = {
+  schedule : int;  (** 0-based index of the failing run *)
+  seed : int64 option;  (** exact replay seed (random walk only) *)
+  violations : string list;
+  choices : int array;  (** the schedule itself: chosen pid per decision *)
+}
+
+type report = {
+  schedules : int;  (** runs executed *)
+  distinct : int;  (** distinct schedules (by choice-sequence hash) *)
+  decisions : int;  (** total decision points across all runs *)
+  truncated : int;  (** runs cut off at the step bound *)
+  incomplete : int;  (** non-truncated runs that did not finish cleanly *)
+  exhausted : bool;  (** DFS only: the bounded tree was fully explored *)
+  failures : failure list;
+}
+
+val derive_seed : int64 -> int -> int64
+(** [derive_seed base i] is the seed of random-walk run [i] under base seed
+    [base] (splitmix64 mixing); exposed so failures can be replayed. *)
+
+val random_walk :
+  ?deadline:(unit -> bool) ->
+  ?max_steps:int ->
+  ?stop_on_first:bool ->
+  Cos_check.scenario ->
+  seed:int64 ->
+  schedules:int ->
+  report
+(** Run [schedules] seeded random walks.  [deadline] is polled before each
+    run; return [true] to stop early (used for time-boxed CI smoke).
+    [stop_on_first] stops at the first failing schedule. *)
+
+val dfs :
+  ?deadline:(unit -> bool) ->
+  ?max_steps:int ->
+  ?max_schedules:int ->
+  ?preemption_bound:int ->
+  ?stop_on_first:bool ->
+  Cos_check.scenario ->
+  report
+(** Systematically enumerate the preemption-bounded schedule tree (bound
+    default 2, see [Strategy.Dfs]), up to [max_schedules] (default
+    100_000) runs.  [exhausted] in the report means full coverage of the
+    bounded tree. *)
+
+val replay : ?max_steps:int -> ?trace:bool -> Cos_check.scenario -> seed:int64 -> Cos_check.outcome
+(** Re-run the single schedule determined by [seed] (as reported in a
+    {!failure}), with per-step operation tracing on by default. *)

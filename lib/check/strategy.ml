@@ -1,0 +1,122 @@
+(** Schedule-exploration strategies for the controlled scheduler.
+
+    A strategy is consulted at every decision point of a run: it is shown
+    the tags (process ids) of every runnable continuation, plus the tag
+    that ran last, and picks which process takes the next step.  Two
+    strategies are provided:
+
+    - {!Random_walk}: uniform seeded choice.  Cheap, unbiased, covers large
+      scenarios; the seed fully determines the schedule, so any failing
+      schedule replays exactly from its seed.
+    - {!Dfs}: exhaustive depth-first enumeration of the schedule tree with
+      a {e preemption bound}: continuing the process that ran last (or any
+      process when the last one is blocked or done) is free, while
+      switching away from a still-runnable process costs one unit of a
+      fixed budget.  Small budgets (1–2) are known to expose most
+      interleaving bugs while keeping the tree tractable. *)
+
+module Random_walk = struct
+  type t = { rng : Psmr_util.Rng.t }
+
+  let create ~seed = { rng = Psmr_util.Rng.create ~seed }
+
+  let pick t ~last:_ (tags : int array) =
+    Psmr_util.Rng.int t.rng (Array.length tags)
+end
+
+module Dfs = struct
+  type frame = {
+    n : int;  (* number of candidates at this decision point *)
+    default : int;  (* index explored first: the last-run process if runnable *)
+    last_present : bool;  (* the last-run process was among the candidates *)
+    chosen : int;
+    preemptions_before : int;  (* preemptions spent strictly above this frame *)
+  }
+
+  type t = {
+    bound : int;
+    mutable forced : int array;  (* replayed choice prefix for the next run *)
+    mutable trace : frame list;  (* current run's frames, deepest first *)
+    mutable depth : int;
+  }
+
+  let create ?(preemption_bound = 2) () =
+    if preemption_bound < 0 then
+      invalid_arg "Dfs.create: negative preemption bound";
+    { bound = preemption_bound; forced = [||]; trace = []; depth = 0 }
+
+  let index_of tag tags =
+    let found = ref None in
+    Array.iteri (fun i t -> if !found = None && t = tag then found := Some i) tags;
+    !found
+
+  let pick d ~last (tags : int array) =
+    let n = Array.length tags in
+    let last_idx = index_of last tags in
+    let default = match last_idx with Some i -> i | None -> 0 in
+    let preemptions_before =
+      match d.trace with
+      | [] -> 0
+      | f :: _ ->
+          f.preemptions_before
+          + (if f.last_present && f.chosen <> f.default then 1 else 0)
+    in
+    let chosen =
+      if d.depth < Array.length d.forced then
+        let c = d.forced.(d.depth) in
+        if c < n then c else default
+      else default
+    in
+    d.trace <-
+      {
+        n;
+        default;
+        last_present = last_idx <> None;
+        chosen;
+        preemptions_before;
+      }
+      :: d.trace;
+    d.depth <- d.depth + 1;
+    chosen
+
+  (* Advance to the next unexplored schedule: starting from the deepest
+     decision point of the last run, look for an untried alternative that
+     stays within the preemption budget; everything below the changed point
+     reverts to default choices.  Returns [false] once the bounded tree is
+     exhausted. *)
+  let next d =
+    let frames = Array.of_list (List.rev d.trace) in
+    let rec try_frame i =
+      if i < 0 then false
+      else begin
+        let f = frames.(i) in
+        let order =
+          f.default :: List.filter (fun j -> j <> f.default) (List.init f.n Fun.id)
+        in
+        let rec after = function
+          | [] -> []
+          | c :: rest -> if c = f.chosen then rest else after rest
+        in
+        let cost c = if f.last_present && c <> f.default then 1 else 0 in
+        match
+          List.find_opt
+            (fun c -> f.preemptions_before + cost c <= d.bound)
+            (after order)
+        with
+        | Some c ->
+            d.forced <-
+              Array.init (i + 1) (fun j ->
+                  if j = i then c else frames.(j).chosen);
+            d.trace <- [];
+            d.depth <- 0;
+            true
+        | None -> try_frame (i - 1)
+      end
+    in
+    let advanced = try_frame (Array.length frames - 1) in
+    if not advanced then begin
+      d.trace <- [];
+      d.depth <- 0
+    end;
+    advanced
+end

@@ -1,0 +1,36 @@
+(** Schedule-exploration strategies for the controlled scheduler.
+
+    At every decision point a strategy is shown the tags (process ids) of
+    all runnable continuations, in FIFO order, together with the tag that
+    ran last, and returns the index of the process that takes the next
+    step. *)
+
+(** Seeded uniform random walk.  The seed fully determines every choice,
+    so a failing schedule replays exactly from its seed. *)
+module Random_walk : sig
+  type t
+
+  val create : seed:int64 -> t
+  val pick : t -> last:int -> int array -> int
+end
+
+(** Exhaustive depth-first enumeration with a preemption budget: taking
+    the next step of the process that ran last (or of any process when the
+    last one is blocked or finished) is free; switching away from a
+    still-runnable process costs one unit.  Schedules that would exceed
+    the budget are pruned, which keeps the tree finite and small for small
+    scenarios while still covering the interleavings that matter (most
+    concurrency bugs need only 1–2 preemptions). *)
+module Dfs : sig
+  type t
+
+  val create : ?preemption_bound:int -> unit -> t
+  (** Default budget: 2 preemptions per schedule. *)
+
+  val pick : t -> last:int -> int array -> int
+  (** Use as the picker for one complete run, then call {!next}. *)
+
+  val next : t -> bool
+  (** Prepare the next unexplored schedule; [false] when the bounded tree
+      is exhausted (calling {!pick} afterwards restarts from the root). *)
+end

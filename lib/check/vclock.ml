@@ -1,0 +1,30 @@
+type t = { mutable v : int array }
+
+let create () = { v = [||] }
+let copy t = { v = Array.copy t.v }
+
+let ensure t n =
+  if Array.length t.v < n then begin
+    let a = Array.make n 0 in
+    Array.blit t.v 0 a 0 (Array.length t.v);
+    t.v <- a
+  end
+
+let get t i = if i >= 0 && i < Array.length t.v then t.v.(i) else 0
+
+let tick t i =
+  ensure t (i + 1);
+  t.v.(i) <- t.v.(i) + 1
+
+let join t other =
+  ensure t (Array.length other.v);
+  Array.iteri (fun i x -> if x > t.v.(i) then t.v.(i) <- x) other.v
+
+let leq a b =
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > get b i then ok := false) a.v;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.v)))

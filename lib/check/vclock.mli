@@ -1,0 +1,27 @@
+(** Vector clocks for the happens-before oracle.
+
+    A clock maps process ids (small non-negative integers, as assigned by
+    [Psmr_sim.Engine.spawn_tagged]) to event counters; arrays grow on
+    demand, and absent entries read as [0]. *)
+
+type t
+
+val create : unit -> t
+(** The zero clock. *)
+
+val copy : t -> t
+
+val get : t -> int -> int
+(** [get t pid] is [t]'s component for [pid] ([0] when never ticked). *)
+
+val tick : t -> int -> unit
+(** Advance [pid]'s own component by one. *)
+
+val join : t -> t -> unit
+(** [join t other] sets [t] to the component-wise maximum of both clocks. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff every component of [a] is [<=] the one in [b] — i.e. the
+    event stamped [a] happens-before (or equals) the one stamped [b]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -150,4 +150,57 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     let n = t.size in
     P.Mutex.unlock t.mutex;
     n
+
+  (* Lock-free, read-only structural check (see {!Cos_intf.S.invariant}).
+     Safe concurrently because every mutation of the list happens in one
+     uninterrupted block between platform operations: at any point where
+     another thread of control can observe the structure, the doubly-linked
+     list is consistent and dependency edges point strictly backwards. *)
+  let invariant ?(strict = false) t =
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    let bound = t.max_size + 2 in
+    let rec collect acc n visits =
+      if visits > bound then begin
+        err "list longer than max_size+2 (%d): cycle suspected" bound;
+        List.rev acc
+      end
+      else
+        match n with
+        | None -> List.rev acc
+        | Some n -> collect (n :: acc) n.next (visits + 1)
+    in
+    let nodes = collect [] t.first 0 in
+    (* Doubly-linked consistency. *)
+    List.iter
+      (fun n ->
+        match n.next with
+        | None -> ()
+        | Some m -> (
+            match m.prev with
+            | Some p when p == n -> ()
+            | Some _ | None -> err "next/prev mismatch"))
+      nodes;
+    (* Dependency edges point strictly backwards in delivery order — the
+       graph is acyclic by construction; verify it. *)
+    let rec check_backwards seen = function
+      | [] -> ()
+      | n :: rest ->
+          List.iter
+            (fun d ->
+              if not (List.memq d seen) then
+                err "dependency edge points forward or outside the list")
+            n.deps_on;
+          check_backwards (n :: seen) rest
+    in
+    check_backwards [] nodes;
+    if t.size < 0 then err "negative size %d" t.size;
+    if t.size > t.max_size then err "size %d exceeds max_size %d" t.size t.max_size;
+    if strict then begin
+      if List.length nodes <> t.size then
+        err "list length %d <> size %d" (List.length nodes) t.size;
+      if t.closed && t.size = 0 && t.first <> None then
+        err "closed and drained but list non-empty"
+    end;
+    List.rev !errs
 end

@@ -68,6 +68,20 @@ module type S = sig
   val pending : t -> int
   (** Number of commands currently in the structure (inserted, not yet
       removed).  Advisory under concurrency. *)
+
+  val invariant : ?strict:bool -> t -> string list
+  (** Check implementation-specific structural invariants (graph acyclicity,
+      legal node states, slot accounting, ...) and return a description of
+      every violation found ([[]] when all hold).
+
+      Contract: read-only, non-blocking and termination-bounded — it must
+      never take a lock, block on a semaphore or loop on a cell, so the
+      model checker ({!Psmr_check}) can call it between any two scheduled
+      operations.  Without [strict] only properties stable under in-flight
+      concurrent operations are checked; [~strict:true] adds exact
+      accounting checks (size counters, edge closure, drained-state
+      emptiness) that are meaningful only at quiescent points — after
+      creation, or once every outstanding operation has returned. *)
 end
 
 (** What each of the paper's algorithms provides: a COS for any platform and

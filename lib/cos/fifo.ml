@@ -73,7 +73,13 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     | Some head when head == c ->
         ignore (Queue.pop t.queue : cmd);
         t.in_flight <- false;
-        P.Condition.signal t.can_get;
+        (* When this removal drains a closed queue there will never be
+           another signal: every blocked getter must wake and observe
+           [None], not just one (found by the model checker — see
+           docs/CHECKING.md). *)
+        if t.closed && Queue.is_empty t.queue then
+          P.Condition.broadcast t.can_get
+        else P.Condition.signal t.can_get;
         P.Condition.signal t.not_full
     | Some _ | None ->
         P.Mutex.unlock t.mutex;
@@ -92,4 +98,18 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     let n = Queue.length t.queue in
     P.Mutex.unlock t.mutex;
     n
+
+  (* Read-only structural check (see {!Cos_intf.S.invariant}).  All queue
+     mutations happen in one uninterrupted block inside the monitor, so the
+     bounds below hold at any observable instant. *)
+  let invariant ?(strict = false) t =
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    let len = Queue.length t.queue in
+    if len > t.max_size then err "queue length %d exceeds max_size %d" len t.max_size;
+    if t.in_flight && len = 0 then err "in-flight command but empty queue";
+    if strict then
+      if t.closed && len = 0 && t.in_flight then
+        err "closed and drained but still in flight";
+    List.rev !errs
 end

@@ -183,4 +183,51 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     end
 
   let pending t = P.Atomic.get t.size
+
+  (* Read-only structural check (see {!Cos_intf.S.invariant}): no locks are
+     taken, so an in-flight remove may have unlinked a node that still
+     appears in some [deps_on] — edge closure is therefore a [strict]-only
+     check, valid at quiescent points. *)
+  let invariant ?(strict = false) t =
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    let cap = 1_000_000 in
+    let rec collect acc n visits =
+      if visits > cap then begin
+        err "traversal exceeded %d nodes: cycle suspected" cap;
+        List.rev acc
+      end
+      else
+        match n with
+        | None -> List.rev acc
+        | Some n -> collect (n :: acc) n.next (visits + 1)
+    in
+    let nodes = collect [] t.head.next 0 in
+    List.iter
+      (fun n ->
+        if n.cmd = None then err "sentinel node linked into the list body";
+        if List.memq n n.deps_on then err "self-dependency";
+        let rec dup = function
+          | [] -> false
+          | d :: rest -> List.memq d rest || dup rest
+        in
+        if dup n.deps_on then err "duplicate dependency edge")
+      nodes;
+    let size = P.Atomic.get t.size in
+    if size < 0 then err "negative size %d" size;
+    if strict then begin
+      if List.length nodes <> size then
+        err "list length %d <> size %d" (List.length nodes) size;
+      List.iter
+        (fun n ->
+          List.iter
+            (fun d ->
+              if not (List.memq d nodes) then
+                err "dependency edge to a node outside the list")
+            n.deps_on)
+        nodes;
+      if P.Atomic.get t.closed && size = 0 && t.head.next <> None then
+        err "closed and drained but list non-empty"
+    end;
+    List.rev !errs
 end

@@ -210,4 +210,79 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     end
 
   let pending t = P.Atomic.get t.size
+
+  (* Read-only structural check (see {!Cos_intf.S.invariant}); every read
+     goes through [P.Atomic.get], so on the check platform this snapshots
+     the structure between two scheduled operations.  Checked here:
+
+     - the arrival list is finite and acyclic, and no node is linked twice
+       (a node re-appearing would mean a physical removal ran twice or
+       unlinked the wrong predecessor);
+     - at most one node is in the [Ins] state (there is a single inserting
+       scheduler thread);
+     - state legality: a node promoted to [Rdy]/[Exe] has only [Rmd]
+       dependencies — promotions never run ahead of removals (states only
+       move forward along [Ins -> Wtg -> Rdy -> Exe -> Rmd], so this holds
+       at every instant, not just at the promotion point). *)
+  let invariant ?(strict = false) t =
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    let cap = 1_000_000 in
+    let rec collect acc n visits =
+      if visits > cap then begin
+        err "traversal exceeded %d nodes: cycle suspected" cap;
+        List.rev acc
+      end
+      else
+        match n with
+        | None -> List.rev acc
+        | Some n -> collect (n :: acc) (P.Atomic.get n.nxt) (visits + 1)
+    in
+    let nodes = collect [] (P.Atomic.get t.first) 0 in
+    let n_nodes = List.length nodes in
+    if n_nodes <= 4096 then begin
+      let rec dup = function
+        | [] -> false
+        | n :: rest -> List.memq n rest || dup rest
+      in
+      if dup nodes then err "a node is physically linked more than once"
+    end;
+    let inserting =
+      List.fold_left
+        (fun acc n -> if P.Atomic.get n.st = Ins then acc + 1 else acc)
+        0 nodes
+    in
+    if inserting > 1 then
+      err "%d nodes in the Ins state (single-inserter discipline broken)"
+        inserting;
+    List.iter
+      (fun n ->
+        match P.Atomic.get n.st with
+        | Rdy | Exe ->
+            List.iter
+              (fun d ->
+                if P.Atomic.get d.st <> Rmd then
+                  err "node promoted while a dependency is still live")
+              (P.Atomic.get n.dep_on)
+        | Ins | Wtg | Rmd -> ())
+      nodes;
+    let size = P.Atomic.get t.size in
+    if size < 0 then err "negative size %d" size;
+    if strict then begin
+      let live =
+        List.fold_left
+          (fun acc n -> if P.Atomic.get n.st <> Rmd then acc + 1 else acc)
+          0 nodes
+      in
+      if live <> size then err "live node count %d <> size %d" live size;
+      List.iter
+        (fun n ->
+          List.iter
+            (fun d ->
+              if not (List.memq d nodes) then
+                err "dependency edge to an unlinked node")
+            (P.Atomic.get n.dep_on))
+        nodes
+    end;
+    List.rev !errs
 end

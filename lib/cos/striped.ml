@@ -143,8 +143,12 @@ struct
             seg.slots.(seg.used) <- Some n;
             seg.used <- seg.used + 1;
             let is_ready = n.deps_on = [] in
-            P.Mutex.unlock seg.mx;
+            (* Count the node before it becomes visible (the unlock): a
+               remover that frees it through edge stripping may run its
+               whole get/remove cycle before this insert resumes, and the
+               decrement must never land before the increment. *)
             ignore (P.Atomic.fetch_and_add t.size 1 : int);
+            P.Mutex.unlock seg.mx;
             if is_ready then P.Semaphore.release t.ready
       in
       P.Mutex.lock t.head.mx;
@@ -234,6 +238,68 @@ struct
     end
 
   let pending t = P.Atomic.get t.size
+
+  (* Read-only structural check (see {!Cos_intf.S.invariant}).  Tombstone
+     marking and the [dead] counter are updated in one uninterrupted block,
+     so slot accounting is checkable at any instant; edge closure is
+     [strict]-only (an in-flight remove strips edges segment by segment). *)
+  let invariant ?(strict = false) t =
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    let cap = 100_000 in
+    let rec collect acc s visits =
+      if visits > cap then begin
+        err "segment chain exceeded %d segments: cycle suspected" cap;
+        List.rev acc
+      end
+      else
+        match s with
+        | None -> List.rev acc
+        | Some s -> collect (s :: acc) s.next (visits + 1)
+    in
+    let segments = collect [] t.head.next 0 in
+    List.iter
+      (fun s ->
+        if s.used < 0 || s.used > capacity then
+          err "segment used %d outside [0,%d]" s.used capacity;
+        if s.dead < 0 || s.dead > s.used then
+          err "segment dead %d outside [0,used=%d]" s.dead s.used;
+        let tombstones = ref 0 in
+        for i = 0 to Array.length s.slots - 1 do
+          match s.slots.(i) with
+          | Some n ->
+              if i >= s.used then err "slot %d populated beyond used=%d" i s.used;
+              if n.segment != s then err "node stored in a foreign segment";
+              if n.st = Removed then incr tombstones
+          | None -> if i < s.used then err "empty slot %d below used=%d" i s.used
+        done;
+        if !tombstones <> s.dead then
+          err "segment dead=%d but %d tombstones" s.dead !tombstones)
+      segments;
+    let size = P.Atomic.get t.size in
+    if size < 0 then err "negative size %d" size;
+    if strict then begin
+      let live =
+        List.fold_left
+          (fun acc s -> acc + (s.used - s.dead))
+          0 segments
+      in
+      if live <> size then err "live slot count %d <> size %d" live size;
+      List.iter
+        (fun s ->
+          for i = 0 to s.used - 1 do
+            match s.slots.(i) with
+            | Some n when n.st <> Removed ->
+                List.iter
+                  (fun d ->
+                    if d.st = Removed then
+                      err "dependency edge to a removed node at quiescence")
+                  n.deps_on
+            | Some _ | None -> ()
+          done)
+        segments
+    end;
+    List.rev !errs
 end
 
 (** The default stripe width: 16 nodes per lock, a mid-point of the

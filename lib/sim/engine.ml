@@ -1,11 +1,14 @@
 open Effect
 open Effect.Deep
 
-type event = { time : float; seq : int; thunk : unit -> unit }
+type event = { time : float; seq : int; tag : int; thunk : unit -> unit }
 
 type t = {
   mutable clock : float;
   mutable seq : int;
+  mutable next_pid : int;
+  mutable running : int;
+  mutable picker : (int array -> int) option;
   events : event Psmr_util.Heap.t;
   mutable failure : exn option;
   mutable executed : int;
@@ -23,18 +26,25 @@ let create () =
   {
     clock = 0.0;
     seq = 0;
+    next_pid = 0;
+    running = 0;
+    picker = None;
     events = Psmr_util.Heap.create ~cmp:compare_event;
     failure = None;
     executed = 0;
   }
 
 let now t = t.clock
+let set_picker t pick = t.picker <- pick
+let running_tag t = t.running
 
-let schedule t ?(delay = 0.0) thunk =
+let schedule_tagged t ?(delay = 0.0) ~tag thunk =
   let delay = if delay < 0.0 then 0.0 else delay in
   t.seq <- t.seq + 1;
-  Psmr_util.Heap.add t.events { time = t.clock +. delay; seq = t.seq; thunk }
+  Psmr_util.Heap.add t.events
+    { time = t.clock +. delay; seq = t.seq; tag; thunk }
 
+let schedule t ?delay thunk = schedule_tagged t ?delay ~tag:0 thunk
 let delay d = if d > 0.0 then perform (Delay d) else ()
 let yield () = perform (Delay 0.0)
 let suspend register = perform (Suspend register)
@@ -42,8 +52,10 @@ let suspend register = perform (Suspend register)
 (* Run [f] as a process: every [Delay]/[Suspend] it performs is handled by
    scheduling its continuation on this engine.  The handler is deep, so the
    whole dynamic extent of [f] — including code resumed later from the event
-   loop — stays covered. *)
-let run_process t ?name:_ f =
+   loop — stays covered.  Every rescheduled continuation carries the
+   process's [pid] tag, so a picker (see {!set_picker}) can attribute
+   pending events to processes. *)
+let run_process t ~pid ?name:_ f =
   match_with f ()
     {
       retc = (fun () -> ());
@@ -54,16 +66,57 @@ let run_process t ?name:_ f =
           | Delay d ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  schedule t ~delay:d (fun () -> continue k ()))
+                  schedule_tagged t ~delay:d ~tag:pid (fun () -> continue k ()))
           | Suspend register ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  register (fun () -> schedule t (fun () -> continue k ())))
+                  register (fun () ->
+                      schedule_tagged t ~tag:pid (fun () -> continue k ())))
           | _ -> None);
     }
 
-let spawn t ?(delay = 0.0) ?name f =
-  schedule t ~delay (fun () -> run_process t ?name f)
+let spawn_tagged t ?(delay = 0.0) ?name f =
+  t.next_pid <- t.next_pid + 1;
+  let pid = t.next_pid in
+  schedule_tagged t ~delay ~tag:pid (fun () -> run_process t ~pid ?name f);
+  pid
+
+let spawn t ?delay ?name f = ignore (spawn_tagged t ?delay ?name f : int)
+
+let execute t ev =
+  t.clock <- ev.time;
+  t.executed <- t.executed + 1;
+  t.running <- ev.tag;
+  ev.thunk ();
+  match t.failure with
+  | Some e ->
+      t.failure <- None;
+      raise e
+  | None -> ()
+
+(* With a picker installed, every event tied at the earliest pending time is
+   a candidate and the picker chooses which one runs next; the rest go back
+   on the heap with their sequence numbers (and hence their FIFO rank)
+   unchanged. *)
+let pick_and_execute t pick first =
+  let rec collect acc =
+    match Psmr_util.Heap.peek t.events with
+    | Some e when e.time = first.time ->
+        ignore (Psmr_util.Heap.pop t.events : event option);
+        collect (e :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  let candidates = Array.of_list (collect [ first ]) in
+  let idx =
+    if Array.length candidates = 1 then 0
+    else
+      let i = pick (Array.map (fun e -> e.tag) candidates) in
+      if i < 0 || i >= Array.length candidates then 0 else i
+  in
+  Array.iteri
+    (fun i e -> if i <> idx then Psmr_util.Heap.add t.events e)
+    candidates;
+  execute t candidates.(idx)
 
 let run ?until t =
   let stop = ref false in
@@ -75,16 +128,14 @@ let run ?until t =
         | Some limit when ev.time > limit ->
             t.clock <- limit;
             stop := true
-        | _ ->
-            ignore (Psmr_util.Heap.pop t.events : event option);
-            t.clock <- ev.time;
-            t.executed <- t.executed + 1;
-            ev.thunk ();
-            (match t.failure with
-            | Some e ->
-                t.failure <- None;
-                raise e
-            | None -> ()))
+        | _ -> (
+            match t.picker with
+            | Some pick ->
+                ignore (Psmr_util.Heap.pop t.events : event option);
+                pick_and_execute t pick ev
+            | None ->
+                ignore (Psmr_util.Heap.pop t.events : event option);
+                execute t ev))
   done;
   match until with
   | Some limit when t.clock < limit && Psmr_util.Heap.is_empty t.events ->

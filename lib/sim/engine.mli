@@ -21,12 +21,20 @@ val now : t -> float
 
 val schedule : t -> ?delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs plain callback [f] at [now t +. delay].
-    [f] must not perform process effects; use {!spawn} for that. *)
+    [f] must not perform process effects; use {!spawn} for that.  The event
+    carries the reserved tag [0] (see {!set_picker}). *)
 
 val spawn : t -> ?delay:float -> ?name:string -> (unit -> unit) -> unit
 (** [spawn t f] creates a process executing [f], starting at
     [now t +. delay].  Exceptions escaping [f] abort the simulation: they are
     re-raised by {!run}. *)
+
+val spawn_tagged : t -> ?delay:float -> ?name:string -> (unit -> unit) -> int
+(** As {!spawn}, and returns the fresh process id (a positive integer,
+    assigned in spawn order).  Every event produced by the process — its
+    initial step and each continuation after {!delay}, {!yield} or
+    {!suspend} — carries this id as its tag, which is how a picker
+    (see {!set_picker}) attributes pending events to processes. *)
 
 val run : ?until:float -> t -> unit
 (** Execute events in time order until the queue is empty, or until virtual
@@ -39,6 +47,29 @@ val run : ?until:float -> t -> unit
 
 val events_executed : t -> int
 (** Total number of events executed so far (diagnostics). *)
+
+(** {2 Scheduler hook points}
+
+    By default the engine executes events in (virtual time, FIFO) order.
+    A {e picker} replaces the FIFO tie-break: whenever several events are
+    pending at the earliest virtual time, the picker is shown their tags
+    (process ids from {!spawn_tagged}, or [0] for plain callbacks) and
+    chooses which one runs next.  This is the hook the model checker in
+    [Psmr_check] uses to explore adversarial interleavings: under the check
+    platform no operation ever advances virtual time, so {e every} runnable
+    process is tied at every step and the picker controls the entire
+    schedule. *)
+
+val set_picker : t -> (int array -> int) option -> unit
+(** [set_picker t (Some pick)] installs a picker; [pick tags] receives the
+    tags of all events tied at the earliest pending time, in FIFO order,
+    and returns the index of the event to execute (out-of-range indices
+    fall back to [0]).  [set_picker t None] restores FIFO order.  The
+    picker runs outside any process: it must not perform engine effects,
+    but it may raise to abort {!run}. *)
+
+val running_tag : t -> int
+(** Tag of the event currently executing ([0] before the first event). *)
 
 (** {2 Process operations}
 

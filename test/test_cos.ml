@@ -26,6 +26,10 @@ let impls =
     (Registry.Striped 16, "striped-16");
   ]
 
+(* The close-semantics tests additionally cover the sequential fifo
+   baseline: shutdown behaviour must be uniform across all five variants. *)
+let impls_with_fifo = impls @ [ (Registry.Fifo, "fifo") ]
+
 let impl_cos impl :
     (module Cos_intf.S with type cmd = Rw_cmd.t) =
   Registry.instantiate impl (module RP) (module Rw_cmd)
@@ -202,6 +206,39 @@ let test_close_idempotent impl () =
   S.close t;
   Alcotest.(check (option int)) "get after close" None
     (Option.map (fun h -> (S.command h).Rw_cmd.idx) (S.get t))
+
+(* Workers blocked in [get] on a non-empty structure when [close] arrives:
+   every pending command must still execute, and afterwards every worker —
+   including ones parked again in [get] — must observe [None].  Catches
+   lost-wakeup bugs in the shutdown path (a single [signal] where a
+   [broadcast] is needed). *)
+let test_close_drains_blocked_getters impl () =
+  let module S = (val impl_cos impl) in
+  let t = S.create () in
+  let executed = Atomic.make 0 in
+  let nones = Atomic.make 0 in
+  let workers = 3 in
+  let worker () =
+    let rec loop () =
+      match S.get t with
+      | Some h ->
+          Atomic.incr executed;
+          S.remove t h;
+          loop ()
+      | None -> Atomic.incr nones
+    in
+    loop ()
+  in
+  let threads = List.init workers (fun _ -> Thread.create worker ()) in
+  (* Let the workers park on the empty, still-open structure first. *)
+  Thread.delay 0.02;
+  for i = 0 to 4 do
+    S.insert t (write i)
+  done;
+  S.close t;
+  List.iter Thread.join threads;
+  Alcotest.(check int) "all pending commands executed" 5 (Atomic.get executed);
+  Alcotest.(check int) "every worker observed None" workers (Atomic.get nones)
 
 let test_dependency_chain impl () =
   let module S = (val impl_cos impl) in
@@ -594,6 +631,12 @@ let per_impl name f =
       Alcotest.test_case (Printf.sprintf "%s [%s]" name label) `Quick (f impl))
     impls
 
+let per_impl_all name f =
+  List.map
+    (fun (impl, label) ->
+      Alcotest.test_case (Printf.sprintf "%s [%s]" name label) `Quick (f impl))
+    impls_with_fifo
+
 let () =
   let stress impl ~workers ~write_pct ~seed () =
     stress_scheduler impl ~workers ~commands:2000 ~write_pct ~seed ()
@@ -612,8 +655,10 @@ let () =
       ("blocking", per_impl "write waits for reads" test_write_waits_for_reads);
       ("bounded", per_impl "insert blocks when full" test_bounded_insert_blocks);
       ( "shutdown",
-        per_impl "close unblocks getters" test_close_unblocks_getters
-        @ per_impl "close idempotent" test_close_idempotent );
+        per_impl_all "close unblocks getters" test_close_unblocks_getters
+        @ per_impl_all "close idempotent" test_close_idempotent
+        @ per_impl_all "close drains blocked getters"
+            test_close_drains_blocked_getters );
       ("dag", per_impl "dependency chain" test_dependency_chain);
       ( "stress",
         per_impl "4 workers, 20% writes" (fun impl ->
