@@ -3,12 +3,19 @@
    Part 1 — Bechamel micro-benchmarks of the real (OS-thread platform) data
    structures: per-operation cost of each COS implementation, the linked-list
    service scans, and supporting structures.  These ground the simulation
-   cost model (see EXPERIMENTS.md).
+   cost model (see EXPERIMENTS.md); the hashtbl group calibrates the [Hash]
+   work kind charged by the key-indexed insert.
 
-   Part 2 — regeneration of every figure of the paper's evaluation (Figures
+   Part 2 — a machine-readable summary, BENCH_cos.json: per-implementation
+   micro costs plus the simulated Fig. 2 standalone throughput (light cost,
+   0% writes) for the scan-based and indexed inserts.
+
+   Part 3 — regeneration of every figure of the paper's evaluation (Figures
    2-6) through the simulation harness.  Set PSMR_BENCH_FAST=1 for a
    subsampled smoke run; set PSMR_BENCH_SKIP_FIGURES=1 to run only the
-   micro-benchmarks. *)
+   micro-benchmarks; set PSMR_BENCH_SMOKE=1 for a time-boxed everything
+   (short quotas, short simulation windows, no figures) — the @bench-smoke
+   alias. *)
 
 open Bechamel
 open Toolkit
@@ -19,6 +26,7 @@ module Rw_cmd = struct
   type t = bool
 
   let conflict a b = a || b
+  let footprint w = [ (0, w) ]
   let pp ppf w = Format.pp_print_string ppf (if w then "w" else "r")
 end
 
@@ -26,7 +34,7 @@ end
    the steady-state per-command cost of the structure itself. *)
 let cos_cycle impl ~population ~writes =
   let (module S : Psmr_cos.Cos_intf.S with type cmd = bool) =
-    Psmr_cos.Registry.instantiate impl (module RP) (module Rw_cmd)
+    Psmr_cos.Registry.instantiate_keyed impl (module RP) (module Rw_cmd)
   in
   let t = S.create ~max_size:150 () in
   let rng = Psmr_util.Rng.create ~seed:1L in
@@ -38,6 +46,8 @@ let cos_cycle impl ~population ~writes =
       match S.get t with
       | Some h -> S.remove t h
       | None -> assert false)
+
+let bench_impls = Psmr_cos.Registry.paper @ [ Psmr_cos.Registry.Indexed ]
 
 let cos_tests =
   Test.make_grouped ~name:"cos-cycle"
@@ -52,7 +62,28 @@ let cos_tests =
                     pop)
                (cos_cycle impl ~population:pop ~writes:10.0))
            [ 1; 50; 140 ])
-       Psmr_cos.Registry.all)
+       bench_impls)
+
+(* Calibration for the [Hash] work kind: one lookup-or-update on an
+   int-keyed table at the population the COS index reaches in steady state
+   (a command's footprint keys over a live graph of ~150). *)
+let hashtbl_tests =
+  let h : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  for i = 0 to 149 do
+    Hashtbl.replace h i i
+  done;
+  let rng = Psmr_util.Rng.create ~seed:4L in
+  Test.make_grouped ~name:"hashtbl"
+    [
+      Test.make ~name:"find-150"
+        (Staged.stage (fun () ->
+             ignore
+               (Hashtbl.find_opt h (Psmr_util.Rng.int rng 150) : int option)));
+      Test.make ~name:"replace-150"
+        (Staged.stage (fun () ->
+             let k = Psmr_util.Rng.int rng 150 in
+             Hashtbl.replace h k k));
+    ]
 
 let list_tests =
   let scan size =
@@ -100,11 +131,16 @@ let atomic_tests =
              Mutex.unlock m));
     ]
 
-let run_micro () =
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+(* Runs the micro suite, prints the table, and returns (name, ns/op) for the
+   JSON summary. *)
+let run_micro ~smoke () =
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:200 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
   let tests =
     Test.make_grouped ~name:"micro"
-      [ atomic_tests; util_tests; list_tests; cos_tests ]
+      [ atomic_tests; util_tests; hashtbl_tests; list_tests; cos_tests ]
   in
   let raws = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let ols =
@@ -113,33 +149,136 @@ let run_micro () =
       Instance.monotonic_clock raws
   in
   print_endline "# Micro-benchmarks (real threads, this machine)\n";
-  let rows =
+  let measured =
     Hashtbl.fold
       (fun name result acc ->
         let ns =
           match Analyze.OLS.estimates result with
-          | Some [ e ] -> Printf.sprintf "%.1f" e
-          | Some _ | None -> "n/a"
+          | Some [ e ] -> Some e
+          | Some _ | None -> None
         in
         let r2 =
           match Analyze.OLS.r_square result with
           | Some r -> Printf.sprintf "%.4f" r
           | None -> "n/a"
         in
-        [ name; ns; r2 ] :: acc)
+        (name, ns, r2) :: acc)
       ols []
     |> List.sort compare
   in
+  let rows =
+    List.map
+      (fun (name, ns, r2) ->
+        let ns =
+          match ns with Some e -> Printf.sprintf "%.1f" e | None -> "n/a"
+        in
+        [ name; ns; r2 ])
+      measured
+  in
   print_string
     (Psmr_util.Table.render ~header:[ "benchmark"; "ns/op"; "r-sq" ] rows);
-  print_newline ()
+  print_newline ();
+  List.filter_map
+    (fun (name, ns, _) -> Option.map (fun e -> (name, e)) ns)
+    measured
+
+(* Simulated Fig. 2 points for the JSON summary: standalone throughput at
+   light cost, 0% writes, for the scan-based baseline and the indexed
+   insert with and without delivery batching. *)
+let sim_fig2 ~smoke () =
+  let duration, warmup = if smoke then (0.02, 0.005) else (0.08, 0.02) in
+  let spec =
+    { Psmr_workload.Workload.write_pct = 0.0; cost = Psmr_workload.Workload.Light }
+  in
+  let run impl batch w =
+    (Psmr_harness.Standalone.run ~impl ~workers:w ~batch ~spec ~duration
+       ~warmup ())
+      .kops
+  in
+  List.concat_map
+    (fun w ->
+      [
+        (w, "lockfree", run Psmr_cos.Registry.Lockfree 1 w);
+        (w, "indexed", run Psmr_cos.Registry.Indexed 1 w);
+        (w, "indexed_batch16", run Psmr_cos.Registry.Indexed 16 w);
+      ])
+    [ 16; 32; 64 ]
+
+(* Hand-rolled JSON (no JSON library in the build environment). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path ~micro ~fig2 =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"micro_ns_per_op\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": \"%s\", \"ns\": %.2f }%s\n"
+           (json_escape name) ns
+           (if i = List.length micro - 1 then "" else ",")))
+    micro;
+  Buffer.add_string buf "  ],\n  \"fig2_sim_kops\": [\n";
+  List.iteri
+    (fun i (w, impl, kops) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"workers\": %d, \"impl\": \"%s\", \"kops\": %.1f }%s\n" w
+           (json_escape impl) kops
+           (if i = List.length fig2 - 1 then "" else ",")))
+    fig2;
+  let find impl =
+    List.find_opt (fun (w, i, _) -> w = 32 && String.equal i impl) fig2
+  in
+  (match (find "lockfree", find "indexed_batch16") with
+  | Some (_, _, base), Some (_, _, ix) when base > 0.0 ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  ],\n  \"speedup_w32_indexed_batch16_vs_lockfree\": %.2f\n" (ix /. base))
+  | _ -> Buffer.add_string buf "  ]\n");
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
 
 let () =
   let getenv_flag v =
     match Sys.getenv_opt v with Some ("1" | "true") -> true | _ -> false
   in
-  run_micro ();
-  if not (getenv_flag "PSMR_BENCH_SKIP_FIGURES") then begin
+  let smoke = getenv_flag "PSMR_BENCH_SMOKE" in
+  let micro = run_micro ~smoke () in
+  let fig2 = sim_fig2 ~smoke () in
+  let micro_for_json =
+    List.filter
+      (fun (name, _) ->
+        let has sub =
+          let n = String.length sub in
+          let rec scan i =
+            i + n <= String.length name
+            && (String.equal (String.sub name i n) sub || scan (i + 1))
+          in
+          scan 0
+        in
+        has "cos-cycle" || has "hashtbl")
+      micro
+  in
+  let json_path =
+    Option.value (Sys.getenv_opt "PSMR_BENCH_JSON") ~default:"BENCH_cos.json"
+  in
+  write_json ~path:json_path ~micro:micro_for_json ~fig2;
+  if (not smoke) && not (getenv_flag "PSMR_BENCH_SKIP_FIGURES") then begin
     let opts =
       if getenv_flag "PSMR_BENCH_FAST" then Psmr_harness.Figures.fast_options
       else Psmr_harness.Figures.default_options

@@ -159,7 +159,9 @@ let impl_arg =
     value
     & opt impl_conv Psmr_cos.Registry.Lockfree
     & info [ "impl" ] ~docv:"IMPL"
-        ~doc:"COS implementation: coarse, fine, lockfree or fifo.")
+        ~doc:
+          "COS implementation: coarse, fine, lockfree, fifo, striped[-K] or \
+           indexed.")
 
 let workers_arg =
   Arg.(value & opt int 8 & info [ "workers" ] ~docv:"N" ~doc:"Worker threads.")

@@ -38,7 +38,7 @@ let impl_arg =
     & info [ "impl" ] ~docv:"IMPL"
         ~doc:
           "Implementation to check: coarse, fine, lockfree, striped[-K], \
-           fifo, or a planted-bug variant (broken-wtg-start, \
+           fifo, indexed, or a planted-bug variant (broken-wtg-start, \
            broken-lost-signal).")
 
 let workers_arg =

@@ -67,6 +67,10 @@ let conflict a b =
   (is_write a || is_write b)
   && List.exists (fun x -> List.mem x (touches b)) (touches a)
 
+let footprint c =
+  let w = is_write c in
+  List.map (fun a -> (a, w)) (touches c)
+
 let pp_command ppf = function
   | Balance a -> Format.fprintf ppf "balance(%d)" a
   | Deposit (a, v) -> Format.fprintf ppf "deposit(%d,%d)" a v
@@ -78,9 +82,11 @@ let pp_response ppf = function
   | Ok -> Format.pp_print_string ppf "ok"
   | Insufficient -> Format.pp_print_string ppf "insufficient"
 
-module Command : Psmr_cos.Cos_intf.COMMAND with type t = command = struct
+module Command : Psmr_cos.Cos_intf.KEYED_COMMAND with type t = command =
+struct
   type t = command
 
   let conflict = conflict
+  let footprint = footprint
   let pp = pp_command
 end

@@ -36,7 +36,10 @@ val touches : command -> int list
 val is_write : command -> bool
 val conflict : command -> command -> bool
 
+val footprint : command -> (int * bool) list
+(** The touched accounts, each tagged with {!is_write}. *)
+
 val pp_command : Format.formatter -> command -> unit
 val pp_response : Format.formatter -> response -> unit
 
-module Command : Psmr_cos.Cos_intf.COMMAND with type t = command
+module Command : Psmr_cos.Cos_intf.KEYED_COMMAND with type t = command

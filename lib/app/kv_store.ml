@@ -45,6 +45,8 @@ let is_write = function Put _ -> true | Get _ -> false
 
 let conflict a b = key a = key b && (is_write a || is_write b)
 
+let footprint c = [ (key c, is_write c) ]
+
 let pp_command ppf = function
   | Get k -> Format.fprintf ppf "get(%d)" k
   | Put (k, v) -> Format.fprintf ppf "put(%d,%d)" k v
@@ -54,9 +56,11 @@ let pp_response ppf = function
   | Value (Some v) -> Format.fprintf ppf "%d" v
   | Stored -> Format.pp_print_string ppf "ok"
 
-module Command : Psmr_cos.Cos_intf.COMMAND with type t = command = struct
+module Command : Psmr_cos.Cos_intf.KEYED_COMMAND with type t = command =
+struct
   type t = command
 
   let conflict = conflict
+  let footprint = footprint
   let pp = pp_command
 end

@@ -29,7 +29,10 @@ val key : command -> int
 val is_write : command -> bool
 val conflict : command -> command -> bool
 
+val footprint : command -> (int * bool) list
+(** [[ (key c, is_write c) ]]: one slot per command. *)
+
 val pp_command : Format.formatter -> command -> unit
 val pp_response : Format.formatter -> response -> unit
 
-module Command : Psmr_cos.Cos_intf.COMMAND with type t = command
+module Command : Psmr_cos.Cos_intf.KEYED_COMMAND with type t = command

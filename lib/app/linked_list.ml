@@ -82,6 +82,9 @@ let is_write = function Add _ -> true | Contains _ -> false
 
 let conflict a b = is_write a || is_write b
 
+(* The whole list is one shared variable: reads share it, writes own it. *)
+let footprint c = [ (0, is_write c) ]
+
 let pp_command ppf = function
   | Contains i -> Format.fprintf ppf "contains(%d)" i
   | Add i -> Format.fprintf ppf "add(%d)" i
@@ -89,9 +92,11 @@ let pp_command ppf = function
 let pp_response ppf b = Format.pp_print_bool ppf b
 
 (** The COS view of list commands. *)
-module Command : Psmr_cos.Cos_intf.COMMAND with type t = command = struct
+module Command : Psmr_cos.Cos_intf.KEYED_COMMAND with type t = command =
+struct
   type t = command
 
   let conflict = conflict
+  let footprint = footprint
   let pp = pp_command
 end

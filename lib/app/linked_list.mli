@@ -34,8 +34,11 @@ val is_write : command -> bool
 
 val conflict : command -> command -> bool
 
+val footprint : command -> (int * bool) list
+(** The list is a single shared variable (key [0]): [[ (0, is_write c) ]]. *)
+
 val pp_command : Format.formatter -> command -> unit
 val pp_response : Format.formatter -> response -> unit
 
 (** The COS view of list commands. *)
-module Command : Psmr_cos.Cos_intf.COMMAND with type t = command
+module Command : Psmr_cos.Cos_intf.KEYED_COMMAND with type t = command

@@ -31,6 +31,12 @@ module type S = sig
   (** Symmetric; [true] iff the commands access a common variable and at
       least one writes it. *)
 
+  val footprint : command -> (int * bool) list
+  (** The variables a command accesses, as [(key, is_write)] pairs.  Must
+      generate {!conflict}: commands conflict iff their footprints share a
+      key that at least one of them writes (see
+      {!Psmr_cos.Cos_intf.KEYED_COMMAND}). *)
+
   val pp_command : Format.formatter -> command -> unit
   val pp_response : Format.formatter -> response -> unit
 end

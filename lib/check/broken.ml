@@ -45,12 +45,13 @@ struct
     ready : P.Semaphore.t;
     size : int P.Atomic.t;
     closed : bool P.Atomic.t;
+    close_tokens : int;
   }
 
   let name = Cfg.name
-  let close_tokens = 1024
 
-  let create ?(max_size = Cos_intf.default_max_size) () =
+  let create ?(max_size = Cos_intf.default_max_size) ?(worker_bound = 1024) ()
+      =
     if max_size <= 0 then invalid_arg "Broken.create: max_size must be positive";
     {
       first = P.Atomic.make None;
@@ -58,6 +59,7 @@ struct
       ready = P.Semaphore.create 0;
       size = P.Atomic.make 0;
       closed = P.Atomic.make false;
+      close_tokens = max_size + worker_bound;
     }
 
   let command (n : handle) = n.cmd
@@ -148,6 +150,8 @@ struct
       if promoted > 0 then P.Semaphore.release ~n:promoted t.ready
     end
 
+  let insert_batch t cs = Array.iter (insert t) cs
+
   let get t =
     P.Semaphore.acquire t.ready;
     let rec attempt () =
@@ -173,8 +177,8 @@ struct
 
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
-      P.Semaphore.release ~n:close_tokens t.ready;
-      P.Semaphore.release ~n:close_tokens t.space
+      P.Semaphore.release ~n:t.close_tokens t.ready;
+      P.Semaphore.release ~n:t.close_tokens t.space
     end
 
   let pending t = P.Atomic.get t.size

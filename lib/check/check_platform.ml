@@ -228,11 +228,15 @@ let make (ctx : t) : (module Platform_intf.S) =
           hb = Vclock.create ();
         }
 
-      let acquire s =
+      let acquire ?(n = 1) s =
         no_ghost "Semaphore.acquire";
         point (Printf.sprintf "sem#%d.acquire" s.id);
-        if s.count > 0 then s.count <- s.count - 1
-        else Engine.suspend (fun resume -> Queue.push resume s.waiters);
+        (* One decision point per call; each missing token suspends
+           separately, so releases interleave with multi-token waits. *)
+        for _ = 1 to n do
+          if s.count > 0 then s.count <- s.count - 1
+          else Engine.suspend (fun resume -> Queue.push resume s.waiters)
+        done;
         acquire_from s.hb
 
       let release ?(n = 1) s =

@@ -33,6 +33,9 @@ module Cmd = struct
   type t = { idx : int; write : bool }
 
   let conflict a b = a.write || b.write
+
+  (* One shared variable: the footprint view of the same relation. *)
+  let footprint c = [ (0, c.write) ]
   let pp ppf c = Format.fprintf ppf "%s%d" (if c.write then "w" else "r") c.idx
 end
 
@@ -96,7 +99,7 @@ let run_schedule ?(max_steps = 50_000) ?(trace = false) sc
   let (module P) = Check_platform.make ctx in
   let (module S : Cos_intf.S with type cmd = Cmd.t) =
     match sc.target with
-    | Impl impl -> Registry.instantiate impl (module P) (module Cmd)
+    | Impl impl -> Registry.instantiate_keyed impl (module P) (module Cmd)
     | Custom (_, (module F)) -> (module F (P) (Cmd))
   in
   let n = Array.length sc.writes in

@@ -41,7 +41,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
 
   let name = "coarse-grained"
 
-  let create ?(max_size = Cos_intf.default_max_size) () =
+  (* Close uses condition broadcasts, so no worker bound is needed here. *)
+  let create ?(max_size = Cos_intf.default_max_size) ?worker_bound:_ () =
     if max_size <= 0 then invalid_arg "Coarse.create: max_size must be positive";
     {
       mutex = P.Mutex.create ();
@@ -66,8 +67,10 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     in
     go t.first
 
-  let insert t c =
-    P.Mutex.lock t.mutex;
+  (* Insert body, to run with the monitor held.  [wait not_full] releases
+     the mutex while blocked, so running several of these under one lock
+     acquisition (see {!insert_batch}) cannot starve workers. *)
+  let insert_locked t c =
     while t.size = t.max_size && not t.closed do
       P.Condition.wait t.not_full t.mutex
     done;
@@ -84,8 +87,20 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       t.last <- Some n;
       t.size <- t.size + 1;
       if n.deps_on = [] then P.Condition.signal t.has_ready
-    end;
+    end
+
+  let insert t c =
+    P.Mutex.lock t.mutex;
+    insert_locked t c;
     P.Mutex.unlock t.mutex
+
+  (* One monitor round for the whole delivered batch. *)
+  let insert_batch t cs =
+    if Array.length cs > 0 then begin
+      P.Mutex.lock t.mutex;
+      Array.iter (insert_locked t) cs;
+      P.Mutex.unlock t.mutex
+    end
 
   let find_ready t =
     let rec go = function

@@ -26,6 +26,22 @@ module type COMMAND = sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** Commands that additionally expose the variables they touch, so an
+    indexed COS can find dependencies by key lookup instead of a pairwise
+    scan.  [conflict] must remain consistent with the footprints:
+    [conflict a b] iff the footprints share a key and at least one of the
+    sharers writes it. *)
+module type KEYED_COMMAND = sig
+  include COMMAND
+
+  val footprint : t -> (int * bool) list
+  (** [footprint c] lists the variables [c] accesses as [(key, is_write)]
+      pairs.  Keys are application-chosen integers; a command touching no
+      key conflicts with nothing.  Footprints should be small (the cost of
+      an indexed insert is O(|footprint|)) and duplicate keys are
+      permitted (a [(k, true)] entry subsumes [(k, false)]). *)
+end
+
 module type S = sig
   type cmd
 
@@ -37,17 +53,25 @@ module type S = sig
       {!remove}. *)
 
   val name : string
-  (** Implementation name: "coarse-grained", "fine-grained", "lock-free" or
-      "fifo". *)
+  (** Implementation name: "coarse-grained", "fine-grained", "lock-free",
+      "fifo", "striped-<k>" or "indexed". *)
 
-  val create : ?max_size:int -> unit -> t
+  val create : ?max_size:int -> ?worker_bound:int -> unit -> t
   (** [create ()] returns an empty structure holding at most [max_size]
       commands (default 150, the paper's configuration).  [insert] blocks
-      while the structure is full. *)
+      while the structure is full.  [worker_bound] (default 1024) is an
+      upper bound on the number of threads that may ever block inside the
+      structure; {!close} uses it to size its wake-up flood. *)
 
   val insert : t -> cmd -> unit
   (** Add a command.  Must be called by a single thread (the scheduler), in
       delivery order; blocks while the structure is full. *)
+
+  val insert_batch : t -> cmd array -> unit
+  (** Insert every command of a delivered batch, in array order.  Same
+      single-threaded contract as {!insert}.  Semantically equivalent to
+      [Array.iter (insert t)] (the default); implementations override it to
+      pay one synchronization round per batch instead of per command. *)
 
   val get : t -> handle option
   (** Reserve the oldest command that is free of dependencies and not yet
@@ -87,6 +111,10 @@ end
 (** What each of the paper's algorithms provides: a COS for any platform and
     any command type. *)
 module type IMPL = functor (P : Platform_intf.S) (C : COMMAND) ->
+  S with type cmd = C.t
+
+(** A COS that needs key footprints (the indexed implementation). *)
+module type KEYED_IMPL = functor (P : Platform_intf.S) (C : KEYED_COMMAND) ->
   S with type cmd = C.t
 
 (** Paper-default bound on the dependency graph (§7.2). *)

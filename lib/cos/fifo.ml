@@ -25,7 +25,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
 
   let name = "fifo"
 
-  let create ?(max_size = Cos_intf.default_max_size) () =
+  (* Close uses condition broadcasts, so no worker bound is needed here. *)
+  let create ?(max_size = Cos_intf.default_max_size) ?worker_bound:_ () =
     if max_size <= 0 then invalid_arg "Fifo.create: max_size must be positive";
     {
       mutex = P.Mutex.create ();
@@ -49,6 +50,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       if not t.in_flight then P.Condition.signal t.can_get
     end;
     P.Mutex.unlock t.mutex
+
+  let insert_batch t cs = Array.iter (insert t) cs
 
   let get t =
     P.Mutex.lock t.mutex;

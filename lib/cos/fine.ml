@@ -39,17 +39,16 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     ready : P.Semaphore.t;
     size : int P.Atomic.t;
     closed : bool P.Atomic.t;
+    close_tokens : int;
   }
 
   let name = "fine-grained"
 
-  (* Tokens released on [close] to wake any thread blocked on the
-     semaphores.  Bounds the supported number of concurrently blocked
-     threads, which is far above the paper's 64 workers. *)
-  let close_tokens = 1024
-
-  let create ?(max_size = Cos_intf.default_max_size) () =
+  let create ?(max_size = Cos_intf.default_max_size) ?(worker_bound = 1024) ()
+      =
     if max_size <= 0 then invalid_arg "Fine.create: max_size must be positive";
+    if worker_bound < 0 then
+      invalid_arg "Fine.create: worker_bound must be non-negative";
     let head =
       { cmd = None; mx = P.Mutex.create (); st = Executing; deps_on = []; next = None }
     in
@@ -59,6 +58,10 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       ready = P.Semaphore.create 0;
       size = P.Atomic.make 0;
       closed = P.Atomic.make false;
+      (* Tokens released on [close] to wake every thread that can be
+         blocked on the semaphores: up to [worker_bound] getters, plus the
+         inserter waiting on up to [max_size] space tokens. *)
+      close_tokens = max_size + worker_bound;
     }
 
   let command (n : handle) =
@@ -96,6 +99,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       P.Mutex.unlock n.mx;
       if is_ready then P.Semaphore.release t.ready
     end
+
+  let insert_batch t cs = Array.iter (insert t) cs
 
   (* One locked traversal looking for the oldest free waiting node; returns
      it marked [Executing], or [None] if the scan finished without a hit
@@ -178,8 +183,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
 
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
-      P.Semaphore.release ~n:close_tokens t.ready;
-      P.Semaphore.release ~n:close_tokens t.space
+      P.Semaphore.release ~n:t.close_tokens t.ready;
+      P.Semaphore.release ~n:t.close_tokens t.space
     end
 
   let pending t = P.Atomic.get t.size

@@ -1,0 +1,412 @@
+(** Key-indexed COS — the lock-free algorithm with an O(|footprint|)
+    insert.
+
+    The concurrent side is exactly [Lockfree]: the same node states
+    ([Ins -> Wtg -> Rdy -> Exe -> Rmd]), the same nonblocking [get]/[remove]
+    over atomics, the same two-semaphore blocking layer.  What changes is
+    the single-threaded insert path.  Where the scan-based insert walks the
+    whole delivery list evaluating the conflict relation against every live
+    node — O(n·c) per insert, which is what saturates the insert thread in
+    the paper's Fig. 2 — the indexed insert keeps a private hash index
+
+    {v  key -> { last writer; readers since that writer }  v}
+
+    over the commands' declared footprints ({!Cos_intf.KEYED_COMMAND}) and
+    finds the dependency edges by key lookup:
+
+    - a {e writer} of [k] depends on the last live writer of [k] and on
+      every live reader since; it then becomes the entry's writer and
+      clears the reader list;
+    - a {e reader} of [k] depends on the last live writer of [k] only and
+      appends itself to the entry's readers (no scan — O(1), so read-mostly
+      workloads pay nothing per older reader).
+
+    Dependencies further back are covered transitively (the previous writer
+    already depends on the writer before it, and on the readers before it),
+    which preserves the COS specification: a command is released only when
+    every older conflicting command has left the structure.
+
+    Index entries go stale as commands are removed (removal is concurrent
+    and never touches the index).  Staleness is benign — a dependency edge
+    to a removed node satisfies [test_ready] immediately, and dead readers
+    are filtered when a writer scans them — but unbounded reader lists and
+    an unboundedly long physical list would creep back to O(n).  Both are
+    reclaimed by a {e sweep} amortized into insert: after every
+    [max_size/2] removals the insert thread walks the list once, physically
+    unlinking removed nodes exactly as [Lockfree]'s insert does, and prunes
+    dead index entries.  Each insert therefore pays O(|footprint|)
+    amortized, independent of graph population.
+
+    [insert_batch] additionally amortizes the blocking layer: one
+    multi-token [space] acquisition and one [ready] release cover a whole
+    delivered batch (chunked to [max_size] to keep the semaphore
+    satisfiable). *)
+
+open Psmr_platform
+
+module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
+  type cmd = C.t
+
+  type status = Ins | Wtg | Rdy | Exe | Rmd
+
+  type node = {
+    cmd : cmd;
+    st : status P.Atomic.t;
+    dep_on : node list P.Atomic.t;  (* nodes this one depends on *)
+    dep_me : node list P.Atomic.t;  (* nodes that depend on this one *)
+    nxt : node option P.Atomic.t;  (* arrival order *)
+  }
+
+  type handle = node
+
+  (* Insert-thread-private index entry for one key. *)
+  type entry = {
+    mutable writer : node option;  (* last writer of the key, if any *)
+    mutable readers : node list;  (* readers since that writer *)
+  }
+
+  type t = {
+    first : node option P.Atomic.t;
+    space : P.Semaphore.t;
+    ready : P.Semaphore.t;
+    size : int P.Atomic.t;
+    closed : bool P.Atomic.t;
+    close_tokens : int;
+    max_size : int;
+    (* Everything below is touched only by the (single) insert thread. *)
+    index : (int, entry) Hashtbl.t;
+    mutable tail : node option;  (* last physically linked node *)
+    (* Removals since the last sweep; workers increment it in [remove],
+       the insert thread reads it and subtracts what it saw. *)
+    removed : int P.Atomic.t;
+    sweep_every : int;
+  }
+
+  let name = "indexed"
+
+  let create ?(max_size = Cos_intf.default_max_size) ?(worker_bound = 1024) ()
+      =
+    if max_size <= 0 then invalid_arg "Indexed.create: max_size must be positive";
+    if worker_bound < 0 then
+      invalid_arg "Indexed.create: worker_bound must be non-negative";
+    {
+      first = P.Atomic.make None;
+      space = P.Semaphore.create max_size;
+      ready = P.Semaphore.create 0;
+      size = P.Atomic.make 0;
+      closed = P.Atomic.make false;
+      (* As in [Lockfree.close]: enough tokens for every blocked getter
+         plus the inserter's multi-token space acquisition. *)
+      close_tokens = max_size + worker_bound;
+      max_size;
+      index = Hashtbl.create 64;
+      tail = None;
+      removed = P.Atomic.make 0;
+      sweep_every = max 16 (max_size / 2);
+    }
+
+  let command (n : handle) = n.cmd
+
+  (* The concurrent machinery below is identical to [Lockfree]. *)
+
+  let test_ready (n : node) =
+    let deps = P.Atomic.get n.dep_on in
+    let all_removed =
+      List.for_all
+        (fun d ->
+          P.work Visit;
+          P.Atomic.get d.st = Rmd)
+        deps
+    in
+    if all_removed && P.Atomic.compare_and_set n.st Wtg Rdy then 1 else 0
+
+  let lf_get t =
+    let rec walk = function
+      | None -> None
+      | Some n ->
+          P.work Visit;
+          if P.Atomic.compare_and_set n.st Rdy Exe then Some n
+          else walk (P.Atomic.get n.nxt)
+    in
+    walk (P.Atomic.get t.first)
+
+  let lf_remove (n : node) =
+    P.Atomic.set n.st Rmd;
+    List.fold_left
+      (fun acc ni -> acc + test_ready ni)
+      0 (P.Atomic.get n.dep_me)
+
+  (* Physically unlink [dead] (state [Rmd]); [prev_live] is the last
+     preceding live node.  Insert-thread only, as in [Lockfree]. *)
+  let helped_remove t (dead : node) (prev_live : node option) =
+    List.iter
+      (fun ni ->
+        P.work Visit;
+        let rest = List.filter (fun d -> d != dead) (P.Atomic.get ni.dep_on) in
+        P.Atomic.set ni.dep_on rest)
+      (P.Atomic.get dead.dep_me);
+    let successor = P.Atomic.get dead.nxt in
+    match prev_live with
+    | None -> P.Atomic.set t.first successor
+    | Some p -> P.Atomic.set p.nxt successor
+
+  let live n = P.Atomic.get n.st <> Rmd
+
+  (* Amortized reclamation: one full walk unlinking removed nodes, then one
+     pass over the index dropping dead writers/readers and empty entries.
+     Runs on the insert thread, so plain reasoning applies to the topology
+     and the hashtable. *)
+  let sweep t =
+    let seen = P.Atomic.get t.removed in
+    let rec walk prev_live cur =
+      match cur with
+      | None -> prev_live
+      | Some n ->
+          P.work Visit;
+          let nxt = P.Atomic.get n.nxt in
+          if P.Atomic.get n.st = Rmd then begin
+            helped_remove t n prev_live;
+            walk prev_live nxt
+          end
+          else walk (Some n) nxt
+    in
+    t.tail <- walk None (P.Atomic.get t.first);
+    let dead_keys = ref [] in
+    Hashtbl.iter
+      (fun key e ->
+        P.work Hash;
+        (match e.writer with
+        | Some w when not (live w) -> e.writer <- None
+        | Some _ | None -> ());
+        e.readers <- List.filter live e.readers;
+        if e.writer = None && e.readers = [] then dead_keys := key :: !dead_keys)
+      t.index;
+    List.iter (Hashtbl.remove t.index) !dead_keys;
+    ignore (P.Atomic.fetch_and_add t.removed (-seen) : int)
+
+  (* The indexed insert.  Returns the number of ready promotions (0 or 1)
+     for the blocking layer to signal, as [Lockfree.lf_insert] does. *)
+  let keyed_insert t c =
+    if P.Atomic.get t.removed >= t.sweep_every then sweep t;
+    P.work Alloc;
+    let nn =
+      {
+        cmd = c;
+        st = P.Atomic.make Ins; (* not promotable until fully inserted *)
+        dep_on = P.Atomic.make [];
+        dep_me = P.Atomic.make [];
+        nxt = P.Atomic.make None;
+      }
+    in
+    (* Promotion-stall guard: as soon as the first [dep_me] edge is in
+       place, a remover can invoke [test_ready nn].  The [Ins] state makes
+       its immediate CAS fail, but a remover that reads the (incomplete)
+       dependency list now and performs the CAS only after insert completes
+       would promote [nn] with live dependencies still unrecorded at read
+       time.  Seeding [dep_on] with [nn] itself — never [Rmd] during its
+       own insert — makes every such early read conclude "not removable";
+       the real list replaces the sentinel below, before [Wtg]. *)
+    P.Atomic.set nn.dep_on [ nn ];
+    let deps = ref [] in
+    let depend_on older =
+      (* [older] may turn [Rmd] between this test and the edge store; that
+         is harmless — [test_ready] accepts removed dependencies, and the
+         final promotion check below runs after every edge is in place. *)
+      if older != nn && live older && not (List.memq older !deps) then begin
+        P.Atomic.set older.dep_me (nn :: P.Atomic.get older.dep_me);
+        deps := older :: !deps
+      end
+    in
+    List.iter
+      (fun (key, is_write) ->
+        P.work Hash;
+        let e =
+          match Hashtbl.find_opt t.index key with
+          | Some e -> e
+          | None ->
+              let e = { writer = None; readers = [] } in
+              Hashtbl.add t.index key e;
+              e
+        in
+        (match e.writer with
+        | Some w -> depend_on w
+        | None -> ());
+        if is_write then begin
+          List.iter
+            (fun r ->
+              P.work Visit;
+              depend_on r)
+            e.readers;
+          e.writer <- Some nn;
+          e.readers <- []
+        end
+        else e.readers <- nn :: e.readers)
+      (C.footprint c);
+    P.Atomic.set nn.dep_on !deps;
+    (match t.tail with
+    | None -> P.Atomic.set t.first (Some nn) (* linearization point *)
+    | Some p -> P.Atomic.set p.nxt (Some nn));
+    t.tail <- Some nn;
+    ignore (P.Atomic.fetch_and_add t.size 1 : int);
+    (* Every edge is in place: open the node for promotion and re-examine
+       it ourselves (a remover may have tried and failed meanwhile). *)
+    P.Atomic.set nn.st Wtg;
+    test_ready nn
+
+  (* Blocking layer (Algorithm 5), as [Lockfree]. *)
+
+  let insert t c =
+    P.Semaphore.acquire t.space;
+    if not (P.Atomic.get t.closed) then begin
+      let promoted = keyed_insert t c in
+      if promoted > 0 then P.Semaphore.release ~n:promoted t.ready
+    end
+
+  (* One semaphore round per chunk instead of per command; chunks are capped
+     at [max_size] so the multi-token acquisition stays satisfiable. *)
+  let insert_batch t cs =
+    let len = Array.length cs in
+    let rec chunks off =
+      if off < len then begin
+        let n = min t.max_size (len - off) in
+        P.Semaphore.acquire ~n t.space;
+        if not (P.Atomic.get t.closed) then begin
+          let promoted = ref 0 in
+          for i = off to off + n - 1 do
+            promoted := !promoted + keyed_insert t cs.(i)
+          done;
+          if !promoted > 0 then P.Semaphore.release ~n:!promoted t.ready
+        end;
+        chunks (off + n)
+      end
+    in
+    chunks 0
+
+  let get t =
+    P.Semaphore.acquire t.ready;
+    let rec attempt () =
+      match lf_get t with
+      | Some n -> Some n
+      | None ->
+          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then None
+          else begin
+            P.yield ();
+            attempt ()
+          end
+    in
+    attempt ()
+
+  let remove t n =
+    let promoted = lf_remove n in
+    ignore (P.Atomic.fetch_and_add t.size (-1) : int);
+    ignore (P.Atomic.fetch_and_add t.removed 1 : int);
+    if promoted > 0 then P.Semaphore.release ~n:promoted t.ready;
+    P.Semaphore.release t.space
+
+  let close t =
+    if not (P.Atomic.exchange t.closed true) then begin
+      P.Semaphore.release ~n:t.close_tokens t.ready;
+      P.Semaphore.release ~n:t.close_tokens t.space
+    end
+
+  let pending t = P.Atomic.get t.size
+
+  (* Read-only structural check (see {!Cos_intf.S.invariant}): the
+     [Lockfree] checks on the shared list, plus index closure.  The index
+     is insert-thread-private, but on the check platform a decision point
+     can fall mid-insert: a node may already sit in the index while still
+     [Ins] and not yet linked, so linkage checks skip [Ins] nodes. *)
+  let invariant ?(strict = false) t =
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    let cap = 1_000_000 in
+    let rec collect acc n visits =
+      if visits > cap then begin
+        err "traversal exceeded %d nodes: cycle suspected" cap;
+        List.rev acc
+      end
+      else
+        match n with
+        | None -> List.rev acc
+        | Some n -> collect (n :: acc) (P.Atomic.get n.nxt) (visits + 1)
+    in
+    let nodes = collect [] (P.Atomic.get t.first) 0 in
+    let n_nodes = List.length nodes in
+    if n_nodes <= 4096 then begin
+      let rec dup = function
+        | [] -> false
+        | n :: rest -> List.memq n rest || dup rest
+      in
+      if dup nodes then err "a node is physically linked more than once"
+    end;
+    let inserting =
+      List.fold_left
+        (fun acc n -> if P.Atomic.get n.st = Ins then acc + 1 else acc)
+        0 nodes
+    in
+    if inserting > 1 then
+      err "%d nodes in the Ins state (single-inserter discipline broken)"
+        inserting;
+    let show = function
+      | Ins -> "Ins"
+      | Wtg -> "Wtg"
+      | Rdy -> "Rdy"
+      | Exe -> "Exe"
+      | Rmd -> "Rmd"
+    in
+    List.iter
+      (fun n ->
+        match P.Atomic.get n.st with
+        | (Rdy | Exe) as s ->
+            List.iter
+              (fun d ->
+                let ds = P.Atomic.get d.st in
+                if ds <> Rmd then
+                  err "node promoted while a dependency is still live (%s %s depends on %s %s)"
+                    (show s)
+                    (Format.asprintf "%a" C.pp n.cmd)
+                    (show ds)
+                    (Format.asprintf "%a" C.pp d.cmd))
+              (P.Atomic.get n.dep_on)
+        | Ins | Wtg | Rmd -> ())
+      nodes;
+    let size = P.Atomic.get t.size in
+    if size < 0 then err "negative size %d" size;
+    if P.Atomic.get t.removed < 0 then err "negative removed-since-sweep count";
+    if strict then begin
+      let live_count =
+        List.fold_left
+          (fun acc n -> if P.Atomic.get n.st <> Rmd then acc + 1 else acc)
+          0 nodes
+      in
+      if live_count <> size then
+        err "live node count %d <> size %d" live_count size;
+      List.iter
+        (fun n ->
+          List.iter
+            (fun d ->
+              if not (List.memq d nodes) then
+                err "dependency edge to an unlinked node")
+            (P.Atomic.get n.dep_on))
+        nodes;
+      if n_nodes <= 4096 then begin
+        (* Index closure: every live, fully inserted node the index can
+           hand out as a dependency must still be physically linked. *)
+        let check_indexed what n =
+          match P.Atomic.get n.st with
+          | Ins | Rmd -> ()
+          | Wtg | Rdy | Exe ->
+              if not (List.memq n nodes) then
+                err "index %s points to a live but unlinked node" what
+        in
+        Hashtbl.iter
+          (fun _key e ->
+            (match e.writer with
+            | Some w -> check_indexed "writer" w
+            | None -> ());
+            List.iter (check_indexed "reader") e.readers)
+          t.index
+      end
+    end;
+    List.rev !errs
+end

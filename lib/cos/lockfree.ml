@@ -62,19 +62,28 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     ready : P.Semaphore.t;
     size : int P.Atomic.t;
     closed : bool P.Atomic.t;
+    close_tokens : int;
   }
 
   let name = "lock-free"
-  let close_tokens = 1024
 
-  let create ?(max_size = Cos_intf.default_max_size) () =
+  let create ?(max_size = Cos_intf.default_max_size) ?(worker_bound = 1024) ()
+      =
     if max_size <= 0 then invalid_arg "Lockfree.create: max_size must be positive";
+    if worker_bound < 0 then
+      invalid_arg "Lockfree.create: worker_bound must be non-negative";
     {
       first = P.Atomic.make None;
       space = P.Semaphore.create max_size;
       ready = P.Semaphore.create 0;
       size = P.Atomic.make 0;
       closed = P.Atomic.make false;
+      (* [close] floods both semaphores so that everything blocked — up to
+         [worker_bound] getters on [ready], plus the inserter waiting on up
+         to [max_size] [space] tokens at once — wakes and observes
+         [closed].  A fixed 1024 used to deadlock close for
+         [max_size > 1024]. *)
+      close_tokens = max_size + worker_bound;
     }
 
   let command (n : handle) = n.cmd
@@ -122,6 +131,15 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
         nxt = P.Atomic.make None;
       }
     in
+    (* Promotion-stall guard: once the scan installs a [dep_me] edge, a
+       remover can invoke [test_ready nn].  [Ins] makes its immediate CAS
+       fail, but a remover that reads the still-growing dependency list
+       now and performs the CAS only after this insert completes would
+       promote [nn] although dependencies recorded after its read are
+       still live.  Seeding [dep_on] with [nn] itself — never [Rmd] during
+       its own insert — makes every such early read conclude "not
+       removable"; the sentinel is stripped below, before [Wtg]. *)
+    P.Atomic.set nn.dep_on [ nn ];
     let rec walk prev_live cur =
       match cur with
       | None -> prev_live
@@ -146,9 +164,11 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     | None -> P.Atomic.set t.first (Some nn) (* linearization point: insert *)
     | Some p -> P.Atomic.set p.nxt (Some nn));
     ignore (P.Atomic.fetch_and_add t.size 1 : int);
-    (* Every edge is in place: open the node for promotion and re-examine
-       it ourselves (a remover may have tried and failed while we were
-       still building the dependency set). *)
+    (* Every edge is in place: drop the sentinel, open the node for
+       promotion and re-examine it ourselves (a remover may have tried and
+       failed while we were still building the dependency set). *)
+    P.Atomic.set nn.dep_on
+      (List.filter (fun d -> d != nn) (P.Atomic.get nn.dep_on));
     P.Atomic.set nn.st Wtg;
     test_ready nn
 
@@ -180,6 +200,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       if promoted > 0 then P.Semaphore.release ~n:promoted t.ready
     end
 
+  let insert_batch t cs = Array.iter (insert t) cs
+
   let get t =
     P.Semaphore.acquire t.ready;
     let rec attempt () =
@@ -205,8 +227,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
 
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
-      P.Semaphore.release ~n:close_tokens t.ready;
-      P.Semaphore.release ~n:close_tokens t.space
+      P.Semaphore.release ~n:t.close_tokens t.ready;
+      P.Semaphore.release ~n:t.close_tokens t.space
     end
 
   let pending t = P.Atomic.get t.size

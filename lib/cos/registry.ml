@@ -9,10 +9,16 @@ type impl =
   | Lockfree
   | Fifo
   | Striped of int  (** segment capacity (nodes per lock) *)
+  | Indexed
 
-let all = [ Coarse; Fine; Lockfree ]
+let paper = [ Coarse; Fine; Lockfree ]
 (** The paper's three algorithms (without the sequential baseline and the
-    granular-locking extension). *)
+    two extensions). *)
+
+let all = [ Coarse; Fine; Lockfree; Fifo; Striped 16; Indexed ]
+(** Every implementation the registry can dispatch to: the paper's three,
+    the sequential baseline, the granular-locking extension (at its default
+    capacity) and the key-indexed extension. *)
 
 let to_string = function
   | Coarse -> "coarse-grained"
@@ -20,6 +26,7 @@ let to_string = function
   | Lockfree -> "lock-free"
   | Fifo -> "fifo"
   | Striped k -> Printf.sprintf "striped-%d" k
+  | Indexed -> "indexed"
 
 let of_string s =
   match String.lowercase_ascii s with
@@ -28,6 +35,7 @@ let of_string s =
   | "lockfree" | "lock-free" -> Some Lockfree
   | "fifo" | "sequential" -> Some Fifo
   | "striped" -> Some (Striped 16)
+  | "indexed" -> Some Indexed
   | s when String.length s > 8 && String.sub s 0 8 = "striped-" -> (
       match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
       | Some k when k > 0 -> Some (Striped k)
@@ -47,3 +55,15 @@ let instantiate (type c) impl (module P : Platform_intf.S)
         let segment_capacity = k
       end in
       (module Striped.Make_sized (Size) (P) (C))
+  | Indexed ->
+      invalid_arg
+        "Registry.instantiate: the indexed COS needs key footprints; use \
+         instantiate_keyed with a KEYED_COMMAND"
+
+let instantiate_keyed (type c) impl (module P : Platform_intf.S)
+    (module C : Cos_intf.KEYED_COMMAND with type t = c) :
+    (module Cos_intf.S with type cmd = c) =
+  match impl with
+  | Indexed -> (module Indexed.Make (P) (C))
+  | Coarse | Fine | Lockfree | Fifo | Striped _ ->
+      instantiate impl (module P) (module C)

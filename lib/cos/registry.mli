@@ -10,18 +10,36 @@ type impl =
   | Lockfree  (** Algorithms 5-7: nonblocking graph + semaphore layer *)
   | Fifo  (** sequential baseline *)
   | Striped of int  (** granular locks: segment capacity per lock *)
+  | Indexed  (** lock-free graph with key-indexed O(|footprint|) insert *)
+
+val paper : impl list
+(** The paper's three algorithms, in presentation order — what the
+    reproduced figures compare. *)
 
 val all : impl list
-(** The paper's three algorithms, in presentation order. *)
+(** Every dispatchable implementation: {!paper} plus the sequential
+    baseline, the striped extension (default capacity) and the key-indexed
+    extension. *)
 
 val to_string : impl -> string
 
 val of_string : string -> impl option
 (** Accepts "coarse[-grained]", "fine[-grained]", "lockfree"/"lock-free",
-    "fifo"/"sequential", "striped" and "striped-<k>". *)
+    "fifo"/"sequential", "striped", "striped-<k>" and "indexed".
+    Round-trips with {!to_string}. *)
 
 val instantiate :
   impl ->
   (module Platform_intf.S) ->
   (module Cos_intf.COMMAND with type t = 'c) ->
   (module Cos_intf.S with type cmd = 'c)
+(** Raises [Invalid_argument] on {!Indexed}, which needs footprints — use
+    {!instantiate_keyed}. *)
+
+val instantiate_keyed :
+  impl ->
+  (module Platform_intf.S) ->
+  (module Cos_intf.KEYED_COMMAND with type t = 'c) ->
+  (module Cos_intf.S with type cmd = 'c)
+(** Like {!instantiate} but for commands with key footprints; dispatches
+    every implementation, including {!Indexed}. *)

@@ -51,6 +51,7 @@ struct
     ready : P.Semaphore.t;
     size : int P.Atomic.t;
     closed : bool P.Atomic.t;
+    close_tokens : int;
   }
 
   let capacity =
@@ -59,7 +60,6 @@ struct
     else Size.segment_capacity
 
   let name = Printf.sprintf "striped-%d" capacity
-  let close_tokens = 1024
 
   let new_segment () =
     {
@@ -70,8 +70,11 @@ struct
       next = None;
     }
 
-  let create ?(max_size = Cos_intf.default_max_size) () =
+  let create ?(max_size = Cos_intf.default_max_size) ?(worker_bound = 1024) ()
+      =
     if max_size <= 0 then invalid_arg "Striped.create: max_size must be positive";
+    if worker_bound < 0 then
+      invalid_arg "Striped.create: worker_bound must be non-negative";
     let head = new_segment () in
     (* The sentinel is permanently "full and dead" so nothing is stored in
        it but it is never unlinked. *)
@@ -83,6 +86,10 @@ struct
       ready = P.Semaphore.create 0;
       size = P.Atomic.make 0;
       closed = P.Atomic.make false;
+      (* [close] must wake every blocked getter (bounded by
+         [worker_bound]) and the inserter (waiting on up to [max_size]
+         space tokens). *)
+      close_tokens = max_size + worker_bound;
     }
 
   let command (n : handle) = n.cmd
@@ -154,6 +161,8 @@ struct
       P.Mutex.lock t.head.mx;
       walk t.head []
     end
+
+  let insert_batch t cs = Array.iter (insert t) cs
 
   (* Scan for the oldest free waiting node; [None] if the backing node was
      taken behind the scan position (caller rescans). *)
@@ -233,8 +242,8 @@ struct
 
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
-      P.Semaphore.release ~n:close_tokens t.ready;
-      P.Semaphore.release ~n:close_tokens t.space
+      P.Semaphore.release ~n:t.close_tokens t.ready;
+      P.Semaphore.release ~n:t.close_tokens t.space
     end
 
   let pending t = P.Atomic.get t.size

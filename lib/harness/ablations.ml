@@ -63,7 +63,7 @@ let graph_size ?(workers = 16) ?(write_pct = 5.0)
           sizes
       in
       { Psmr_util.Table.name = Psmr_cos.Registry.to_string impl; points })
-    Psmr_cos.Registry.all
+    Psmr_cos.Registry.paper
 
 (* --- the realistic conflict band (0.3%..2% writes) --- *)
 
@@ -84,7 +84,86 @@ let realistic_conflicts ?(workers = 16)
           write_pcts
       in
       { Psmr_util.Table.name = Psmr_cos.Registry.to_string impl; points })
-    Psmr_cos.Registry.all
+    Psmr_cos.Registry.paper
+
+(* --- indexed vs scan-based insert --- *)
+
+(** Throughput of the key-indexed COS against the lock-free scan baseline
+    in the Fig. 2 standalone setup (light cost, 0% writes), with and
+    without delivery-time batching.  The insert thread is the bottleneck
+    here, so eliminating its O(n) scan moves the whole curve. *)
+let indexed_vs_scan ?(write_pct = 0.0)
+    ?(worker_counts = [ 1; 2; 4; 8; 16; 32; 64 ]) ?(batch = 16) ?duration
+    ?warmup () =
+  let series name impl batch =
+    let points =
+      List.map
+        (fun w ->
+          let r =
+            Standalone.run ~impl ~workers:w ~batch
+              ~spec:{ Workload.write_pct; cost = Workload.Light }
+              ?duration ?warmup ()
+          in
+          (float_of_int w, r.kops))
+        worker_counts
+    in
+    { Psmr_util.Table.name; points }
+  in
+  [
+    series "lock-free (scan insert)" Psmr_cos.Registry.Lockfree 1;
+    series "indexed" Psmr_cos.Registry.Indexed 1;
+    series (Printf.sprintf "indexed, batch %d" batch) Psmr_cos.Registry.Indexed
+      batch;
+  ]
+
+(* Readers-writers command for the micro-measure below (same relation as
+   [Standalone]'s internal command). *)
+module Rw_cmd = struct
+  type t = bool
+
+  let conflict a b = a || b
+  let footprint w = [ (0, w) ]
+  let pp ppf w = Format.pp_print_string ppf (if w then "w" else "r")
+end
+
+(** Per-insert virtual-time cost as a function of graph population, with no
+    workers attached (every inserted command stays live): the scan-based
+    insert is linear in the population, the indexed insert flat.  Returns
+    (population, ns per insert) series. *)
+let insert_cost_vs_population
+    ?(impls = [ Psmr_cos.Registry.Lockfree; Psmr_cos.Registry.Indexed ])
+    ?(populations = [ 10; 50; 100; 200; 400; 800 ]) ?(measured = 200)
+    ?(write_pct = 5.0) ?(seed = 11L) () =
+  List.map
+    (fun impl ->
+      let points =
+        List.map
+          (fun pop ->
+            let engine = Psmr_sim.Engine.create () in
+            let (module SP) = Psmr_sim.Sim_platform.make engine Model.sim_costs in
+            let (module Cos : Psmr_cos.Cos_intf.S with type cmd = bool) =
+              Psmr_cos.Registry.instantiate_keyed impl (module SP)
+                (module Rw_cmd)
+            in
+            let rng = Psmr_util.Rng.create ~seed in
+            let per_insert = ref 0.0 in
+            Psmr_sim.Engine.spawn engine (fun () ->
+                let cos = Cos.create ~max_size:(pop + measured) () in
+                for _ = 1 to pop do
+                  Cos.insert cos (Psmr_util.Rng.below_percent rng write_pct)
+                done;
+                let t0 = SP.now () in
+                for _ = 1 to measured do
+                  Cos.insert cos (Psmr_util.Rng.below_percent rng write_pct)
+                done;
+                per_insert :=
+                  (SP.now () -. t0) /. float_of_int measured *. 1e9);
+            Psmr_sim.Engine.run engine;
+            (float_of_int pop, !per_insert))
+          populations
+      in
+      { Psmr_util.Table.name = Psmr_cos.Registry.to_string impl; points })
+    impls
 
 (* --- early vs late scheduling --- *)
 

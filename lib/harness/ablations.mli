@@ -1,5 +1,5 @@
 (** Ablation experiments beyond the paper's figures — see each function and
-    DESIGN.md's experiment index (A1-A5). *)
+    DESIGN.md's experiment index (A1-A6). *)
 
 val granularity :
   ?workers:int ->
@@ -30,6 +30,32 @@ val realistic_conflicts :
   unit ->
   Psmr_util.Table.series list
 (** A3 — the 0.3–2% conflict band the paper cites as realistic (§7.4.2). *)
+
+val indexed_vs_scan :
+  ?write_pct:float ->
+  ?worker_counts:int list ->
+  ?batch:int ->
+  ?duration:float ->
+  ?warmup:float ->
+  unit ->
+  Psmr_util.Table.series list
+(** A6 — key-indexed insert vs the lock-free scan baseline in the Fig. 2
+    standalone setup (light cost, 0% writes by default): throughput per
+    worker count for the scan insert, the indexed insert, and the indexed
+    insert fed through the batched delivery path. *)
+
+val insert_cost_vs_population :
+  ?impls:Psmr_cos.Registry.impl list ->
+  ?populations:int list ->
+  ?measured:int ->
+  ?write_pct:float ->
+  ?seed:int64 ->
+  unit ->
+  Psmr_util.Table.series list
+(** A6 companion micro-measure: per-insert virtual-time cost (ns) as a
+    function of graph population with no workers attached, so every
+    inserted command stays live.  Scan-based inserts grow linearly with
+    the population; the indexed insert stays flat. *)
 
 val run_early :
   workers:int ->

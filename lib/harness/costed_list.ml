@@ -46,5 +46,6 @@ let restore t data =
   List.iter (fun k -> Hashtbl.replace t.extra k ()) extras
 
 let conflict = Psmr_app.Linked_list.conflict
+let footprint = Psmr_app.Linked_list.footprint
 let pp_command = Psmr_app.Linked_list.pp_command
 let pp_response = Format.pp_print_bool

@@ -22,5 +22,6 @@ val restore : t -> string -> unit
     [execute]. *)
 
 val conflict : command -> command -> bool
+val footprint : command -> (int * bool) list
 val pp_command : Format.formatter -> command -> unit
 val pp_response : Format.formatter -> response -> unit

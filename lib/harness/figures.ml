@@ -57,7 +57,7 @@ let fast_options =
     client_sweep = [ 10; 50; 100; 200 ];
   }
 
-let impls = Psmr_cos.Registry.all
+let impls = Psmr_cos.Registry.paper
 
 let note opts fmt =
   if opts.progress then Printf.eprintf (fmt ^^ "\n%!")
@@ -283,6 +283,12 @@ let render_ablations opts =
   out "## Ablation: realistic conflict band 0.3-2%% (moderate, 16 workers)\n\n%s\n"
     (Psmr_util.Table.render_series ~x_label:"% writes" ~y_label:"kops/s"
        (Ablations.realistic_conflicts ~duration:d ~warmup:w ()));
+  out "## Ablation: indexed vs scan-based insert (light, 0%% writes)\n\n%s\n"
+    (Psmr_util.Table.render_series ~x_label:"workers" ~y_label:"kops/s"
+       (Ablations.indexed_vs_scan ~duration:d ~warmup:w ()));
+  out "## Ablation: per-insert cost vs graph population (no workers)\n\n%s\n"
+    (Psmr_util.Table.render_series ~x_label:"population" ~y_label:"ns/insert"
+       (Ablations.insert_cost_vs_population ()));
   out "## Ablation: early vs late scheduling (light, 16 workers)\n\n%s\n"
     (Psmr_util.Table.render_series ~x_label:"% writes" ~y_label:"kops/s"
        (Ablations.early_vs_late ~duration:d ~warmup:w ()));

@@ -39,6 +39,10 @@ let sim_costs : Psmr_sim.Costs.t =
     conflict_check = ns 25.0;
     alloc = ns 400.0;
     marshal = ns 1200.0;
+    (* One hashtable probe over in-cache buckets; calibrated against the
+       Bechamel [Hashtbl] micro-bench (bench/main.ml, EXPERIMENTS.md):
+       find-150 58 ns, replace-150 54 ns on the reference container. *)
+    hash = ns 55.0;
   }
 
 (** Command execution cost: scanning the linked list.
@@ -91,6 +95,9 @@ let fig3_best_workers cost (impl : Psmr_cos.Registry.impl) =
   | Heavy, Coarse -> 48
   | Heavy, Fine -> 32
   | Heavy, Lockfree -> 64
+  | Light, Indexed -> 2
+  | Moderate, Indexed -> 16
+  | Heavy, Indexed -> 64
   | _, (Fifo | Striped _) -> 1
 
 let fig5_best_workers cost (impl : Psmr_cos.Registry.impl) =
@@ -104,4 +111,7 @@ let fig5_best_workers cost (impl : Psmr_cos.Registry.impl) =
   | Heavy, Coarse -> 40
   | Heavy, Fine -> 32
   | Heavy, Lockfree -> 64
+  | Light, Indexed -> 8
+  | Moderate, Indexed -> 32
+  | Heavy, Indexed -> 64
   | _, (Fifo | Striped _) -> 1

@@ -6,11 +6,13 @@
     cores for the workload's scan time. *)
 
 (* The COS only needs to know whether a command writes: reads conflict with
-   writers, writers with everything (the readers-writers list relation). *)
+   writers, writers with everything (the readers-writers list relation).
+   The footprint view is one shared variable. *)
 module Rw = struct
   type t = bool (* is_write *)
 
   let conflict a b = a || b
+  let footprint w = [ (0, w) ]
   let pp ppf w = Format.pp_print_string ppf (if w then "w" else "r")
 end
 
@@ -24,12 +26,13 @@ let default_duration = 0.08
 let default_warmup = 0.02
 
 let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
-    ?(costs = Model.sim_costs) ?(duration = default_duration)
+    ?(batch = 1) ?(costs = Model.sim_costs) ?(duration = default_duration)
     ?(warmup = default_warmup) ?(seed = 42L) () =
+  if batch <= 0 then invalid_arg "Standalone.run: batch must be positive";
   let engine = Psmr_sim.Engine.create () in
   let (module SP) = Psmr_sim.Sim_platform.make engine costs in
   let (module Cos : Psmr_cos.Cos_intf.S with type cmd = bool) =
-    Psmr_cos.Registry.instantiate impl (module SP) (module Rw)
+    Psmr_cos.Registry.instantiate_keyed impl (module SP) (module Rw)
   in
   let module Sched = Psmr_sched.Scheduler.Make (SP) (Cos) in
   let cpu = Psmr_sim.Sim_sync.Cpu.create ~cores:Model.cores in
@@ -44,11 +47,25 @@ let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
      thread looped without waiting interval ... and invoked insert"). *)
   let rng = Psmr_util.Rng.create ~seed in
   Psmr_sim.Engine.spawn engine (fun () ->
-      let rec feed () =
-        Sched.submit sched (Psmr_util.Rng.below_percent rng spec.write_pct);
+      if batch = 1 then
+        let rec feed () =
+          Sched.submit sched (Psmr_util.Rng.below_percent rng spec.write_pct);
+          feed ()
+        in
         feed ()
-      in
-      feed ());
+      else
+        (* Delivery-time batching: commands arrive [batch] at a time, as
+           from an ordering protocol, and are inserted via the batched
+           path. *)
+        let rec feed () =
+          let cs =
+            Array.init batch (fun _ ->
+                Psmr_util.Rng.below_percent rng spec.write_pct)
+          in
+          Sched.submit_batch sched cs;
+          feed ()
+        in
+        feed ());
   (* Population probe: samples the graph occupancy during the window. *)
   let pop_sum = ref 0 and pop_n = ref 0 in
   Psmr_sim.Engine.spawn engine (fun () ->

@@ -16,6 +16,7 @@ val run :
   workers:int ->
   spec:Psmr_workload.Workload.spec ->
   ?max_size:int ->
+  ?batch:int ->
   ?costs:Psmr_sim.Costs.t ->
   ?duration:float ->
   ?warmup:float ->
@@ -23,5 +24,7 @@ val run :
   unit ->
   result
 (** Deterministic for fixed arguments (virtual time). [max_size] bounds the
-    dependency graph (default 150, the paper's setting); [costs] overrides
-    the calibrated model (for sensitivity studies). *)
+    dependency graph (default 150, the paper's setting); [batch] (default 1)
+    feeds the inserter through the COS's batched path, [batch] commands per
+    delivery; [costs] overrides the calibrated model (for sensitivity
+    studies). *)

@@ -45,8 +45,12 @@ module type SEMAPHORE = sig
   val create : int -> t
   (** [create n] returns a counting semaphore with initial value [n >= 0]. *)
 
-  val acquire : t -> unit
-  (** Decrement, blocking while the value is zero. *)
+  val acquire : ?n:int -> t -> unit
+  (** [acquire ?n t] decrements by [n] (default 1), blocking until all [n]
+      tokens have been taken.  Tokens are taken as they become available, so
+      concurrent multi-token acquirers may interleave; the COS algorithms
+      only ever multi-acquire from the single insert thread.  Callers must
+      not request more tokens than the semaphore can ever hold. *)
 
   val release : ?n:int -> t -> unit
   (** Increment by [n] (default 1), waking blocked acquirers. *)
@@ -81,6 +85,9 @@ type work_kind =
   | Marshal
       (** per-command protocol processing on a replica's delivery path
           (deserialization, envelope construction, reply serialization) *)
+  | Hash
+      (** one hash-index lookup or update on the keyed insert path (a
+          hashtable probe over a command's key footprint) *)
 
 module type S = sig
   val name : string

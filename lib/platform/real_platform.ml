@@ -29,7 +29,10 @@ module Semaphore = struct
   type t = Sys_semaphore.Counting.t
 
   let create n = Sys_semaphore.Counting.make n
-  let acquire t = Sys_semaphore.Counting.acquire t
+  let acquire ?(n = 1) t =
+    for _ = 1 to n do
+      Sys_semaphore.Counting.acquire t
+    done
 
   let release ?(n = 1) t =
     for _ = 1 to n do

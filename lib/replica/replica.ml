@@ -49,11 +49,13 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
     | Snapshot of { state : string; rids : (int * int) list; seq : int }
         (** service state + at-most-once table, cut at batch [seq] *)
 
-  (* The COS sees envelopes; conflicts come from the service's relation. *)
+  (* The COS sees envelopes; conflicts and footprints come from the
+     service's relation. *)
   module Env_cmd = struct
     type t = envelope
 
     let conflict a b = S.conflict a.cmd b.cmd
+    let footprint e = S.footprint e.cmd
     let pp ppf e = Format.fprintf ppf "c%d/r%d" e.client e.rid
   end
 
@@ -61,6 +63,8 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
 
   type executor = {
     exec_submit : envelope -> unit;
+    exec_submit_batch : envelope array -> unit;
+        (* same as submitting each, but one synchronization round *)
     exec_drain : unit -> unit;  (* wait until everything submitted executed *)
     exec_shutdown : unit -> unit;
     exec_executed : unit -> int;
@@ -108,11 +112,13 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
 
   let sequential_executor ~apply =
     let executed = P.Atomic.make 0 in
+    let submit e =
+      apply e;
+      ignore (P.Atomic.fetch_and_add executed 1 : int)
+    in
     {
-      exec_submit =
-        (fun e ->
-          apply e;
-          ignore (P.Atomic.fetch_and_add executed 1 : int));
+      exec_submit = submit;
+      exec_submit_batch = (fun es -> Array.iter submit es);
       exec_drain = (fun () -> ());
       exec_shutdown = (fun () -> ());
       exec_executed = (fun () -> P.Atomic.get executed);
@@ -120,12 +126,13 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
 
   let parallel_executor ~impl ~workers ~max_size ~apply =
     let (module Cos : Psmr_cos.Cos_intf.S with type cmd = envelope) =
-      Psmr_cos.Registry.instantiate impl (module P) (module Env_cmd)
+      Psmr_cos.Registry.instantiate_keyed impl (module P) (module Env_cmd)
     in
     let module Sched = Psmr_sched.Scheduler.Make (P) (Cos) in
     let sched = Sched.start ?max_size ~workers ~execute:apply () in
     {
       exec_submit = (fun e -> Sched.submit sched e);
+      exec_submit_batch = (fun es -> Sched.submit_batch sched es);
       exec_drain = (fun () -> Sched.drain sched);
       exec_shutdown = (fun () -> Sched.shutdown sched);
       exec_executed = (fun () -> Sched.executed sched);
@@ -325,8 +332,9 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
             (* Duplicate suppression happens before scheduling: a retried
                request whose original is still in flight is dropped (the
                original will reply); one already executed gets the cached
-               reply replayed. *)
-            let apply_one (e : envelope) =
+               reply replayed.  Returns whether the envelope is fresh and
+               should be scheduled. *)
+            let screen_one (e : envelope) =
               (* Per-command protocol processing (deserialization, reply
                  envelope) — the CPU share the ordering stack takes on the
                  replica, visible only under the simulated cost model. *)
@@ -340,16 +348,27 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
                 P.Mutex.lock cache_mutex;
                 let cached = cache_find cache e.client e.rid in
                 P.Mutex.unlock cache_mutex;
-                match cached with
+                (match cached with
                 | Some resp ->
                     Net.send net ~src:id ~dst:e.client
                       (Reply { rid = e.rid; resp; replica = id })
-                | None -> ()
+                | None -> ());
+                false
               end
               else begin
                 Hashtbl.replace seen_rid e.client e.rid;
-                executor.exec_submit e
+                true
               end
+            in
+            (* The delivered batch reaches the executor as one batch (minus
+               duplicates), so the COS can amortize per-command
+               synchronization over it. *)
+            let apply_batch (batch : envelope array) =
+              let fresh = Array.to_list batch |> List.filter screen_one in
+              match fresh with
+              | [] -> ()
+              | [ e ] -> executor.exec_submit e
+              | es -> executor.exec_submit_batch (Array.of_list es)
             in
             let last_applied_seq = ref (-1) in
             let run_applier () =
@@ -357,7 +376,7 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
                 match MB.take apply_box with
                 | None -> executor.exec_shutdown ()
                 | Some (Apply (batch, seq)) ->
-                    Array.iter apply_one batch;
+                    apply_batch batch;
                     last_applied_seq := seq;
                     loop ()
                 | Some (Take_snapshot reply) ->

@@ -24,7 +24,7 @@ module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) = struct
 
   let start ?max_size ~workers ~execute () =
     if workers <= 0 then invalid_arg "Scheduler.start: workers must be positive";
-    let cos = Cos.create ?max_size () in
+    let cos = Cos.create ?max_size ~worker_bound:workers () in
     let t =
       {
         cos;
@@ -52,6 +52,10 @@ module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) = struct
   let submit t c =
     ignore (P.Atomic.fetch_and_add t.submitted 1 : int);
     Cos.insert t.cos c
+
+  let submit_batch t cs =
+    ignore (P.Atomic.fetch_and_add t.submitted (Array.length cs) : int);
+    Cos.insert_batch t.cos cs
 
   let submitted t = P.Atomic.get t.submitted
   let executed t = P.Atomic.get t.executed

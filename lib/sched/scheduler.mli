@@ -25,6 +25,11 @@ module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) : sig
   (** Insert the next command, in delivery order.  Single-threaded caller
       (the scheduler); blocks while the COS is full. *)
 
+  val submit_batch : t -> Cos.cmd array -> unit
+  (** Insert a whole delivered batch, in array order; equivalent to
+      submitting each command but lets the COS amortize its per-command
+      synchronization.  Same single-threaded contract as {!submit}. *)
+
   val submitted : t -> int
   val executed : t -> int
 

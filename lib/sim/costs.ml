@@ -11,6 +11,7 @@ type t = {
   conflict_check : float;
   alloc : float;
   marshal : float;
+  hash : float;
 }
 
 let ns x = x *. 1e-9
@@ -29,6 +30,7 @@ let default =
     conflict_check = ns 12.0;
     alloc = ns 150.0;
     marshal = ns 800.0;
+    hash = ns 35.0;
   }
 
 let zero =
@@ -45,4 +47,5 @@ let zero =
     conflict_check = 0.0;
     alloc = 0.0;
     marshal = 0.0;
+    hash = 0.0;
   }

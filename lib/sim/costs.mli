@@ -26,6 +26,8 @@ type t = {
   marshal : float;
       (** per-command protocol processing (deserialize, envelope, reply
           serialization) on a replica's delivery path *)
+  hash : float;
+      (** one hash-index probe (lookup or update) on the keyed insert path *)
 }
 
 val default : t

@@ -80,4 +80,5 @@ let make (engine : Engine.t) (costs : Costs.t) : (module Platform_intf.S) =
       | Conflict_check -> Engine.delay costs.conflict_check
       | Alloc -> Engine.delay costs.alloc
       | Marshal -> Engine.delay costs.marshal
+      | Hash -> Engine.delay costs.hash
   end)

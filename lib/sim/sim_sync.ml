@@ -82,14 +82,19 @@ module Semaphore = struct
     if n < 0 then invalid_arg "Sim_sync.Semaphore.create: negative count";
     { costs; count = n; waiters = Queue.create () }
 
-  let acquire t =
+  let acquire ?(n = 1) t =
+    (* One bookkeeping charge regardless of [n]: multi-token acquisition is
+       the batched-insert amortization.  Each token still missing costs a
+       suspension (and thus a wake-up) of its own. *)
     Engine.delay t.costs.semaphore_op;
-    if t.count > 0 then t.count <- t.count - 1
-    else begin
-      Engine.suspend (fun resume -> Queue.push resume t.waiters);
-      (* The token was handed to us by [release]. *)
-      Engine.delay t.costs.wakeup
-    end
+    for _ = 1 to n do
+      if t.count > 0 then t.count <- t.count - 1
+      else begin
+        Engine.suspend (fun resume -> Queue.push resume t.waiters);
+        (* The token was handed to us by [release]. *)
+        Engine.delay t.costs.wakeup
+      end
+    done
 
   let release ?(n = 1) t =
     Engine.delay t.costs.semaphore_op;

@@ -31,7 +31,7 @@ module Semaphore : sig
   type t
 
   val create : Costs.t -> int -> t
-  val acquire : t -> unit
+  val acquire : ?n:int -> t -> unit
   val release : ?n:int -> t -> unit
   val value : t -> int
 end

@@ -15,6 +15,7 @@ let impls =
     (Psmr_cos.Registry.Lockfree, "lockfree");
     (Psmr_cos.Registry.Striped 4, "striped-4");
     (Psmr_cos.Registry.Fifo, "fifo");
+    (Psmr_cos.Registry.Indexed, "indexed");
   ]
 
 let sc ?target ?(workers = 2) ?(commands = 6) ?(write_pct = 50.0)

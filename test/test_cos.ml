@@ -11,6 +11,9 @@ module Rw_cmd = struct
   type t = { idx : int; write : bool }
 
   let conflict a b = a.write || b.write
+
+  (* Footprint view of the same relation: one shared variable. *)
+  let footprint c = [ (0, c.write) ]
   let pp ppf c = Format.fprintf ppf "%s%d" (if c.write then "w" else "r") c.idx
 end
 
@@ -24,15 +27,16 @@ let impls =
     (Registry.Lockfree, "lockfree");
     (Registry.Striped 4, "striped-4");
     (Registry.Striped 16, "striped-16");
+    (Registry.Indexed, "indexed");
   ]
 
 (* The close-semantics tests additionally cover the sequential fifo
-   baseline: shutdown behaviour must be uniform across all five variants. *)
+   baseline: shutdown behaviour must be uniform across every variant. *)
 let impls_with_fifo = impls @ [ (Registry.Fifo, "fifo") ]
 
 let impl_cos impl :
     (module Cos_intf.S with type cmd = Rw_cmd.t) =
-  Registry.instantiate impl (module RP) (module Rw_cmd)
+  Registry.instantiate_keyed impl (module RP) (module Rw_cmd)
 
 (* --- registry --- *)
 
@@ -54,6 +58,7 @@ let test_registry_parsing () =
   check "striped-4" (Some (Registry.Striped 4));
   check "striped-0" None;
   check "striped-x" None;
+  check "indexed" (Some Registry.Indexed);
   check "optimistic" None
 
 let test_registry_roundtrip () =
@@ -345,7 +350,7 @@ let test_sim_scheduler impl () =
   let e = Engine.create () in
   let (module SP) = Sim_platform.make e Costs.default in
   let (module S : Cos_intf.S with type cmd = Rw_cmd.t) =
-    Registry.instantiate impl (module SP) (module Rw_cmd)
+    Registry.instantiate_keyed impl (module SP) (module Rw_cmd)
   in
   let module Sched = Psmr_sched.Scheduler.Make (SP) (S) in
   let executed_order = ref [] in
@@ -375,7 +380,7 @@ let test_sim_determinism impl () =
     let e = Engine.create () in
     let (module SP) = Sim_platform.make e Costs.default in
     let (module S : Cos_intf.S with type cmd = Rw_cmd.t) =
-      Registry.instantiate impl (module SP) (module Rw_cmd)
+      Registry.instantiate_keyed impl (module SP) (module Rw_cmd)
     in
     let module Sched = Psmr_sched.Scheduler.Make (SP) (S) in
     Engine.spawn e (fun () ->
@@ -405,10 +410,11 @@ let kv_equivalence impl =
         type t = int * Psmr_app.Kv_store.command
 
         let conflict (_, a) (_, b) = Psmr_app.Kv_store.conflict a b
+        let footprint (_, c) = Psmr_app.Kv_store.footprint c
         let pp ppf (i, c) = Format.fprintf ppf "%d:%a" i Psmr_app.Kv_store.pp_command c
       end in
       let (module S : Cos_intf.S with type cmd = KC.t) =
-        Registry.instantiate impl (module RP) (module KC)
+        Registry.instantiate_keyed impl (module RP) (module KC)
       in
       let module Sched = Psmr_sched.Scheduler.Make (RP) (S) in
       let cmds =
@@ -523,10 +529,11 @@ let sim_schedule_equivalence impl =
         type t = int * Psmr_app.Kv_store.command
 
         let conflict (_, a) (_, b) = Psmr_app.Kv_store.conflict a b
+        let footprint (_, c) = Psmr_app.Kv_store.footprint c
         let pp ppf (i, _) = Format.pp_print_int ppf i
       end in
       let (module S : Cos_intf.S with type cmd = KC.t) =
-        Registry.instantiate impl (module SP) (module KC)
+        Registry.instantiate_keyed impl (module SP) (module KC)
       in
       let module Sched = Psmr_sched.Scheduler.Make (SP) (S) in
       let cmds =
@@ -599,10 +606,11 @@ let test_algorithm7_race_regression impl () =
       type t = int * Psmr_app.Kv_store.command
 
       let conflict (_, a) (_, b) = Psmr_app.Kv_store.conflict a b
+      let footprint (_, c) = Psmr_app.Kv_store.footprint c
       let pp ppf (i, _) = Format.pp_print_int ppf i
     end in
     let (module S : Cos_intf.S with type cmd = KC.t) =
-      Registry.instantiate impl (module SP) (module KC)
+      Registry.instantiate_keyed impl (module SP) (module KC)
     in
     let module Sched = Psmr_sched.Scheduler.Make (SP) (S) in
     let par_store = Psmr_app.Kv_store.create ~capacity:4 in
@@ -624,6 +632,101 @@ let test_algorithm7_race_regression impl () =
         | Some _ | None -> Alcotest.failf "seed %d: response %d wrong" seed i)
       expected
   done
+
+(* --- batched insert --- *)
+
+(* A batch larger than [max_size] must be chunked internally (a single
+   space acquisition for the whole batch could never be satisfied) and
+   still come out in delivery order. *)
+let test_insert_batch_chunks impl () =
+  let module S = (val impl_cos impl) in
+  let t = S.create ~max_size:4 () in
+  let n = 10 in
+  let inserted = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        S.insert_batch t (Array.init n write);
+        Atomic.set inserted true)
+      ()
+  in
+  for i = 0 to n - 1 do
+    let h = Option.get (S.get t) in
+    Alcotest.(check int) "batch preserves delivery order" i
+      (S.command h).Rw_cmd.idx;
+    S.remove t h
+  done;
+  Thread.join th;
+  Alcotest.(check bool) "batch insert completed" true (Atomic.get inserted);
+  Alcotest.(check int) "drained" 0 (S.pending t)
+
+(* --- close with more blocked getters than the old token constant --- *)
+
+(* Regression: [close] must wake every blocked getter even when more than
+   1024 of them are parked.  The wake-token count used to be a hard-coded
+   1024; it is now derived from [max_size] + [worker_bound]. *)
+let test_close_many_blocked_getters impl () =
+  let open Psmr_sim in
+  let e = Engine.create () in
+  let (module SP) = Sim_platform.make e Costs.default in
+  let (module S : Cos_intf.S with type cmd = Rw_cmd.t) =
+    Registry.instantiate_keyed impl (module SP) (module Rw_cmd)
+  in
+  let getters = 1500 in
+  let t = S.create ~max_size:2000 ~worker_bound:getters () in
+  let nones = ref 0 in
+  for _ = 1 to getters do
+    Engine.spawn e (fun () ->
+        match S.get t with
+        | None -> incr nones
+        | Some _ -> Alcotest.fail "unexpected command from empty structure")
+  done;
+  Engine.spawn e (fun () -> S.close t);
+  Engine.run e;
+  Alcotest.(check int) "every blocked getter woke with None" getters !nones
+
+(* --- indexed vs coarse: the footprint-derived relation must induce exactly
+       the behaviour of the pairwise scan relation --- *)
+
+module Keyed_cmd = struct
+  type t = { idx : int; key : int; write : bool }
+
+  let conflict a b = a.key = b.key && (a.write || b.write)
+  let footprint c = [ (c.key, c.write) ]
+
+  let pp ppf c =
+    Format.fprintf ppf "%s%d@%d" (if c.write then "w" else "r") c.idx c.key
+end
+
+let drain_order impl cmds =
+  let (module S : Cos_intf.S with type cmd = Keyed_cmd.t) =
+    Registry.instantiate_keyed impl (module RP) (module Keyed_cmd)
+  in
+  let n = Array.length cmds in
+  let t = S.create ~max_size:(n + 1) () in
+  Array.iter (S.insert t) cmds;
+  let order = ref [] in
+  for _ = 1 to n do
+    match S.get t with
+    | Some h ->
+        order := (S.command h).Keyed_cmd.idx :: !order;
+        S.remove t h
+    | None -> Alcotest.fail "unexpected None while draining"
+  done;
+  S.close t;
+  List.rev !order
+
+let indexed_coarse_equivalence =
+  QCheck.Test.make
+    ~name:"indexed = coarse (same delivery, same single-threaded drain)"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 60) (pair (int_range 0 5) bool))
+    (fun ops ->
+      let cmds =
+        Array.of_list
+          (List.mapi (fun idx (key, write) -> { Keyed_cmd.idx; key; write }) ops)
+      in
+      drain_order Registry.Indexed cmds = drain_order Registry.Coarse cmds)
 
 let per_impl name f =
   List.map
@@ -660,6 +763,14 @@ let () =
         @ per_impl_all "close drains blocked getters"
             test_close_drains_blocked_getters );
       ("dag", per_impl "dependency chain" test_dependency_chain);
+      ( "batch",
+        per_impl_all "insert_batch chunks and keeps order"
+          test_insert_batch_chunks );
+      ( "close-tokens",
+        per_impl "close wakes >1024 blocked getters"
+          test_close_many_blocked_getters );
+      ( "indexed-equivalence",
+        [ QCheck_alcotest.to_alcotest indexed_coarse_equivalence ] );
       ( "stress",
         per_impl "4 workers, 20% writes" (fun impl ->
             stress impl ~workers:4 ~write_pct:20.0 ~seed:1L)
