@@ -204,6 +204,38 @@ let sim_fig2 ~smoke () =
       ])
     [ 16; 32; 64 ]
 
+(* Observability block for the JSON summary: the coarse vs lock-free
+   counter/latency breakdown at 32 workers that explains the Figure-2
+   plateau (see docs/OBSERVABILITY.md).  Each entry is a complete JSON
+   object as emitted by [Psmr_obs.Metrics.to_json], embedded verbatim. *)
+let sim_metrics ~smoke () =
+  let duration, warmup = if smoke then (0.02, 0.005) else (0.08, 0.02) in
+  let spec =
+    {
+      Psmr_workload.Workload.write_pct = 10.0;
+      cost = Psmr_workload.Workload.Moderate;
+    }
+  in
+  List.map
+    (fun (label, impl) ->
+      let r =
+        Psmr_harness.Standalone.run ~impl ~workers:32 ~spec ~duration ~warmup
+          ~metrics:true ()
+      in
+      let m =
+        match r.Psmr_harness.Standalone.metrics with
+        | Some m -> m
+        | None -> assert false
+      in
+      ( label,
+        Psmr_obs.Metrics.to_json
+          ~cost_model:(Psmr_sim.Costs.to_assoc Psmr_harness.Model.sim_costs)
+          m ))
+    [
+      ("coarse_w32", Psmr_cos.Registry.Coarse);
+      ("lockfree_w32", Psmr_cos.Registry.Lockfree);
+    ]
+
 (* Hand-rolled JSON (no JSON library in the build environment). *)
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -219,9 +251,17 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~micro ~fig2 =
+let write_json ~path ~micro ~fig2 ~metrics =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"micro_ns_per_op\": [\n";
+  Buffer.add_string buf "{\n  \"metrics\": {\n";
+  List.iteri
+    (fun i (name, block) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+           (String.trim block)
+           (if i = List.length metrics - 1 then "" else ",")))
+    metrics;
+  Buffer.add_string buf "  },\n  \"micro_ns_per_op\": [\n";
   List.iteri
     (fun i (name, ns) ->
       Buffer.add_string buf
@@ -253,6 +293,51 @@ let write_json ~path ~micro ~fig2 =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* Re-read the summary and check its shape, so a malformed emitter fails
+   the run (and the @bench-smoke alias) rather than producing a file
+   downstream tooling chokes on. *)
+let validate_json ~path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let module J = Psmr_util.Json in
+  let fail fmt = Printf.ksprintf (fun m -> failwith (path ^ ": " ^ m)) fmt in
+  match J.parse s with
+  | Error msg -> fail "invalid JSON: %s" msg
+  | Ok j ->
+      let req name v =
+        match J.member name v with
+        | Some x -> x
+        | None -> fail "missing member %S" name
+      in
+      let req_num name v =
+        match J.as_num (req name v) with
+        | Some _ -> ()
+        | None -> fail "member %S is not a number" name
+      in
+      ignore (req "micro_ns_per_op" j);
+      ignore (req "fig2_sim_kops" j);
+      let metrics = req "metrics" j in
+      List.iter
+        (fun block ->
+          let b = req block metrics in
+          let counters = req "counters" b in
+          List.iter
+            (fun c -> req_num c counters)
+            [
+              "lock_acquisitions"; "lock_wait"; "lock_hold"; "cas_attempts";
+              "cas_successes"; "sem_parks"; "sem_wakes"; "insert_ops";
+              "get_ops"; "remove_ops";
+            ];
+          let lat = req "latency_virtual_seconds" b in
+          List.iter
+            (fun h ->
+              let hv = req h lat in
+              List.iter (fun f -> req_num f hv) [ "count"; "p50"; "p95"; "p99" ])
+            [ "delivery_ready"; "ready_dispatch"; "dispatch_executed" ])
+        [ "coarse_w32"; "lockfree_w32" ];
+      Printf.printf "schema ok: %s\n%!" path
+
 let () =
   let getenv_flag v =
     match Sys.getenv_opt v with Some ("1" | "true") -> true | _ -> false
@@ -277,7 +362,9 @@ let () =
   let json_path =
     Option.value (Sys.getenv_opt "PSMR_BENCH_JSON") ~default:"BENCH_cos.json"
   in
-  write_json ~path:json_path ~micro:micro_for_json ~fig2;
+  write_json ~path:json_path ~micro:micro_for_json ~fig2
+    ~metrics:(sim_metrics ~smoke ());
+  validate_json ~path:json_path;
   if (not smoke) && not (getenv_flag "PSMR_BENCH_SKIP_FIGURES") then begin
     let opts =
       if getenv_flag "PSMR_BENCH_FAST" then Psmr_harness.Figures.fast_options

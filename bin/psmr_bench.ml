@@ -175,22 +175,62 @@ let duration_arg =
     & opt (some float) None
     & info [ "duration" ] ~docv:"SEC" ~doc:"Measurement window (virtual seconds).")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect COS/synchronization counters and virtual-time latency \
+           histograms during the run and print them as JSON.  Does not \
+           change the simulation.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file (loadable in Perfetto or \
+           chrome://tracing): one track per simulated core with command \
+           execution slices, one per simulated process with critical \
+           sections.")
+
 let standalone_cmd =
-  let run impl workers writes cost duration =
+  let run impl workers writes cost duration metrics trace_out =
     let r =
       Psmr_harness.Standalone.run ~impl ~workers
         ~spec:{ write_pct = writes; cost }
-        ?duration ()
+        ?duration ~metrics
+        ~trace:(trace_out <> None)
+        ()
     in
     Printf.printf "%s workers=%d writes=%g%% cost=%s: %.1f kops/s (mean population %.1f)\n"
       (Psmr_cos.Registry.to_string impl)
       workers writes
       (Psmr_workload.Workload.cost_label cost)
-      r.kops r.mean_population
+      r.kops r.mean_population;
+    (match (metrics, r.metrics) with
+    | true, Some m ->
+        print_string
+          (Psmr_obs.Metrics.to_json
+             ~cost_model:(Psmr_sim.Costs.to_assoc Psmr_harness.Model.sim_costs)
+             m)
+    | _ -> ());
+    match (trace_out, r.trace) with
+    | Some path, Some tr ->
+        let oc = open_out path in
+        output_string oc (Psmr_obs.Trace.to_json tr);
+        close_out oc;
+        Printf.printf "trace: %d slices written to %s (%d dropped)\n"
+          (Psmr_obs.Trace.count tr) path
+          (Psmr_obs.Trace.dropped tr)
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "standalone" ~doc:"One standalone data-structure measurement.")
-    Term.(const run $ impl_arg $ workers_arg $ writes_arg $ cost_arg $ duration_arg)
+    Term.(
+      const run $ impl_arg $ workers_arg $ writes_arg $ cost_arg $ duration_arg
+      $ metrics_arg $ trace_out_arg)
 
 let smr_cmd =
   let run impl workers writes cost clients duration =

@@ -23,6 +23,10 @@ let target_conv =
         Ok
           (Check.Cos_check.Custom
              ("broken-lost-signal", (module Check.Broken.Lost_signal)))
+    | "broken-no-sentinel" | "no-sentinel" ->
+        Ok
+          (Check.Cos_check.Custom
+             ("broken-no-sentinel", (module Check.Broken.No_sentinel)))
     | s -> (
         match Psmr_cos.Registry.of_string s with
         | Some i -> Ok (Check.Cos_check.Impl i)
@@ -39,7 +43,7 @@ let impl_arg =
         ~doc:
           "Implementation to check: coarse, fine, lockfree, striped[-K], \
            fifo, indexed, or a planted-bug variant (broken-wtg-start, \
-           broken-lost-signal).")
+           broken-lost-signal, broken-no-sentinel).")
 
 let workers_arg =
   Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N" ~doc:"Worker processes.")
@@ -131,6 +135,35 @@ let replay_arg =
           "Replay the single schedule of $(docv) (a derived seed printed \
            for a failure) and dump its operation trace.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--replay): also write the operation trace as a Chrome \
+           trace-event JSON file (loadable in Perfetto or chrome://tracing) \
+           — one track per process, one slice per decision point.")
+
+(* The replayed oplog as a Chrome trace: decision points become the time
+   axis (virtual time never advances under the checker), one 1 microsecond
+   slice per operation on the acting process's track. *)
+let write_oplog_trace ~path (o : Check.Cos_check.outcome) =
+  let tr = Psmr_obs.Trace.create () in
+  Psmr_obs.Trace.set_process_name tr ~pid:Psmr_obs.Probe.proc_pid "processes";
+  List.iteri
+    (fun i (p, op) ->
+      Psmr_obs.Trace.slice tr ~name:op ~pid:Psmr_obs.Probe.proc_pid ~tid:p
+        ~ts:(float_of_int i *. 1e-6)
+        ~dur:1e-6)
+    o.oplog;
+  let oc = open_out path in
+  output_string oc (Psmr_obs.Trace.to_json tr);
+  close_out oc;
+  Printf.printf "trace: %d slices written to %s (%d dropped)\n"
+    (Psmr_obs.Trace.count tr) path
+    (Psmr_obs.Trace.dropped tr)
+
 let print_failure sc (f : Check.Explore.failure) =
   Printf.printf "  schedule %d%s: %d decision points\n" f.schedule
     (match f.seed with
@@ -147,7 +180,8 @@ let print_failure sc (f : Check.Explore.failure) =
   | None -> ()
 
 let run target workers commands writes max_size no_drain workload_seed seed
-    schedules dfs bound max_schedules max_steps time_box stop_on_first replay =
+    schedules dfs bound max_schedules max_steps time_box stop_on_first replay
+    trace_out =
   let sc =
     Check.Cos_check.scenario ~target ~workers ~commands ~write_pct:writes
       ~max_size ~drain_before_close:(not no_drain) ~workload_seed ()
@@ -162,6 +196,7 @@ let run target workers commands writes max_size no_drain workload_seed seed
       List.iter
         (fun (p, op) -> Printf.printf "  p%-2d %s\n" p op)
         o.oplog;
+      Option.iter (fun path -> write_oplog_trace ~path o) trace_out;
       if o.violations = [] then print_endline "clean: no violations"
       else begin
         print_endline "violations:";
@@ -219,4 +254,5 @@ let () =
             const run $ impl_arg $ workers_arg $ commands_arg $ writes_arg
             $ max_size_arg $ no_drain_arg $ workload_seed_arg $ seed_arg
             $ schedules_arg $ dfs_arg $ bound_arg $ max_schedules_arg
-            $ max_steps_arg $ time_box_arg $ stop_on_first_arg $ replay_arg)))
+            $ max_steps_arg $ time_box_arg $ stop_on_first_arg $ replay_arg
+            $ trace_out_arg)))

@@ -19,6 +19,13 @@
    paths are flagged regardless.  Comments and string literals are ignored.
    Tests are not scanned — instantiating concrete platforms is their job.
 
+   Additionally, the conflict-ordered-set implementations (lib/cos/) may
+   record observability events only through the probe facade
+   ([Psmr_obs.Probe]): reaching into the registry or trace buffer directly
+   ([Psmr_obs.Metrics], [Psmr_obs.Trace]) from a COS impl would couple the
+   algorithms to registry internals and invite ad-hoc counters that bypass
+   the zero-cost-when-disabled discipline.
+
    Wired into [dune runtest] via the rule in the root dune file; exits 1
    with file:line diagnostics on any hit. *)
 
@@ -37,11 +44,24 @@ let qualified =
 
 let wall_clock = [ "Unix." ^ "gettimeofday"; "Unix." ^ "sleepf" ]
 
+(* The observability facade rule for lib/cos/ (see the header). *)
+let obs_head = "Psmr" ^ "_obs."
+let obs_allowed = obs_head ^ "Pro" ^ "be"
+
+let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
+
 let exempt path =
-  let norm = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let norm = normalize path in
   let suffix = "lib/platform/real_platform.ml" in
   let n = String.length norm and s = String.length suffix in
   n >= s && String.sub norm (n - s) s = suffix
+
+let in_cos path =
+  let norm = normalize path in
+  let sub = "lib/cos/" in
+  let n = String.length norm and s = String.length sub in
+  let rec scan i = i + s <= n && (String.sub norm i s = sub || scan (i + 1)) in
+  scan 0
 
 (* Blank out comments (nested) and string literals, preserving newlines so
    reported line numbers stay correct. *)
@@ -146,6 +166,12 @@ let scan_file path =
   let s = strip src in
   let shadowed = shadowed_heads s in
   let live_heads = List.filter (fun t -> not (List.mem t shadowed)) bare_heads in
+  let platform_msg tok =
+    Printf.sprintf
+      "direct use of %s — go through the Platform_intf.S functor parameter \
+       instead"
+      tok
+  in
   let hits = ref [] in
   String.iteri
     (fun i _ ->
@@ -154,11 +180,31 @@ let scan_file path =
         List.iter
           (fun tok ->
             if starts_with s i tok then
-              hits := (line_of s i, String.sub tok 0 (String.length tok - 1)) :: !hits)
+              hits :=
+                (line_of s i,
+                 platform_msg (String.sub tok 0 (String.length tok - 1)))
+                :: !hits)
           live_heads;
         List.iter
-          (fun tok -> if starts_with s i tok then hits := (line_of s i, tok) :: !hits)
-          (qualified @ wall_clock)
+          (fun tok ->
+            if starts_with s i tok then
+              hits := (line_of s i, platform_msg tok) :: !hits)
+          (qualified @ wall_clock);
+        let obs_ok =
+          (* [Psmr_obs.Probe] exactly (a module alias) or a path under it;
+             anything else under [Psmr_obs] is off-limits in lib/cos/. *)
+          starts_with s i obs_allowed
+          && (let j = i + String.length obs_allowed in
+              j >= String.length s || s.[j] = '.' || not (ident_char s.[j]))
+        in
+        if in_cos path && starts_with s i obs_head && not obs_ok then
+          hits :=
+            (line_of s i,
+             Printf.sprintf
+               "COS implementations may record observability events only \
+                through %sProbe"
+               obs_head)
+            :: !hits
       end)
     s;
   List.rev !hits
@@ -189,12 +235,9 @@ let () =
     (fun path ->
       if not (exempt path) then
         List.iter
-          (fun (line, tok) ->
+          (fun (line, msg) ->
             failed := true;
-            Printf.printf
-              "%s:%d: direct use of %s — go through the Platform_intf.S \
-               functor parameter instead\n"
-              path line tok)
+            Printf.printf "%s:%d: %s\n" path line msg)
           (scan_file path))
     files;
   if !failed then exit 1;

@@ -12,7 +12,15 @@
       the conflict-order oracle.
     - {!Lost_signal}: [remove] promotes freed dependents but forgets to
       release the ready semaphore for them, so the promoted commands are
-      ready with no token to claim them — caught as a deadlock. *)
+      ready with no token to claim them — caught as a deadlock.
+    - {!No_sentinel}: no mutation at all — the functor body itself {e is}
+      the pre-hardening lock-free algorithm, without the self-sentinel
+      seeded into [dep_on] during insert (see the long comment in
+      [Psmr_cos.Lockfree.lf_insert]).  A remover can read the still-growing
+      dependency list, stall, and perform its promoting CAS only after the
+      insert has published later live dependencies and opened the node —
+      caught by the conflict-order oracle.  Pinned-seed replays of this
+      variant are the regression test for the self-sentinel fix. *)
 
 open Psmr_platform
 open Psmr_cos
@@ -198,4 +206,10 @@ module Lost_signal : Cos_intf.IMPL = Make_broken (struct
   let name = "broken-lost-signal"
   let wtg_start = false
   let lost_signal = true
+end)
+
+module No_sentinel : Cos_intf.IMPL = Make_broken (struct
+  let name = "broken-no-sentinel"
+  let wtg_start = false
+  let lost_signal = false
 end)

@@ -30,6 +30,7 @@
 
 open Psmr_platform
 module Engine = Psmr_sim.Engine
+module Probe = Psmr_obs.Probe
 
 type race = {
   op : string;
@@ -235,7 +236,12 @@ let make (ctx : t) : (module Platform_intf.S) =
            separately, so releases interleave with multi-token waits. *)
         for _ = 1 to n do
           if s.count > 0 then s.count <- s.count - 1
-          else Engine.suspend (fun resume -> Queue.push resume s.waiters)
+          else begin
+            let t0 = Probe.now () in
+            Engine.suspend (fun resume -> Queue.push resume s.waiters);
+            if (not ctx.ghost) && Probe.enabled () then
+              Probe.sem_park ~waited:(Probe.now () -. t0)
+          end
         done;
         acquire_from s.hb
 
@@ -245,7 +251,9 @@ let make (ctx : t) : (module Platform_intf.S) =
         release_into s.hb;
         for _ = 1 to n do
           match Queue.pop s.waiters with
-          | resume -> resume () (* token handoff *)
+          | resume ->
+              if not ctx.ghost then Probe.sem_wake ();
+              resume () (* token handoff *)
           | exception Queue.Empty -> s.count <- s.count + 1
         done
 
@@ -309,12 +317,13 @@ let make (ctx : t) : (module Platform_intf.S) =
       let compare_and_set a expected desired =
         point (Printf.sprintf "atomic#%d.cas" a.id);
         if not ctx.ghost then acquire_from a.wc;
-        if a.v == expected then begin
+        let ok = a.v == expected in
+        if ok then begin
           if not ctx.ghost then write_edge ~op:"cas" a;
-          a.v <- desired;
-          true
-        end
-        else false
+          a.v <- desired
+        end;
+        if not ctx.ghost then Probe.cas ~success:ok;
+        ok
 
       let fetch_and_add a d =
         point (Printf.sprintf "atomic#%d.faa" a.id);

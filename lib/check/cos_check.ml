@@ -77,6 +77,7 @@ type outcome = {
   choices : int array;  (* the chosen process id at every decision point *)
   trace_hash : int64;
   oplog : (int * string) list;  (* populated when [trace] *)
+  metrics : (string * float) list;  (* populated when [metrics] *)
 }
 
 exception Truncated
@@ -91,11 +92,23 @@ let hash_choices (choices : int array) =
     choices;
   !h
 
-let run_schedule ?(max_steps = 50_000) ?(trace = false) sc
+let run_schedule ?(max_steps = 50_000) ?(trace = false) ?(metrics = false) sc
     ~(pick : last:int -> int array -> int) =
   let engine = Engine.create () in
   let ctx = Check_platform.create engine in
   Check_platform.set_tracing ctx trace;
+  (* Under the checker virtual time never advances; the decision-point
+     counter is the closest monotone notion of "when", so latencies come
+     out in decision points rather than seconds. *)
+  let registry =
+    if metrics then
+      Some
+        (Psmr_obs.Metrics.make
+           ~now:(fun () -> float_of_int (Check_platform.ops ctx))
+           ~track:(fun () -> Engine.running_tag engine)
+           ())
+    else None
+  in
   let (module P) = Check_platform.make ctx in
   let (module S : Cos_intf.S with type cmd = Cmd.t) =
     match sc.target with
@@ -185,9 +198,13 @@ let run_schedule ?(max_steps = 50_000) ?(trace = false) sc
          last := tags.(idx);
          choices := tags.(idx) :: !choices;
          idx));
-  (try Engine.run engine with
-  | Truncated -> truncated := true
-  | e -> viol "uncaught exception: %s" (Printexc.to_string e));
+  Option.iter Psmr_obs.Metrics.enable registry;
+  Fun.protect
+    ~finally:(fun () -> if Option.is_some registry then Psmr_obs.Metrics.disable ())
+    (fun () ->
+      try Engine.run engine with
+      | Truncated -> truncated := true
+      | e -> viol "uncaught exception: %s" (Printexc.to_string e));
   let completed = (not !truncated) && !finished = total_tasks in
   if not !truncated then begin
     if !finished < total_tasks then
@@ -248,4 +265,8 @@ let run_schedule ?(max_steps = 50_000) ?(trace = false) sc
     choices;
     trace_hash = hash_choices choices;
     oplog = Check_platform.oplog ctx;
+    metrics =
+      (match registry with
+      | Some m -> Psmr_obs.Metrics.assoc m
+      | None -> []);
   }

@@ -56,6 +56,10 @@ type outcome = {
   choices : int array;  (** chosen process id at every decision point *)
   trace_hash : int64;  (** hash of [choices]: schedule identity *)
   oplog : (int * string) list;  (** per-step (pid, op) log when [trace] *)
+  metrics : (string * float) list;
+      (** flat [Psmr_obs.Metrics.assoc] snapshot when [metrics]; latency
+          figures are in decision points (virtual time never advances under
+          the checker) *)
 }
 
 exception Truncated
@@ -65,10 +69,13 @@ exception Truncated
 val run_schedule :
   ?max_steps:int ->
   ?trace:bool ->
+  ?metrics:bool ->
   scenario ->
   pick:(last:int -> int array -> int) ->
   outcome
 (** Run the scenario once on a fresh engine + check platform under [pick]
     (see [Strategy]) and apply all oracles.  [max_steps] (default 50_000)
     bounds the decision points so that strategies which starve a polling
-    loop cannot hang the run. *)
+    loop cannot hang the run.  [metrics] (default off) enables an
+    observability registry for the run and returns its snapshot in
+    {!outcome.metrics}. *)

@@ -11,6 +11,7 @@
     every node to strip the dependency edges of the node being deleted. *)
 
 open Psmr_platform
+module Probe = Psmr_obs.Probe
 
 module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
   type cmd = C.t
@@ -23,6 +24,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     mutable deps_on : node list;  (* incoming edges: older conflicting nodes *)
     mutable prev : node option;
     mutable next : node option;
+    mutable delivered_at : float;  (* virtual time of the insert call *)
+    mutable ready_at : float;  (* virtual time all dependencies cleared *)
   }
 
   type handle = node
@@ -57,11 +60,12 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
 
   let command (n : handle) = n.cmd
 
-  let iter_nodes t f =
+  let iter_nodes t visits f =
     let rec go = function
       | None -> ()
       | Some n ->
           P.work Visit;
+          incr visits;
           f n;
           go n.next
     in
@@ -70,15 +74,26 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
   (* Insert body, to run with the monitor held.  [wait not_full] releases
      the mutex while blocked, so running several of these under one lock
      acquisition (see {!insert_batch}) cannot starve workers. *)
-  let insert_locked t c =
+  let insert_locked t c ~delivered_at =
     while t.size = t.max_size && not t.closed do
       P.Condition.wait t.not_full t.mutex
     done;
     if not t.closed then begin
       P.work Alloc;
-      let n = { cmd = c; st = Waiting; deps_on = []; prev = t.last; next = None } in
+      let n =
+        {
+          cmd = c;
+          st = Waiting;
+          deps_on = [];
+          prev = t.last;
+          next = None;
+          delivered_at;
+          ready_at = 0.0;
+        }
+      in
+      let visits = ref 0 in
       (* Collect dependencies on every older conflicting command. *)
-      iter_nodes t (fun older ->
+      iter_nodes t visits (fun older ->
           P.work Conflict_check;
           if C.conflict older.cmd c then n.deps_on <- older :: n.deps_on);
       (match t.last with
@@ -86,37 +101,50 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       | Some l -> l.next <- Some n);
       t.last <- Some n;
       t.size <- t.size + 1;
-      if n.deps_on = [] then P.Condition.signal t.has_ready
+      Probe.insert_done ~visits:!visits;
+      if n.deps_on = [] then begin
+        n.ready_at <- Probe.now ();
+        Probe.ready_latency (n.ready_at -. n.delivered_at);
+        P.Condition.signal t.has_ready
+      end
     end
 
   let insert t c =
+    let delivered_at = Probe.now () in
     P.Mutex.lock t.mutex;
-    insert_locked t c;
+    Probe.monitor_section ();
+    insert_locked t c ~delivered_at;
     P.Mutex.unlock t.mutex
 
   (* One monitor round for the whole delivered batch. *)
   let insert_batch t cs =
     if Array.length cs > 0 then begin
+      let delivered_at = Probe.now () in
       P.Mutex.lock t.mutex;
-      Array.iter (insert_locked t) cs;
+      Probe.monitor_section ();
+      Array.iter (fun c -> insert_locked t c ~delivered_at) cs;
       P.Mutex.unlock t.mutex
     end
 
-  let find_ready t =
+  let find_ready t visits =
     let rec go = function
       | None -> None
       | Some n ->
           P.work Visit;
+          incr visits;
           if n.st = Waiting && n.deps_on = [] then Some n else go n.next
     in
     go t.first
 
   let get t =
     P.Mutex.lock t.mutex;
+    Probe.monitor_section ();
+    let visits = ref 0 in
     let rec await () =
-      match find_ready t with
+      match find_ready t visits with
       | Some n ->
           n.st <- Executing;
+          Probe.dispatch_latency (Probe.now () -. n.ready_at);
           Some n
       | None ->
           (* After [close], commands may still become ready as executing ones
@@ -128,6 +156,7 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
           end
     in
     let r = await () in
+    Probe.get_done ~visits:!visits;
     P.Mutex.unlock t.mutex;
     r
 
@@ -140,15 +169,21 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
 
   let remove t n =
     P.Mutex.lock t.mutex;
+    Probe.monitor_section ();
+    let visits = ref 0 in
     (* Strip the edges out of [n]; newly freed nodes become ready.  As in the
        paper, this considers every node in the graph. *)
-    iter_nodes t (fun other ->
+    iter_nodes t visits (fun other ->
         if other != n && List.memq n other.deps_on then begin
           other.deps_on <- List.filter (fun d -> d != n) other.deps_on;
-          if other.deps_on = [] && other.st = Waiting then
+          if other.deps_on = [] && other.st = Waiting then begin
+            other.ready_at <- Probe.now ();
+            Probe.ready_latency (other.ready_at -. other.delivered_at);
             P.Condition.signal t.has_ready
+          end
         end);
     unlink t n;
+    Probe.remove_done ~visits:!visits;
     P.Condition.signal t.not_full;
     if t.closed && t.size = 0 then P.Condition.broadcast t.has_ready;
     P.Mutex.unlock t.mutex

@@ -8,16 +8,22 @@
     in-flight flag. *)
 
 open Psmr_platform
+module Probe = Psmr_obs.Probe
 
 module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
   type cmd = C.t
-  type handle = cmd
+
+  type handle = {
+    fc : cmd;
+    delivered_at : float;  (* virtual time of the insert call *)
+    mutable ready_at : float;  (* virtual time this command reached the head *)
+  }
 
   type t = {
     mutex : P.Mutex.t;
     not_full : P.Condition.t;
     can_get : P.Condition.t;
-    queue : cmd Queue.t;
+    queue : handle Queue.t;
     max_size : int;
     mutable in_flight : bool;
     mutable closed : bool;
@@ -38,15 +44,28 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       closed = false;
     }
 
-  let command (c : handle) = c
+  let command (h : handle) = h.fc
+
+  (* A command is "ready" when it sits at the queue head with nothing in
+     flight; that happens either right at insert (empty, idle queue) or when
+     the removal of its predecessor exposes it (see [remove]). *)
+  let mark_ready (h : handle) =
+    h.ready_at <- Probe.now ();
+    Probe.ready_latency (h.ready_at -. h.delivered_at)
 
   let insert t c =
+    let delivered_at = Probe.now () in
     P.Mutex.lock t.mutex;
+    Probe.monitor_section ();
     while Queue.length t.queue >= t.max_size && not t.closed do
       P.Condition.wait t.not_full t.mutex
     done;
     if not t.closed then begin
-      Queue.push c t.queue;
+      let h = { fc = c; delivered_at; ready_at = 0.0 } in
+      let was_idle = Queue.is_empty t.queue && not t.in_flight in
+      Queue.push h t.queue;
+      Probe.insert_done ~visits:0;
+      if was_idle then mark_ready h;
       if not t.in_flight then P.Condition.signal t.can_get
     end;
     P.Mutex.unlock t.mutex
@@ -55,10 +74,13 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
 
   let get t =
     P.Mutex.lock t.mutex;
+    Probe.monitor_section ();
     let rec await () =
       if (not t.in_flight) && not (Queue.is_empty t.queue) then begin
         t.in_flight <- true;
-        Some (Queue.peek t.queue)
+        let h = Queue.peek t.queue in
+        Probe.dispatch_latency (Probe.now () -. h.ready_at);
+        Some h
       end
       else if t.closed && Queue.is_empty t.queue && not t.in_flight then None
       else begin
@@ -67,15 +89,21 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       end
     in
     let r = await () in
+    Probe.get_done ~visits:0;
     P.Mutex.unlock t.mutex;
     r
 
-  let remove t c =
+  let remove t h =
     P.Mutex.lock t.mutex;
+    Probe.monitor_section ();
     (match Queue.peek_opt t.queue with
-    | Some head when head == c ->
-        ignore (Queue.pop t.queue : cmd);
+    | Some head when head == h ->
+        ignore (Queue.pop t.queue : handle);
         t.in_flight <- false;
+        (match Queue.peek_opt t.queue with
+        | Some next -> mark_ready next
+        | None -> ());
+        Probe.remove_done ~visits:0;
         (* When this removal drains a closed queue there will never be
            another signal: every blocked getter must wake and observe
            [None], not just one (found by the model checker — see

@@ -17,6 +17,7 @@
     in Algorithm 4 lines 32–40. *)
 
 open Psmr_platform
+module Probe = Psmr_obs.Probe
 
 module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
   type cmd = C.t
@@ -29,6 +30,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     mutable st : status;
     mutable deps_on : node list;  (* older nodes this one waits for *)
     mutable next : node option;
+    mutable delivered_at : float;  (* virtual time of the insert call *)
+    mutable ready_at : float;  (* virtual time all dependencies cleared *)
   }
 
   type handle = node
@@ -50,7 +53,15 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     if worker_bound < 0 then
       invalid_arg "Fine.create: worker_bound must be non-negative";
     let head =
-      { cmd = None; mx = P.Mutex.create (); st = Executing; deps_on = []; next = None }
+      {
+        cmd = None;
+        mx = P.Mutex.create ();
+        st = Executing;
+        deps_on = [];
+        next = None;
+        delivered_at = 0.0;
+        ready_at = 0.0;
+      }
     in
     {
       head;
@@ -70,12 +81,22 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     | None -> invalid_arg "Fine.command: sentinel node"
 
   let insert t c =
+    let delivered_at = Probe.now () in
     P.Semaphore.acquire t.space;
     if not (P.Atomic.get t.closed) then begin
       P.work Alloc;
       let n =
-        { cmd = Some c; mx = P.Mutex.create (); st = Waiting; deps_on = []; next = None }
+        {
+          cmd = Some c;
+          mx = P.Mutex.create ();
+          st = Waiting;
+          deps_on = [];
+          next = None;
+          delivered_at;
+          ready_at = 0.0;
+        }
       in
+      let visits = ref 0 in
       P.Mutex.lock n.mx;
       P.Mutex.lock t.head.mx;
       (* Walk the whole list, collecting conflicts with older commands. *)
@@ -84,7 +105,9 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
         | Some cur ->
             P.Mutex.lock cur.mx;
             P.Mutex.unlock prev.mx;
+            Probe.coupling_step ();
             P.work Visit;
+            incr visits;
             P.work Conflict_check;
             (match cur.cmd with
             | Some older when C.conflict older c -> n.deps_on <- cur :: n.deps_on
@@ -95,6 +118,11 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       last.next <- Some n;
       ignore (P.Atomic.fetch_and_add t.size 1 : int);
       let is_ready = n.deps_on = [] in
+      Probe.insert_done ~visits:!visits;
+      if is_ready then begin
+        n.ready_at <- Probe.now ();
+        Probe.ready_latency (n.ready_at -. n.delivered_at)
+      end;
       P.Mutex.unlock last.mx;
       P.Mutex.unlock n.mx;
       if is_ready then P.Semaphore.release t.ready
@@ -106,7 +134,7 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
      it marked [Executing], or [None] if the scan finished without a hit
      (the node backing our semaphore token was freed behind the scan
      position — the caller rescans). *)
-  let scan_for_ready t =
+  let scan_for_ready t visits =
     P.Mutex.lock t.head.mx;
     let rec walk prev = function
       | None ->
@@ -115,9 +143,12 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       | Some cur ->
           P.Mutex.lock cur.mx;
           P.Mutex.unlock prev.mx;
+          Probe.coupling_step ();
           P.work Visit;
+          incr visits;
           if cur.st = Waiting && cur.deps_on = [] then begin
             cur.st <- Executing;
+            Probe.dispatch_latency (Probe.now () -. cur.ready_at);
             P.Mutex.unlock cur.mx;
             Some cur
           end
@@ -127,12 +158,19 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
 
   let get t =
     P.Semaphore.acquire t.ready;
+    let visits = ref 0 in
     let rec attempt () =
-      match scan_for_ready t with
-      | Some n -> Some n
+      match scan_for_ready t visits with
+      | Some n ->
+          Probe.get_done ~visits:!visits;
+          Some n
       | None ->
-          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then None
+          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then begin
+            Probe.get_done ~visits:!visits;
+            None
+          end
           else begin
+            Probe.rescan ();
             P.yield ();
             attempt ()
           end
@@ -143,11 +181,14 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     (* Phase 1: walk to [n] with lock coupling and unlink it while holding
        its predecessor. *)
     P.Mutex.lock t.head.mx;
+    let visits = ref 0 in
     let rec find prev = function
       | None -> invalid_arg "Fine.remove: node not in the graph"
       | Some cur ->
           P.Mutex.lock cur.mx;
+          Probe.coupling_step ();
           P.work Visit;
+          incr visits;
           if cur == n then begin
             prev.next <- cur.next;
             P.Mutex.unlock prev.mx
@@ -168,21 +209,29 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
       | Some cur ->
           P.Mutex.lock cur.mx;
           if prev != n then P.Mutex.unlock prev.mx;
+          Probe.coupling_step ();
           P.work Visit;
+          incr visits;
           if List.memq n cur.deps_on then begin
             cur.deps_on <- List.filter (fun d -> d != n) cur.deps_on;
-            if cur.deps_on = [] && cur.st = Waiting then incr freed
+            if cur.deps_on = [] && cur.st = Waiting then begin
+              cur.ready_at <- Probe.now ();
+              Probe.ready_latency (cur.ready_at -. cur.delivered_at);
+              incr freed
+            end
           end;
           strip cur cur.next
     in
     strip n n.next;
     P.Mutex.unlock n.mx;
     ignore (P.Atomic.fetch_and_add t.size (-1) : int);
+    Probe.remove_done ~visits:!visits;
     if !freed > 0 then P.Semaphore.release ~n:!freed t.ready;
     P.Semaphore.release t.space
 
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
+      Probe.close_tokens (2 * t.close_tokens);
       P.Semaphore.release ~n:t.close_tokens t.ready;
       P.Semaphore.release ~n:t.close_tokens t.space
     end

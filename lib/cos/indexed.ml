@@ -43,6 +43,7 @@
     satisfiable). *)
 
 open Psmr_platform
+module Probe = Psmr_obs.Probe
 
 module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
   type cmd = C.t
@@ -55,6 +56,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
     dep_on : node list P.Atomic.t;  (* nodes this one depends on *)
     dep_me : node list P.Atomic.t;  (* nodes that depend on this one *)
     nxt : node option P.Atomic.t;  (* arrival order *)
+    mutable delivered_at : float;  (* virtual time of the insert call *)
+    mutable ready_at : float;  (* virtual time of promotion to Rdy *)
   }
 
   type handle = node
@@ -118,13 +121,19 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
           P.Atomic.get d.st = Rmd)
         deps
     in
-    if all_removed && P.Atomic.compare_and_set n.st Wtg Rdy then 1 else 0
+    if all_removed && P.Atomic.compare_and_set n.st Wtg Rdy then begin
+      n.ready_at <- Probe.now ();
+      Probe.ready_latency (n.ready_at -. n.delivered_at);
+      1
+    end
+    else 0
 
-  let lf_get t =
+  let lf_get t visits =
     let rec walk = function
       | None -> None
       | Some n ->
           P.work Visit;
+          incr visits;
           if P.Atomic.compare_and_set n.st Rdy Exe then Some n
           else walk (P.Atomic.get n.nxt)
     in
@@ -132,13 +141,20 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
 
   let lf_remove (n : node) =
     P.Atomic.set n.st Rmd;
-    List.fold_left
-      (fun acc ni -> acc + test_ready ni)
-      0 (P.Atomic.get n.dep_me)
+    let visits = ref 0 in
+    let promoted =
+      List.fold_left
+        (fun acc ni ->
+          incr visits;
+          acc + test_ready ni)
+        0 (P.Atomic.get n.dep_me)
+    in
+    (promoted, !visits)
 
   (* Physically unlink [dead] (state [Rmd]); [prev_live] is the last
      preceding live node.  Insert-thread only, as in [Lockfree]. *)
   let helped_remove t (dead : node) (prev_live : node option) =
+    Probe.helped_removal ();
     List.iter
       (fun ni ->
         P.work Visit;
@@ -156,13 +172,14 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
      pass over the index dropping dead writers/readers and empty entries.
      Runs on the insert thread, so plain reasoning applies to the topology
      and the hashtable. *)
-  let sweep t =
+  let sweep t visits =
     let seen = P.Atomic.get t.removed in
     let rec walk prev_live cur =
       match cur with
       | None -> prev_live
       | Some n ->
           P.work Visit;
+          incr visits;
           let nxt = P.Atomic.get n.nxt in
           if P.Atomic.get n.st = Rmd then begin
             helped_remove t n prev_live;
@@ -186,8 +203,9 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
 
   (* The indexed insert.  Returns the number of ready promotions (0 or 1)
      for the blocking layer to signal, as [Lockfree.lf_insert] does. *)
-  let keyed_insert t c =
-    if P.Atomic.get t.removed >= t.sweep_every then sweep t;
+  let keyed_insert t c ~delivered_at =
+    let visits = ref 0 in
+    if P.Atomic.get t.removed >= t.sweep_every then sweep t visits;
     P.work Alloc;
     let nn =
       {
@@ -196,6 +214,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
         dep_on = P.Atomic.make [];
         dep_me = P.Atomic.make [];
         nxt = P.Atomic.make None;
+        delivered_at;
+        ready_at = 0.0;
       }
     in
     (* Promotion-stall guard: as soon as the first [dep_me] edge is in
@@ -235,6 +255,7 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
           List.iter
             (fun r ->
               P.work Visit;
+              incr visits;
               depend_on r)
             e.readers;
           e.writer <- Some nn;
@@ -251,20 +272,23 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
     (* Every edge is in place: open the node for promotion and re-examine
        it ourselves (a remover may have tried and failed meanwhile). *)
     P.Atomic.set nn.st Wtg;
+    Probe.insert_done ~visits:!visits;
     test_ready nn
 
   (* Blocking layer (Algorithm 5), as [Lockfree]. *)
 
   let insert t c =
+    let delivered_at = Probe.now () in
     P.Semaphore.acquire t.space;
     if not (P.Atomic.get t.closed) then begin
-      let promoted = keyed_insert t c in
+      let promoted = keyed_insert t c ~delivered_at in
       if promoted > 0 then P.Semaphore.release ~n:promoted t.ready
     end
 
   (* One semaphore round per chunk instead of per command; chunks are capped
      at [max_size] so the multi-token acquisition stays satisfiable. *)
   let insert_batch t cs =
+    let delivered_at = Probe.now () in
     let len = Array.length cs in
     let rec chunks off =
       if off < len then begin
@@ -273,7 +297,7 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
         if not (P.Atomic.get t.closed) then begin
           let promoted = ref 0 in
           for i = off to off + n - 1 do
-            promoted := !promoted + keyed_insert t cs.(i)
+            promoted := !promoted + keyed_insert t cs.(i) ~delivered_at
           done;
           if !promoted > 0 then P.Semaphore.release ~n:!promoted t.ready
         end;
@@ -284,12 +308,20 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
 
   let get t =
     P.Semaphore.acquire t.ready;
+    let visits = ref 0 in
     let rec attempt () =
-      match lf_get t with
-      | Some n -> Some n
+      match lf_get t visits with
+      | Some n ->
+          Probe.dispatch_latency (Probe.now () -. n.ready_at);
+          Probe.get_done ~visits:!visits;
+          Some n
       | None ->
-          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then None
+          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then begin
+            Probe.get_done ~visits:!visits;
+            None
+          end
           else begin
+            Probe.rescan ();
             P.yield ();
             attempt ()
           end
@@ -297,14 +329,16 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
     attempt ()
 
   let remove t n =
-    let promoted = lf_remove n in
+    let promoted, visits = lf_remove n in
     ignore (P.Atomic.fetch_and_add t.size (-1) : int);
     ignore (P.Atomic.fetch_and_add t.removed 1 : int);
     if promoted > 0 then P.Semaphore.release ~n:promoted t.ready;
-    P.Semaphore.release t.space
+    P.Semaphore.release t.space;
+    Probe.remove_done ~visits
 
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
+      Probe.close_tokens (2 * t.close_tokens);
       P.Semaphore.release ~n:t.close_tokens t.ready;
       P.Semaphore.release ~n:t.close_tokens t.space
     end

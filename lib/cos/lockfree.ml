@@ -40,6 +40,7 @@
       skipped during construction is always re-examined. *)
 
 open Psmr_platform
+module Probe = Psmr_obs.Probe
 
 module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
   type cmd = C.t
@@ -52,6 +53,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     dep_on : node list P.Atomic.t;  (* nodes this one depends on *)
     dep_me : node list P.Atomic.t;  (* nodes that depend on this one *)
     nxt : node option P.Atomic.t;  (* arrival order *)
+    mutable delivered_at : float;  (* virtual time of the insert call *)
+    mutable ready_at : float;  (* virtual time of promotion to Rdy *)
   }
 
   type handle = node
@@ -100,13 +103,19 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
           P.Atomic.get d.st = Rmd)
         deps
     in
-    if all_removed && P.Atomic.compare_and_set n.st Wtg Rdy then 1 else 0
+    if all_removed && P.Atomic.compare_and_set n.st Wtg Rdy then begin
+      n.ready_at <- Probe.now ();
+      Probe.ready_latency (n.ready_at -. n.delivered_at);
+      1
+    end
+    else 0
 
   (* Algorithm 7, helpedRemove: physically unlink [dead], whose state is
      [Rmd], from the list.  [prev_live] is the last preceding node that is
      not removed ([None] when [dead] is first).  Runs only inside the
      sequential insert, so plain reasoning applies to the topology. *)
   let helped_remove t (dead : node) (prev_live : node option) =
+    Probe.helped_removal ();
     List.iter
       (fun ni ->
         P.work Visit;
@@ -120,7 +129,7 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
 
   (* Algorithm 7, lfInsert.  Returns the number of ready promotions (0 or 1)
      for the blocking layer to signal. *)
-  let lf_insert t c =
+  let lf_insert t c ~delivered_at =
     P.work Alloc;
     let nn =
       {
@@ -129,6 +138,8 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
         dep_on = P.Atomic.make [];
         dep_me = P.Atomic.make [];
         nxt = P.Atomic.make None;
+        delivered_at;
+        ready_at = 0.0;
       }
     in
     (* Promotion-stall guard: once the scan installs a [dep_me] edge, a
@@ -140,11 +151,13 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
        its own insert — makes every such early read conclude "not
        removable"; the sentinel is stripped below, before [Wtg]. *)
     P.Atomic.set nn.dep_on [ nn ];
+    let visits = ref 0 in
     let rec walk prev_live cur =
       match cur with
       | None -> prev_live
       | Some n' ->
           P.work Visit;
+          incr visits;
           let nxt = P.Atomic.get n'.nxt in
           if P.Atomic.get n'.st = Rmd then begin
             helped_remove t n' prev_live;
@@ -170,33 +183,43 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     P.Atomic.set nn.dep_on
       (List.filter (fun d -> d != nn) (P.Atomic.get nn.dep_on));
     P.Atomic.set nn.st Wtg;
+    Probe.insert_done ~visits:!visits;
     test_ready nn
 
   (* Algorithm 7, lfGet: one scan for a ready node. *)
-  let lf_get t =
+  let lf_get t visits =
     let rec walk = function
       | None -> None
       | Some n ->
           P.work Visit;
+          incr visits;
           if P.Atomic.compare_and_set n.st Rdy Exe then Some n
           else walk (P.Atomic.get n.nxt)
     in
     walk (P.Atomic.get t.first)
 
   (* Algorithm 7, lfRemove: logical removal plus promotion of freed
-     dependents; physical unlinking is left to future inserts. *)
+     dependents; physical unlinking is left to future inserts.  Returns the
+     promotion count and the number of dependents examined. *)
   let lf_remove (n : node) =
     P.Atomic.set n.st Rmd;
-    List.fold_left
-      (fun acc ni -> acc + test_ready ni)
-      0 (P.Atomic.get n.dep_me)
+    let visits = ref 0 in
+    let promoted =
+      List.fold_left
+        (fun acc ni ->
+          incr visits;
+          acc + test_ready ni)
+        0 (P.Atomic.get n.dep_me)
+    in
+    (promoted, !visits)
 
   (* Blocking layer (Algorithm 5). *)
 
   let insert t c =
+    let delivered_at = Probe.now () in
     P.Semaphore.acquire t.space;
     if not (P.Atomic.get t.closed) then begin
-      let promoted = lf_insert t c in
+      let promoted = lf_insert t c ~delivered_at in
       if promoted > 0 then P.Semaphore.release ~n:promoted t.ready
     end
 
@@ -204,15 +227,23 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
 
   let get t =
     P.Semaphore.acquire t.ready;
+    let visits = ref 0 in
     let rec attempt () =
-      match lf_get t with
-      | Some n -> Some n
+      match lf_get t visits with
+      | Some n ->
+          Probe.dispatch_latency (Probe.now () -. n.ready_at);
+          Probe.get_done ~visits:!visits;
+          Some n
       | None ->
-          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then None
+          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then begin
+            Probe.get_done ~visits:!visits;
+            None
+          end
           else begin
             (* Our token's node was promoted behind the scan position and
                taken over by a faster worker; its token is still in flight
                for us.  Rescan. *)
+            Probe.rescan ();
             P.yield ();
             attempt ()
           end
@@ -220,13 +251,15 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     attempt ()
 
   let remove t n =
-    let promoted = lf_remove n in
+    let promoted, visits = lf_remove n in
     ignore (P.Atomic.fetch_and_add t.size (-1) : int);
     if promoted > 0 then P.Semaphore.release ~n:promoted t.ready;
-    P.Semaphore.release t.space
+    P.Semaphore.release t.space;
+    Probe.remove_done ~visits
 
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
+      Probe.close_tokens (2 * t.close_tokens);
       P.Semaphore.release ~n:t.close_tokens t.ready;
       P.Semaphore.release ~n:t.close_tokens t.space
     end

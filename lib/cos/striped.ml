@@ -17,6 +17,7 @@
     variant. *)
 
 open Psmr_platform
+module Probe = Psmr_obs.Probe
 
 module Make_sized (Size : sig
   val segment_capacity : int
@@ -33,6 +34,8 @@ struct
     mutable st : status;
     mutable deps_on : node list;  (* live older nodes this one waits for *)
     segment : segment;
+    mutable delivered_at : float;  (* virtual time of the insert call *)
+    mutable ready_at : float;  (* virtual time all dependencies cleared *)
   }
 
   and segment = {
@@ -95,11 +98,12 @@ struct
   let command (n : handle) = n.cmd
 
   (* Iterate the live nodes of a locked segment. *)
-  let iter_live seg f =
+  let iter_live seg visits f =
     for i = 0 to seg.used - 1 do
       match seg.slots.(i) with
       | Some n when n.st <> Removed ->
           P.work Visit;
+          incr visits;
           f n
       | Some _ | None -> ()
     done
@@ -119,9 +123,11 @@ struct
     reap ()
 
   let insert t c =
+    let delivered_at = Probe.now () in
     P.Semaphore.acquire t.space;
     if not (P.Atomic.get t.closed) then begin
       P.work Alloc;
+      let visits = ref 0 in
       (* The node's segment is fixed once we reach the tail. *)
       let rec walk prev deps =
         reap_after prev;
@@ -129,8 +135,9 @@ struct
         | Some seg ->
             P.Mutex.lock seg.mx;
             P.Mutex.unlock prev.mx;
+            Probe.monitor_section ();
             let deps = ref deps in
-            iter_live seg (fun older ->
+            iter_live seg visits (fun older ->
                 P.work Conflict_check;
                 if C.conflict older.cmd c then deps := older :: !deps);
             walk seg !deps
@@ -146,10 +153,24 @@ struct
                 s
               end
             in
-            let n = { cmd = c; st = Waiting; deps_on = deps; segment = seg } in
+            let n =
+              {
+                cmd = c;
+                st = Waiting;
+                deps_on = deps;
+                segment = seg;
+                delivered_at;
+                ready_at = 0.0;
+              }
+            in
             seg.slots.(seg.used) <- Some n;
             seg.used <- seg.used + 1;
             let is_ready = n.deps_on = [] in
+            Probe.insert_done ~visits:!visits;
+            if is_ready then begin
+              n.ready_at <- Probe.now ();
+              Probe.ready_latency (n.ready_at -. n.delivered_at)
+            end;
             (* Count the node before it becomes visible (the unlock): a
                remover that frees it through edge stripping may run its
                whole get/remove cycle before this insert resumes, and the
@@ -166,7 +187,7 @@ struct
 
   (* Scan for the oldest free waiting node; [None] if the backing node was
      taken behind the scan position (caller rescans). *)
-  let scan_for_ready t =
+  let scan_for_ready t visits =
     let found = ref None in
     let rec walk prev =
       reap_after prev;
@@ -175,10 +196,12 @@ struct
       | Some seg ->
           P.Mutex.lock seg.mx;
           P.Mutex.unlock prev.mx;
+          Probe.monitor_section ();
           (try
-             iter_live seg (fun n ->
+             iter_live seg visits (fun n ->
                  if n.st = Waiting && n.deps_on = [] then begin
                    n.st <- Executing;
+                   Probe.dispatch_latency (Probe.now () -. n.ready_at);
                    found := Some n;
                    raise Exit
                  end)
@@ -191,12 +214,19 @@ struct
 
   let get t =
     P.Semaphore.acquire t.ready;
+    let visits = ref 0 in
     let rec attempt () =
-      match scan_for_ready t with
-      | Some n -> Some n
+      match scan_for_ready t visits with
+      | Some n ->
+          Probe.get_done ~visits:!visits;
+          Some n
       | None ->
-          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then None
+          if P.Atomic.get t.closed && P.Atomic.get t.size = 0 then begin
+            Probe.get_done ~visits:!visits;
+            None
+          end
           else begin
+            Probe.rescan ();
             P.yield ();
             attempt ()
           end
@@ -209,11 +239,16 @@ struct
        hand-over-hand from the start — conservative but ordered, hence
        deadlock-free. *)
     let freed = ref 0 in
+    let visits = ref 0 in
     let strip_in seg =
-      iter_live seg (fun other ->
+      iter_live seg visits (fun other ->
           if List.memq n other.deps_on then begin
             other.deps_on <- List.filter (fun d -> d != n) other.deps_on;
-            if other.deps_on = [] && other.st = Waiting then incr freed
+            if other.deps_on = [] && other.st = Waiting then begin
+              other.ready_at <- Probe.now ();
+              Probe.ready_latency (other.ready_at -. other.delivered_at);
+              incr freed
+            end
           end)
     in
     let rec walk prev ~marked =
@@ -223,6 +258,7 @@ struct
       | Some seg ->
           P.Mutex.lock seg.mx;
           P.Mutex.unlock prev.mx;
+          Probe.monitor_section ();
           let marked =
             if (not marked) && seg == n.segment then begin
               n.st <- Removed;
@@ -237,11 +273,13 @@ struct
     P.Mutex.lock t.head.mx;
     walk t.head ~marked:false;
     ignore (P.Atomic.fetch_and_add t.size (-1) : int);
+    Probe.remove_done ~visits:!visits;
     if !freed > 0 then P.Semaphore.release ~n:!freed t.ready;
     P.Semaphore.release t.space
 
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
+      Probe.close_tokens (2 * t.close_tokens);
       P.Semaphore.release ~n:t.close_tokens t.ready;
       P.Semaphore.release ~n:t.close_tokens t.space
     end

@@ -20,6 +20,8 @@ type result = {
   kops : float;  (** completed commands per second, in thousands *)
   mean_population : float;  (** mean number of commands in the graph *)
   executed : int;
+  metrics : Psmr_obs.Metrics.t option;  (** when run with [~metrics:true] *)
+  trace : Psmr_obs.Trace.t option;  (** when run with [~trace:true] *)
 }
 
 let default_duration = 0.08
@@ -27,10 +29,24 @@ let default_warmup = 0.02
 
 let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
     ?(batch = 1) ?(costs = Model.sim_costs) ?(duration = default_duration)
-    ?(warmup = default_warmup) ?(seed = 42L) () =
+    ?(warmup = default_warmup) ?(seed = 42L) ?(metrics = false)
+    ?(trace = false) () =
   if batch <= 0 then invalid_arg "Standalone.run: batch must be positive";
   let engine = Psmr_sim.Engine.create () in
   let (module SP) = Psmr_sim.Sim_platform.make engine costs in
+  (* Observability registry: recording is pure mutation driven by probe
+     hooks, so the run computes exactly the same virtual-time history with
+     metrics on or off (test/test_obs.ml holds us to that). *)
+  let trace_buf = if trace then Some (Psmr_obs.Trace.create ()) else None in
+  let registry =
+    if metrics || trace then
+      Some
+        (Psmr_obs.Metrics.make
+           ~now:(fun () -> Psmr_sim.Engine.now engine)
+           ~track:(fun () -> Psmr_sim.Engine.running_tag engine)
+           ?trace:trace_buf ())
+    else None
+  in
   let (module Cos : Psmr_cos.Cos_intf.S with type cmd = bool) =
     Psmr_cos.Registry.instantiate_keyed impl (module SP) (module Rw)
   in
@@ -46,7 +62,7 @@ let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
   (* Scheduler thread: insert as fast as the structure admits (§7.3: "one
      thread looped without waiting interval ... and invoked insert"). *)
   let rng = Psmr_util.Rng.create ~seed in
-  Psmr_sim.Engine.spawn engine (fun () ->
+  Psmr_sim.Engine.spawn engine ~name:"inserter" (fun () ->
       if batch = 1 then
         let rec feed () =
           Sched.submit sched (Psmr_util.Rng.below_percent rng spec.write_pct);
@@ -68,7 +84,7 @@ let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
         feed ());
   (* Population probe: samples the graph occupancy during the window. *)
   let pop_sum = ref 0 and pop_n = ref 0 in
-  Psmr_sim.Engine.spawn engine (fun () ->
+  Psmr_sim.Engine.spawn engine ~name:"pop-probe" (fun () ->
       let rec probe () =
         SP.sleep 1e-3;
         if !measuring then begin
@@ -78,11 +94,33 @@ let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
         probe ()
       in
       probe ());
-  Psmr_sim.Engine.spawn engine ~delay:warmup (fun () -> measuring := true);
-  Psmr_sim.Engine.run ~until:(warmup +. duration) engine;
+  Psmr_sim.Engine.spawn engine ~delay:warmup ~name:"warmup-gate" (fun () ->
+      measuring := true);
+  (match registry with Some r -> Psmr_obs.Metrics.enable r | None -> ());
+  Fun.protect
+    ~finally:(fun () -> Psmr_obs.Metrics.disable ())
+    (fun () -> Psmr_sim.Engine.run ~until:(warmup +. duration) engine);
+  (match trace_buf with
+  | None -> ()
+  | Some tr ->
+      Psmr_obs.Trace.set_process_name tr ~pid:Psmr_obs.Probe.core_pid "cores";
+      Psmr_obs.Trace.set_process_name tr ~pid:Psmr_obs.Probe.proc_pid
+        "processes";
+      for core = 0 to Model.cores - 1 do
+        Psmr_obs.Trace.set_thread_name tr ~pid:Psmr_obs.Probe.core_pid
+          ~tid:core
+          (Printf.sprintf "core-%d" core)
+      done;
+      List.iter
+        (fun (pid, name) ->
+          Psmr_obs.Trace.set_thread_name tr ~pid:Psmr_obs.Probe.proc_pid
+            ~tid:pid name)
+        (Psmr_sim.Engine.process_names engine));
   {
     kops = float_of_int !completed /. duration /. 1000.0;
     mean_population =
       (if !pop_n = 0 then 0.0 else float_of_int !pop_sum /. float_of_int !pop_n);
     executed = !completed;
+    metrics = registry;
+    trace = trace_buf;
   }

@@ -6,6 +6,8 @@ type result = {
   kops : float;  (** completed commands per second, in thousands *)
   mean_population : float;  (** mean number of commands in the graph *)
   executed : int;
+  metrics : Psmr_obs.Metrics.t option;  (** when run with [~metrics:true] *)
+  trace : Psmr_obs.Trace.t option;  (** when run with [~trace:true] *)
 }
 
 val default_duration : float
@@ -21,10 +23,19 @@ val run :
   ?duration:float ->
   ?warmup:float ->
   ?seed:int64 ->
+  ?metrics:bool ->
+  ?trace:bool ->
   unit ->
   result
 (** Deterministic for fixed arguments (virtual time). [max_size] bounds the
     dependency graph (default 150, the paper's setting); [batch] (default 1)
     feeds the inserter through the COS's batched path, [batch] commands per
     delivery; [costs] overrides the calibrated model (for sensitivity
-    studies). *)
+    studies).
+
+    [metrics] (default false) activates an observability registry for the
+    run and returns it in [result.metrics]; [trace] additionally collects a
+    Chrome-trace buffer (one track per simulated core plus one per named
+    process) in [result.trace].  Neither changes the simulation: virtual
+    time, throughput and event order are identical with observability on or
+    off. *)

@@ -1,0 +1,245 @@
+(** The metrics registry: cheap counters and virtual-time histograms filled
+    by the probe layer ({!Probe}) while a simulation runs.
+
+    A registry is {e activated} ({!enable}) for the duration of a run and
+    deactivated afterwards; every probe is a no-op while no registry is
+    active, so instrumented code pays one pointer read on the disabled
+    path.  Recording never performs engine effects — counters and histogram
+    buckets are plain mutations — so activating a registry cannot change
+    virtual time, event order, or anything else a simulation computes.
+    (The determinism test in [test/test_obs.ml] checks exactly this.)
+
+    Virtual-time sources are injected: the harness passes [now] (typically
+    [Engine.now]) and [track] (typically [Engine.running_tag]) when it
+    builds the registry, so this library depends on no simulator
+    internals.  All recorded durations are in the unit [now] returns —
+    virtual seconds under the simulation platform, logical decision-point
+    counts under the model-checking platform. *)
+
+type counters = {
+  (* Blocking layer (recorded by the simulated primitives). *)
+  mutable lock_acquisitions : int;
+  mutable lock_contended : int;  (* acquisitions that had to park *)
+  mutable lock_wait : float;  (* total time parked waiting for a mutex *)
+  mutable lock_hold : float;  (* total time mutexes were held *)
+  mutable cond_waits : int;
+  mutable cond_signals : int;
+  mutable sem_parks : int;  (* suspensions in semaphore acquire *)
+  mutable sem_wakes : int;  (* direct token handoffs to a parked process *)
+  mutable sem_wait : float;  (* total time parked on semaphores *)
+  mutable close_tokens : int;  (* tokens flooded by COS close *)
+  (* Nonblocking layer. *)
+  mutable cas_attempts : int;
+  mutable cas_successes : int;
+  (* Work-kind charges (every [P.work] call, regardless of operation). *)
+  mutable work_visit : int;
+  mutable work_conflict : int;
+  mutable work_alloc : int;
+  mutable work_marshal : int;
+  mutable work_hash : int;
+  (* Per-operation traversal footprints, reported by the COS probes. *)
+  mutable insert_ops : int;
+  mutable insert_visits : int;
+  mutable get_ops : int;
+  mutable get_visits : int;
+  mutable remove_ops : int;
+  mutable remove_visits : int;
+  (* Implementation-specific contended-path events. *)
+  mutable helped_removals : int;  (* physical unlinks helped by insert *)
+  mutable rescans : int;  (* get retry loops: token's node taken over *)
+  mutable coupling_steps : int;  (* lock-coupling hand-over-hand steps *)
+  mutable monitor_sections : int;  (* monitor/segment critical sections *)
+  (* Delivery batching. *)
+  mutable batches : int;
+  mutable batched_cmds : int;
+}
+
+let fresh_counters () =
+  {
+    lock_acquisitions = 0;
+    lock_contended = 0;
+    lock_wait = 0.0;
+    lock_hold = 0.0;
+    cond_waits = 0;
+    cond_signals = 0;
+    sem_parks = 0;
+    sem_wakes = 0;
+    sem_wait = 0.0;
+    close_tokens = 0;
+    cas_attempts = 0;
+    cas_successes = 0;
+    work_visit = 0;
+    work_conflict = 0;
+    work_alloc = 0;
+    work_marshal = 0;
+    work_hash = 0;
+    insert_ops = 0;
+    insert_visits = 0;
+    get_ops = 0;
+    get_visits = 0;
+    remove_ops = 0;
+    remove_visits = 0;
+    helped_removals = 0;
+    rescans = 0;
+    coupling_steps = 0;
+    monitor_sections = 0;
+    batches = 0;
+    batched_cmds = 0;
+  }
+
+type t = {
+  c : counters;
+  delivery_ready : Psmr_util.Histogram.t;
+      (* per command: insert call to promotion (deps all removed) *)
+  ready_dispatch : Psmr_util.Histogram.t;
+      (* per command: promotion to a worker reserving it in [get] *)
+  dispatch_executed : Psmr_util.Histogram.t;
+      (* per command: reservation to execution completed *)
+  now : unit -> float;
+  track : unit -> int;
+  trace : Trace.t option;
+}
+
+let make ?(now = fun () -> 0.0) ?(track = fun () -> 0) ?trace () =
+  {
+    c = fresh_counters ();
+    delivery_ready = Psmr_util.Histogram.create ();
+    ready_dispatch = Psmr_util.Histogram.create ();
+    dispatch_executed = Psmr_util.Histogram.create ();
+    now;
+    track;
+    trace;
+  }
+
+(* The active registry.  A plain global: activation is a harness-level,
+   whole-run decision, and the simulation platforms are single-threaded. *)
+let active : t option ref = ref None
+
+let enable t = active := Some t
+let disable () = active := None
+
+let counters t = t.c
+let trace t = t.trace
+let now t = t.now
+let track t = t.track
+let delivery_ready t = t.delivery_ready
+let ready_dispatch t = t.ready_dispatch
+let dispatch_executed t = t.dispatch_executed
+
+let histograms t =
+  [
+    ("delivery_ready", t.delivery_ready);
+    ("ready_dispatch", t.ready_dispatch);
+    ("dispatch_executed", t.dispatch_executed);
+  ]
+
+(* Flat numeric snapshot, one (name, value) per counter plus derived
+   histogram statistics — the form the checker exposes to oracles and the
+   tests compare. *)
+let assoc t =
+  let c = t.c in
+  let i name v = (name, float_of_int v) in
+  [
+    i "lock_acquisitions" c.lock_acquisitions;
+    i "lock_contended" c.lock_contended;
+    ("lock_wait", c.lock_wait);
+    ("lock_hold", c.lock_hold);
+    i "cond_waits" c.cond_waits;
+    i "cond_signals" c.cond_signals;
+    i "sem_parks" c.sem_parks;
+    i "sem_wakes" c.sem_wakes;
+    ("sem_wait", c.sem_wait);
+    i "close_tokens" c.close_tokens;
+    i "cas_attempts" c.cas_attempts;
+    i "cas_successes" c.cas_successes;
+    i "work_visit" c.work_visit;
+    i "work_conflict" c.work_conflict;
+    i "work_alloc" c.work_alloc;
+    i "work_marshal" c.work_marshal;
+    i "work_hash" c.work_hash;
+    i "insert_ops" c.insert_ops;
+    i "insert_visits" c.insert_visits;
+    i "get_ops" c.get_ops;
+    i "get_visits" c.get_visits;
+    i "remove_ops" c.remove_ops;
+    i "remove_visits" c.remove_visits;
+    i "helped_removals" c.helped_removals;
+    i "rescans" c.rescans;
+    i "coupling_steps" c.coupling_steps;
+    i "monitor_sections" c.monitor_sections;
+    i "batches" c.batches;
+    i "batched_cmds" c.batched_cmds;
+  ]
+  @ List.concat_map
+      (fun (name, h) ->
+        [
+          (name ^ "_count", float_of_int (Psmr_util.Histogram.count h));
+          (name ^ "_p50", Psmr_util.Histogram.quantile h 0.50);
+          (name ^ "_p95", Psmr_util.Histogram.quantile h 0.95);
+          (name ^ "_p99", Psmr_util.Histogram.quantile h 0.99);
+          (name ^ "_mean", Psmr_util.Histogram.mean h);
+          (name ^ "_max", Psmr_util.Histogram.max_value h);
+        ])
+      (histograms t)
+
+(* Hand-rolled JSON (no JSON library in the build environment); %.9g keeps
+   the output compact, deterministic, and lossless enough for comparison
+   across identical runs. *)
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let to_json ?cost_model t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"counters\": {\n";
+  (* [assoc] appends derived histogram statistics; the JSON form reports
+     those under "latency_virtual_seconds" instead, so drop them here. *)
+  let counters_only =
+    List.filter
+      (fun (n, _) ->
+        not
+          (List.exists
+             (fun (hn, _) ->
+               let p = hn ^ "_" in
+               String.length n > String.length p
+               && String.sub n 0 (String.length p) = p)
+             (histograms t)))
+      (assoc t)
+  in
+  List.iteri
+    (fun i (n, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %s%s\n" n (num v)
+           (if i = List.length counters_only - 1 then "" else ",")))
+    counters_only;
+  Buffer.add_string buf "  },\n  \"latency_virtual_seconds\": {\n";
+  let hists = histograms t in
+  List.iteri
+    (fun i (name, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"%s\": { \"count\": %d, \"p50\": %s, \"p95\": %s, \"p99\": \
+            %s, \"mean\": %s, \"max\": %s }%s\n"
+           name
+           (Psmr_util.Histogram.count h)
+           (num (Psmr_util.Histogram.quantile h 0.50))
+           (num (Psmr_util.Histogram.quantile h 0.95))
+           (num (Psmr_util.Histogram.quantile h 0.99))
+           (num (Psmr_util.Histogram.mean h))
+           (num (Psmr_util.Histogram.max_value h))
+           (if i = List.length hists - 1 then "" else ",")))
+    hists;
+  (match cost_model with
+  | None -> Buffer.add_string buf "  }\n"
+  | Some cm ->
+      Buffer.add_string buf "  },\n  \"cost_model_seconds\": {\n";
+      List.iteri
+        (fun i (n, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    \"%s\": %s%s\n" n (num v)
+               (if i = List.length cm - 1 then "" else ",")))
+        cm;
+      Buffer.add_string buf "  }\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

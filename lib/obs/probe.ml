@@ -1,0 +1,219 @@
+(** Probe layer: the hooks instrumented code calls.
+
+    Every function here pattern-matches on {!Metrics.active} and returns
+    immediately when no registry is enabled, so the disabled path costs a
+    single pointer read.  None of these functions performs an engine
+    effect — they only mutate the active registry — which is what lets the
+    determinism test assert that metrics collection leaves virtual time
+    untouched.
+
+    This module is the {e only} observability API conflict-ordered-set
+    implementations may use (enforced by [psmr_lint]): keeping the probe
+    vocabulary closed makes the recorded events comparable across the six
+    implementations. *)
+
+let enabled () = match !Metrics.active with Some _ -> true | None -> false
+
+let tracing () =
+  match !Metrics.active with
+  | Some m -> ( match Metrics.trace m with Some _ -> true | None -> false)
+  | None -> false
+
+let now () =
+  match !Metrics.active with Some m -> Metrics.now m () | None -> 0.0
+
+let track () =
+  match !Metrics.active with Some m -> Metrics.track m () | None -> 0
+
+(* Trace process ids: simulated cores on one track group, engine processes
+   on another.  Fixed small integers keep exports comparable across runs. *)
+let core_pid = 1
+let proc_pid = 2
+
+(* ------------------------------------------------------------------ *)
+(* Blocking primitives (called from the simulated sync layer).         *)
+
+let mutex_acquired ~contended ~waited =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.lock_acquisitions <- c.lock_acquisitions + 1;
+      if contended then begin
+        c.lock_contended <- c.lock_contended + 1;
+        c.lock_wait <- c.lock_wait +. waited
+      end
+
+let mutex_released ~since =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      let t1 = Metrics.now m () in
+      let held = t1 -. since in
+      c.lock_hold <- c.lock_hold +. held;
+      (match Metrics.trace m with
+      | Some tr when held > 0.0 ->
+          Trace.slice tr ~name:"cs" ~pid:proc_pid ~tid:(Metrics.track m ())
+            ~ts:since ~dur:held
+      | _ -> ())
+
+let cond_wait () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.cond_waits <- c.cond_waits + 1
+
+let cond_signal () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.cond_signals <- c.cond_signals + 1
+
+let sem_park ~waited =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.sem_parks <- c.sem_parks + 1;
+      c.sem_wait <- c.sem_wait +. waited
+
+let sem_wake () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.sem_wakes <- c.sem_wakes + 1
+
+(* ------------------------------------------------------------------ *)
+(* Nonblocking layer and work-kind charges (platform hooks).           *)
+
+let cas ~success =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.cas_attempts <- c.cas_attempts + 1;
+      if success then c.cas_successes <- c.cas_successes + 1
+
+let work kind =
+  match !Metrics.active with
+  | None -> ()
+  | Some m -> (
+      let c = Metrics.counters m in
+      match kind with
+      | `Visit -> c.work_visit <- c.work_visit + 1
+      | `Conflict -> c.work_conflict <- c.work_conflict + 1
+      | `Alloc -> c.work_alloc <- c.work_alloc + 1
+      | `Marshal -> c.work_marshal <- c.work_marshal + 1
+      | `Hash -> c.work_hash <- c.work_hash + 1)
+
+(* ------------------------------------------------------------------ *)
+(* COS operations.                                                     *)
+
+let insert_done ~visits =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.insert_ops <- c.insert_ops + 1;
+      c.insert_visits <- c.insert_visits + visits
+
+let get_done ~visits =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.get_ops <- c.get_ops + 1;
+      c.get_visits <- c.get_visits + visits
+
+let remove_done ~visits =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.remove_ops <- c.remove_ops + 1;
+      c.remove_visits <- c.remove_visits + visits
+
+let helped_removal () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.helped_removals <- c.helped_removals + 1
+
+let rescan () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.rescans <- c.rescans + 1
+
+let coupling_step () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.coupling_steps <- c.coupling_steps + 1
+
+let monitor_section () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.monitor_sections <- c.monitor_sections + 1
+
+let close_tokens n =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.close_tokens <- c.close_tokens + n
+
+let batch n =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.batches <- c.batches + 1;
+      c.batched_cmds <- c.batched_cmds + n
+
+(* ------------------------------------------------------------------ *)
+(* Per-command latency pipeline.                                       *)
+
+let ready_latency dt =
+  match !Metrics.active with
+  | None -> ()
+  | Some m -> Psmr_util.Histogram.record (Metrics.delivery_ready m) dt
+
+let dispatch_latency dt =
+  match !Metrics.active with
+  | None -> ()
+  | Some m -> Psmr_util.Histogram.record (Metrics.ready_dispatch m) dt
+
+let exec_latency dt =
+  match !Metrics.active with
+  | None -> ()
+  | Some m -> Psmr_util.Histogram.record (Metrics.dispatch_executed m) dt
+
+(* ------------------------------------------------------------------ *)
+(* Trace slices.                                                       *)
+
+let exec ~core ~ts ~dur =
+  match !Metrics.active with
+  | None -> ()
+  | Some m -> (
+      match Metrics.trace m with
+      | Some tr -> Trace.slice tr ~name:"exec" ~pid:core_pid ~tid:core ~ts ~dur
+      | None -> ())
+
+let span ~name ~ts ~dur =
+  match !Metrics.active with
+  | None -> ()
+  | Some m -> (
+      match Metrics.trace m with
+      | Some tr ->
+          Trace.slice tr ~name ~pid:proc_pid ~tid:(Metrics.track m ()) ~ts ~dur
+      | None -> ())

@@ -1,0 +1,74 @@
+(** Observability hooks.  Every function is a no-op (one pointer read)
+    while no {!Metrics} registry is enabled, and never performs an engine
+    effect, so instrumentation cannot perturb a simulation.
+
+    This is the only observability API conflict-ordered-set
+    implementations may call (checked by [psmr_lint]). *)
+
+val enabled : unit -> bool
+(** A registry is currently enabled.  Use to guard timestamp capture. *)
+
+val tracing : unit -> bool
+(** A registry with an attached trace buffer is enabled. *)
+
+val now : unit -> float
+(** Virtual time from the active registry; [0.0] when disabled. *)
+
+val track : unit -> int
+(** Current process identifier from the active registry; [0] when
+    disabled. *)
+
+val core_pid : int
+(** Trace process id under which simulated-core tracks are grouped. *)
+
+val proc_pid : int
+(** Trace process id under which engine-process tracks are grouped. *)
+
+(** {1 Blocking primitives} *)
+
+val mutex_acquired : contended:bool -> waited:float -> unit
+val mutex_released : since:float -> unit
+(** [since] is the virtual time the mutex was acquired at; the hold time
+    is accumulated and, when tracing, emitted as a ["cs"] slice on the
+    holder's track. *)
+
+val cond_wait : unit -> unit
+val cond_signal : unit -> unit
+val sem_park : waited:float -> unit
+val sem_wake : unit -> unit
+
+(** {1 Nonblocking layer and modeled work} *)
+
+val cas : success:bool -> unit
+val work : [ `Visit | `Conflict | `Alloc | `Marshal | `Hash ] -> unit
+
+(** {1 COS operations} *)
+
+val insert_done : visits:int -> unit
+val get_done : visits:int -> unit
+val remove_done : visits:int -> unit
+val helped_removal : unit -> unit
+val rescan : unit -> unit
+val coupling_step : unit -> unit
+val monitor_section : unit -> unit
+val close_tokens : int -> unit
+val batch : int -> unit
+
+(** {1 Per-command latency pipeline} *)
+
+val ready_latency : float -> unit
+(** Delivery (insert call) to promotion (all dependencies removed). *)
+
+val dispatch_latency : float -> unit
+(** Promotion to a worker reserving the command in [get]. *)
+
+val exec_latency : float -> unit
+(** Reservation to execution completed. *)
+
+(** {1 Trace slices} *)
+
+val exec : core:int -> ts:float -> dur:float -> unit
+(** Command execution occupying simulated core [core]. *)
+
+val span : name:string -> ts:float -> dur:float -> unit
+(** Generic slice on the current process's track. *)

@@ -1,0 +1,123 @@
+(** Chrome trace-event buffer.
+
+    Collects complete-slice events ([ph = "X"]) during a simulation and
+    exports them as trace-event JSON loadable in Perfetto or
+    [chrome://tracing].  Timestamps are virtual seconds on input and are
+    exported in microseconds, the unit the trace-event format specifies.
+
+    The buffer is bounded ([limit], default one million events) so an
+    accidentally long traced run degrades gracefully: events past the limit
+    are counted in {!dropped} and reported in the exported metadata rather
+    than silently discarded. *)
+
+type event = {
+  name : string;
+  pid : int;
+  tid : int;
+  ts : float;  (* virtual seconds *)
+  dur : float;  (* virtual seconds *)
+}
+
+type t = {
+  limit : int;
+  mutable events : event list;  (* reverse recording order *)
+  mutable count : int;
+  mutable dropped : int;
+  mutable thread_names : ((int * int) * string) list;
+  mutable process_names : (int * string) list;
+}
+
+let create ?(limit = 1_000_000) () =
+  if limit <= 0 then invalid_arg "Trace.create: limit must be positive";
+  {
+    limit;
+    events = [];
+    count = 0;
+    dropped = 0;
+    thread_names = [];
+    process_names = [];
+  }
+
+let slice t ~name ~pid ~tid ~ts ~dur =
+  if t.count >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.events <- { name; pid; tid; ts; dur } :: t.events;
+    t.count <- t.count + 1
+  end
+
+let set_thread_name t ~pid ~tid name =
+  t.thread_names <-
+    ((pid, tid), name) :: List.remove_assoc (pid, tid) t.thread_names
+
+let set_process_name t ~pid name =
+  t.process_names <- (pid, name) :: List.remove_assoc pid t.process_names
+
+let count t = t.count
+let dropped t = t.dropped
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Export order is recording order, with metadata first; name metadata is
+   emitted only for tracks that actually carry events, so an unused core
+   never shows as an empty track. *)
+let to_json t =
+  let events = List.rev t.events in
+  let seen_threads =
+    List.sort_uniq compare (List.map (fun e -> (e.pid, e.tid)) events)
+  in
+  let seen_pids = List.sort_uniq compare (List.map fst seen_threads) in
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf s
+  in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  List.iter
+    (fun pid ->
+      match List.assoc_opt pid t.process_names with
+      | Some name ->
+          emit
+            (Printf.sprintf
+               "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \
+                \"tid\": 0, \"args\": {\"name\": \"%s\"}}"
+               pid (escape name))
+      | None -> ())
+    seen_pids;
+  List.iter
+    (fun (pid, tid) ->
+      match List.assoc_opt (pid, tid) t.thread_names with
+      | Some name ->
+          emit
+            (Printf.sprintf
+               "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %d, \
+                \"tid\": %d, \"args\": {\"name\": \"%s\"}}"
+               pid tid (escape name))
+      | None -> ())
+    seen_threads;
+  List.iter
+    (fun e ->
+      emit
+        (Printf.sprintf
+           "  {\"name\": \"%s\", \"ph\": \"X\", \"pid\": %d, \"tid\": %d, \
+            \"ts\": %.3f, \"dur\": %.3f}"
+           (escape e.name) e.pid e.tid (e.ts *. 1e6) (e.dur *. 1e6)))
+    events;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped_events\": \
+        \"%d\"}}\n"
+       t.dropped);
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Chrome trace-event buffer: bounded collection of complete slices
+    ([ph = "X"]) plus track-name metadata, exported as trace-event JSON for
+    Perfetto / [chrome://tracing].  Input timestamps and durations are
+    virtual seconds; the export converts to microseconds as the format
+    requires. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** [limit] bounds the number of stored slices (default one million);
+    slices past it are counted, not stored (see {!dropped}). *)
+
+val slice :
+  t -> name:string -> pid:int -> tid:int -> ts:float -> dur:float -> unit
+
+val set_thread_name : t -> pid:int -> tid:int -> string -> unit
+(** Label a track.  Emitted as [thread_name] metadata, but only for tracks
+    that carry at least one slice. *)
+
+val set_process_name : t -> pid:int -> string -> unit
+
+val count : t -> int
+(** Slices stored so far. *)
+
+val dropped : t -> int
+(** Slices discarded because the buffer was full; also recorded in the
+    exported [otherData]. *)
+
+val to_json : t -> string
+(** The complete trace-event JSON document.  Deterministic: two identical
+    runs produce byte-identical output. *)

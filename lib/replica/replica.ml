@@ -113,7 +113,11 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
   let sequential_executor ~apply =
     let executed = P.Atomic.make 0 in
     let submit e =
+      (* Same dispatch->executed accounting as the parallel scheduler's
+         worker loop, so latency histograms are comparable across modes. *)
+      let t0 = Psmr_obs.Probe.now () in
       apply e;
+      Psmr_obs.Probe.exec_latency (Psmr_obs.Probe.now () -. t0);
       ignore (P.Atomic.fetch_and_add executed 1 : int)
     in
     {

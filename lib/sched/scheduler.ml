@@ -40,7 +40,9 @@ module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) = struct
             match Cos.get cos with
             | None -> Latch.count_down t.joined
             | Some h ->
+                let t0 = Psmr_obs.Probe.now () in
                 execute (Cos.command h);
+                Psmr_obs.Probe.exec_latency (Psmr_obs.Probe.now () -. t0);
                 Cos.remove cos h;
                 ignore (P.Atomic.fetch_and_add t.executed 1 : int);
                 loop ()
@@ -54,6 +56,7 @@ module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) = struct
     Cos.insert t.cos c
 
   let submit_batch t cs =
+    Psmr_obs.Probe.batch (Array.length cs);
     ignore (P.Atomic.fetch_and_add t.submitted (Array.length cs) : int);
     Cos.insert_batch t.cos cs
 

@@ -33,6 +33,23 @@ let default =
     hash = ns 35.0;
   }
 
+let to_assoc t =
+  [
+    ("mutex_lock", t.mutex_lock);
+    ("mutex_unlock", t.mutex_unlock);
+    ("condition_wait", t.condition_wait);
+    ("condition_signal", t.condition_signal);
+    ("semaphore_op", t.semaphore_op);
+    ("atomic_read", t.atomic_read);
+    ("atomic_write", t.atomic_write);
+    ("wakeup", t.wakeup);
+    ("visit", t.visit);
+    ("conflict_check", t.conflict_check);
+    ("alloc", t.alloc);
+    ("marshal", t.marshal);
+    ("hash", t.hash);
+  ]
+
 let zero =
   {
     mutex_lock = 0.0;

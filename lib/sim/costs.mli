@@ -32,6 +32,10 @@ type t = {
 
 val default : t
 
+val to_assoc : t -> (string * float) list
+(** Field-name/value pairs in declaration order, for embedding the model
+    alongside exported metrics. *)
+
 val zero : t
 (** All-zero costs: the simulator then only orders events, useful in
     tests. *)

@@ -12,6 +12,7 @@ type t = {
   events : event Psmr_util.Heap.t;
   mutable failure : exn option;
   mutable executed : int;
+  names : (int, string) Hashtbl.t;
 }
 
 type _ Effect.t +=
@@ -32,6 +33,7 @@ let create () =
     events = Psmr_util.Heap.create ~cmp:compare_event;
     failure = None;
     executed = 0;
+    names = Hashtbl.create 64;
   }
 
 let now t = t.clock
@@ -78,6 +80,7 @@ let run_process t ~pid ?name:_ f =
 let spawn_tagged t ?(delay = 0.0) ?name f =
   t.next_pid <- t.next_pid + 1;
   let pid = t.next_pid in
+  (match name with Some n -> Hashtbl.replace t.names pid n | None -> ());
   schedule_tagged t ~delay ~tag:pid (fun () -> run_process t ~pid ?name f);
   pid
 
@@ -143,3 +146,7 @@ let run ?until t =
   | _ -> ()
 
 let events_executed t = t.executed
+
+let process_names t =
+  Hashtbl.fold (fun pid name acc -> (pid, name) :: acc) t.names []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

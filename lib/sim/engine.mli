@@ -48,6 +48,10 @@ val run : ?until:float -> t -> unit
 val events_executed : t -> int
 (** Total number of events executed so far (diagnostics). *)
 
+val process_names : t -> (int * string) list
+(** The [(pid, name)] pairs of every named process spawned so far, in pid
+    order — used to label per-process tracks in trace exports. *)
+
 (** {2 Scheduler hook points}
 
     By default the engine executes events in (virtual time, FIFO) order.

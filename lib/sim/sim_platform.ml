@@ -55,11 +55,15 @@ let make (engine : Engine.t) (costs : Costs.t) : (module Platform_intf.S) =
 
       let compare_and_set t expected desired =
         Engine.delay costs.atomic_write;
-        if t.value == expected then begin
-          t.value <- desired;
-          true
-        end
-        else false
+        let ok =
+          if t.value == expected then begin
+            t.value <- desired;
+            true
+          end
+          else false
+        in
+        Psmr_obs.Probe.cas ~success:ok;
+        ok
 
       let fetch_and_add t d =
         Engine.delay costs.atomic_write;
@@ -76,9 +80,19 @@ let make (engine : Engine.t) (costs : Costs.t) : (module Platform_intf.S) =
 
     let work (kind : Platform_intf.work_kind) =
       match kind with
-      | Visit -> Engine.delay costs.visit
-      | Conflict_check -> Engine.delay costs.conflict_check
-      | Alloc -> Engine.delay costs.alloc
-      | Marshal -> Engine.delay costs.marshal
-      | Hash -> Engine.delay costs.hash
+      | Visit ->
+          Psmr_obs.Probe.work `Visit;
+          Engine.delay costs.visit
+      | Conflict_check ->
+          Psmr_obs.Probe.work `Conflict;
+          Engine.delay costs.conflict_check
+      | Alloc ->
+          Psmr_obs.Probe.work `Alloc;
+          Engine.delay costs.alloc
+      | Marshal ->
+          Psmr_obs.Probe.work `Marshal;
+          Engine.delay costs.marshal
+      | Hash ->
+          Psmr_obs.Probe.work `Hash;
+          Engine.delay costs.hash
   end)

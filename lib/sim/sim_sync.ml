@@ -12,27 +12,46 @@
     costs — is the mechanism behind the coarse/fine vs. lock-free separation
     in the paper's figures. *)
 
+module Probe = Psmr_obs.Probe
+
 module Mutex = struct
   type t = {
     costs : Costs.t;
     mutable locked : bool;
+    mutable acquired_at : float;  (* meaningful while a registry is active *)
     waiters : (unit -> unit) Queue.t;
   }
 
-  let create costs = { costs; locked = false; waiters = Queue.create () }
+  let create costs =
+    { costs; locked = false; acquired_at = 0.0; waiters = Queue.create () }
 
   let lock t =
     Engine.delay t.costs.mutex_lock;
-    if not t.locked then t.locked <- true
+    if not t.locked then begin
+      t.locked <- true;
+      if Probe.enabled () then begin
+        Probe.mutex_acquired ~contended:false ~waited:0.0;
+        t.acquired_at <- Probe.now ()
+      end
+    end
     else begin
+      let t0 = Probe.now () in
       Engine.suspend (fun resume -> Queue.push resume t.waiters);
       (* Ownership was handed over by the unlocker; pay the wake-up. *)
-      Engine.delay t.costs.wakeup
+      Engine.delay t.costs.wakeup;
+      if Probe.enabled () then
+        Probe.mutex_acquired ~contended:true ~waited:(Probe.now () -. t0)
     end
 
   (* Release without charging cost; must stay free of engine effects so it
-     can run inside a [suspend] registration (see [Condition.wait]). *)
+     can run inside a [suspend] registration (see [Condition.wait]).  The
+     probe calls below are pure mutation, so that property is preserved. *)
   let unlock_transfer t =
+    if Probe.enabled () then begin
+      Probe.mutex_released ~since:t.acquired_at;
+      (* On handoff the next owner's hold starts at the transfer. *)
+      t.acquired_at <- Probe.now ()
+    end;
     match Queue.pop t.waiters with
     | resume -> resume () (* stays locked: direct handoff *)
     | exception Queue.Empty -> t.locked <- false
@@ -51,6 +70,7 @@ module Condition = struct
     (* Charge the bookkeeping and the mutex release up front; enqueueing and
        releasing then happen atomically inside the suspension (the register
        callback must not perform engine effects). *)
+    Probe.cond_wait ();
     Engine.delay (t.costs.condition_wait +. t.costs.mutex_unlock);
     Engine.suspend (fun resume ->
         Queue.push resume t.waiters;
@@ -59,12 +79,14 @@ module Condition = struct
     Mutex.lock m
 
   let signal t =
+    Probe.cond_signal ();
     Engine.delay t.costs.condition_signal;
     match Queue.pop t.waiters with
     | resume -> resume ()
     | exception Queue.Empty -> ()
 
   let broadcast t =
+    Probe.cond_signal ();
     Engine.delay t.costs.condition_signal;
     let pending = Queue.copy t.waiters in
     Queue.clear t.waiters;
@@ -90,9 +112,11 @@ module Semaphore = struct
     for _ = 1 to n do
       if t.count > 0 then t.count <- t.count - 1
       else begin
+        let t0 = Probe.now () in
         Engine.suspend (fun resume -> Queue.push resume t.waiters);
         (* The token was handed to us by [release]. *)
-        Engine.delay t.costs.wakeup
+        Engine.delay t.costs.wakeup;
+        if Probe.enabled () then Probe.sem_park ~waited:(Probe.now () -. t0)
       end
     done
 
@@ -100,7 +124,9 @@ module Semaphore = struct
     Engine.delay t.costs.semaphore_op;
     for _ = 1 to n do
       match Queue.pop t.waiters with
-      | resume -> resume () (* token handoff *)
+      | resume ->
+          Probe.sem_wake ();
+          resume () (* token handoff *)
       | exception Queue.Empty -> t.count <- t.count + 1
     done
 
@@ -115,11 +141,12 @@ module Cpu = struct
     cores : int;
     mutable busy : int;
     waiters : (unit -> unit) Queue.t;
+    slots : bool array;  (* which core indices are occupied; tracing only *)
   }
 
   let create ~cores =
     if cores <= 0 then invalid_arg "Sim_sync.Cpu.create: cores must be positive";
-    { cores; busy = 0; waiters = Queue.create () }
+    { cores; busy = 0; waiters = Queue.create (); slots = Array.make cores false }
 
   let acquire t =
     if t.busy < t.cores then t.busy <- t.busy + 1
@@ -130,8 +157,26 @@ module Cpu = struct
     | resume -> resume () (* slot handoff: busy count unchanged *)
     | exception Queue.Empty -> t.busy <- t.busy - 1
 
+  (* For traces, computations are pinned to the lowest free core index so
+     each occupies a concrete track.  Slot bookkeeping happens with no
+     engine effects between [acquire] returning and the slot being marked
+     (and between clearing and [release]), so admission order — and hence
+     virtual time — is identical with tracing on or off. *)
   let use t d =
     acquire t;
-    Engine.delay d;
-    release t
+    if Probe.tracing () then begin
+      let slot = ref 0 in
+      while !slot < t.cores && t.slots.(!slot) do incr slot done;
+      let core = if !slot < t.cores then !slot else t.cores - 1 in
+      t.slots.(core) <- true;
+      let ts = Probe.now () in
+      Engine.delay d;
+      Probe.exec ~core ~ts ~dur:d;
+      t.slots.(core) <- false;
+      release t
+    end
+    else begin
+      Engine.delay d;
+      release t
+    end
 end

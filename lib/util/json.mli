@@ -1,0 +1,26 @@
+(** Minimal JSON parser, used to schema-check the machine-readable outputs
+    (metrics blocks, Chrome trace files) in tests and in the bench smoke
+    run.  There is no JSON library in the build environment; this supports
+    exactly the subset the exporters emit (and standard JSON in general):
+    objects, arrays, strings with escapes, numbers, booleans and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** [parse s] parses one JSON value, requiring only trailing whitespace
+    after it.  [Error msg] carries a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] when the value is not an object or lacks the
+    field. *)
+
+val as_num : t -> float option
+val as_str : t -> string option
+val as_arr : t -> t list option
+val as_obj : t -> (string * t) list option

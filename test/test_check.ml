@@ -150,6 +150,54 @@ let test_lost_signal_caught () =
            (fun v -> String.length v >= 8 && String.sub v 0 8 = "deadlock")
            f.Explore.violations)
 
+(* --- the self-sentinel fix cannot silently regress ---
+
+   [Broken.No_sentinel] is the pre-hardening lock-free algorithm: insert
+   does not seed [dep_on] with the node itself, so a remover that reads the
+   still-growing dependency list, stalls, and performs its promoting CAS
+   only after the insert has opened the node promotes it over live
+   dependencies recorded after the read (see the lf_insert comment in
+   lib/cos/lockfree.ml).  Uniform random walks essentially never hit the
+   window — it takes three precise preemptions separated by long
+   same-process stretches — so the schedule is driven by a sticky seeded
+   picker: with 85% probability keep running the process that ran last,
+   otherwise pick uniformly.  Seed 1089 is pinned: under it the broken
+   variant promotes prematurely and the conflict-order oracle fires; the
+   hardened lockfree and indexed implementations stay clean under the same
+   picker across a seed sweep that includes it. *)
+
+let sticky_pick rng ~last (tags : int array) =
+  let last_idx = ref (-1) in
+  Array.iteri (fun i t -> if !last_idx < 0 && t = last then last_idx := i) tags;
+  if !last_idx >= 0 && Psmr_util.Rng.below_percent rng 85.0 then !last_idx
+  else Psmr_util.Rng.int rng (Array.length tags)
+
+let sticky_run target seed =
+  let rng = Psmr_util.Rng.create ~seed in
+  Cos_check.run_schedule ~max_steps:5000
+    (sc ~target ~workers:2 ~commands:4 ~write_pct:100.0 ~workload_seed:1L ())
+    ~pick:(fun ~last tags -> sticky_pick rng ~last tags)
+
+let no_sentinel_target =
+  Cos_check.Custom ("broken-no-sentinel", (module Check.Broken.No_sentinel))
+
+let pinned_no_sentinel_seed = 1089L
+
+let test_no_sentinel_race_caught () =
+  let o = sticky_run no_sentinel_target pinned_no_sentinel_seed in
+  Alcotest.(check bool) "conflict-order oracle fired" true
+    (List.exists
+       (fun v -> String.length v >= 14 && String.sub v 0 14 = "conflict order")
+       o.Cos_check.violations)
+
+let test_self_sentinel_fix_holds impl () =
+  for seed = 1 to 2000 do
+    let o = sticky_run (Cos_check.Impl impl) (Int64.of_int seed) in
+    if o.Cos_check.violations <> [] then
+      Alcotest.failf "sticky seed %d: %s" seed
+        (String.concat "; " o.Cos_check.violations)
+  done
+
 (* Regression: the fifo lost-wakeup the checker found (remove signalled one
    getter where draining a closed queue must wake all).  Racing close
    against the workers used to deadlock on the very first explored
@@ -187,6 +235,12 @@ let () =
             test_promotion_race_caught;
           Alcotest.test_case "lost signal caught as deadlock" `Quick
             test_lost_signal_caught;
+          Alcotest.test_case "no-sentinel race caught (pinned sticky seed)"
+            `Quick test_no_sentinel_race_caught;
+          Alcotest.test_case "self-sentinel fix holds [lockfree]" `Quick
+            (test_self_sentinel_fix_holds Psmr_cos.Registry.Lockfree);
+          Alcotest.test_case "self-sentinel fix holds [indexed]" `Quick
+            (test_self_sentinel_fix_holds Psmr_cos.Registry.Indexed);
           Alcotest.test_case "fifo close race regression" `Quick
             test_fifo_close_race_regression;
         ] );

@@ -685,8 +685,11 @@ let test_close_many_blocked_getters impl () =
   Engine.run e;
   Alcotest.(check int) "every blocked getter woke with None" getters !nones
 
-(* --- indexed vs coarse: the footprint-derived relation must induce exactly
-       the behaviour of the pairwise scan relation --- *)
+(* --- cross-implementation equivalence against the coarse reference: every
+       variant must induce exactly the behaviour of the coarse monitor's
+       pairwise scan relation on random keyed workloads.  For indexed this
+       checks the footprint-derived relation; for fine/striped/lockfree the
+       lock-coupling, segment and CAS machinery. --- *)
 
 module Keyed_cmd = struct
   type t = { idx : int; key : int; write : bool }
@@ -716,17 +719,31 @@ let drain_order impl cmds =
   S.close t;
   List.rev !order
 
-let indexed_coarse_equivalence =
+(* One shared workload generator, one property per implementation. *)
+let keyed_workload =
+  QCheck.(list_of_size Gen.(int_range 0 60) (pair (int_range 0 5) bool))
+
+let keyed_cmds ops =
+  Array.of_list
+    (List.mapi (fun idx (key, write) -> { Keyed_cmd.idx; key; write }) ops)
+
+let coarse_equivalence (impl, label) =
   QCheck.Test.make
-    ~name:"indexed = coarse (same delivery, same single-threaded drain)"
-    ~count:200
-    QCheck.(list_of_size Gen.(int_range 0 60) (pair (int_range 0 5) bool))
+    ~name:
+      (Printf.sprintf "%s = coarse (same delivery, same single-threaded drain)"
+         label)
+    ~count:200 keyed_workload
     (fun ops ->
-      let cmds =
-        Array.of_list
-          (List.mapi (fun idx (key, write) -> { Keyed_cmd.idx; key; write }) ops)
-      in
-      drain_order Registry.Indexed cmds = drain_order Registry.Coarse cmds)
+      let cmds = keyed_cmds ops in
+      drain_order impl cmds = drain_order Registry.Coarse cmds)
+
+let coarse_equivalence_impls =
+  [
+    (Registry.Indexed, "indexed");
+    (Registry.Fine, "fine");
+    (Registry.Striped 4, "striped-4");
+    (Registry.Lockfree, "lockfree");
+  ]
 
 let per_impl name f =
   List.map
@@ -769,8 +786,10 @@ let () =
       ( "close-tokens",
         per_impl "close wakes >1024 blocked getters"
           test_close_many_blocked_getters );
-      ( "indexed-equivalence",
-        [ QCheck_alcotest.to_alcotest indexed_coarse_equivalence ] );
+      ( "coarse-equivalence",
+        List.map
+          (fun p -> QCheck_alcotest.to_alcotest (coarse_equivalence p))
+          coarse_equivalence_impls );
       ( "stress",
         per_impl "4 workers, 20% writes" (fun impl ->
             stress impl ~workers:4 ~write_pct:20.0 ~seed:1L)
