@@ -204,6 +204,43 @@ let sim_fig2 ~smoke () =
       ])
     [ 16; 32; 64 ]
 
+(* Throughput-under-faults rows: coarse vs lock-free at 32 workers, with
+   one mid-window worker crash that recovers, against the fault-free
+   baseline.  Quantifies graceful degradation (docs/FAULTS.md): the
+   orphaned command is requeued, a replacement worker joins after the
+   respawn delay, and throughput dips rather than collapsing. *)
+let sim_faults ~smoke () =
+  let duration, warmup = if smoke then (0.02, 0.005) else (0.08, 0.02) in
+  let spec =
+    {
+      Psmr_workload.Workload.write_pct = 10.0;
+      cost = Psmr_workload.Workload.Moderate;
+    }
+  in
+  let crash_spec =
+    Printf.sprintf "seed=11,worker-crash=1@%g+%g" (warmup +. (duration /. 4.0))
+      (duration /. 4.0)
+  in
+  let faults = Psmr_fault.Schedule.parse_exn crash_spec in
+  List.map
+    (fun (label, impl) ->
+      let base =
+        Psmr_harness.Standalone.run ~impl ~workers:32 ~spec ~duration ~warmup ()
+      in
+      let faulty =
+        Psmr_harness.Standalone.run ~impl ~workers:32 ~spec ~duration ~warmup
+          ~faults ()
+      in
+      ( label,
+        crash_spec,
+        base.Psmr_harness.Standalone.kops,
+        faulty.Psmr_harness.Standalone.kops,
+        faulty.Psmr_harness.Standalone.faults_injected ))
+    [
+      ("coarse_w32", Psmr_cos.Registry.Coarse);
+      ("lockfree_w32", Psmr_cos.Registry.Lockfree);
+    ]
+
 (* Observability block for the JSON summary: the coarse vs lock-free
    counter/latency breakdown at 32 workers that explains the Figure-2
    plateau (see docs/OBSERVABILITY.md).  Each entry is a complete JSON
@@ -251,7 +288,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~micro ~fig2 ~metrics =
+let write_json ~path ~micro ~fig2 ~faults ~metrics =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"metrics\": {\n";
   List.iteri
@@ -269,6 +306,16 @@ let write_json ~path ~micro ~fig2 ~metrics =
            (json_escape name) ns
            (if i = List.length micro - 1 then "" else ",")))
     micro;
+  Buffer.add_string buf "  ],\n  \"faults_sim_kops\": [\n";
+  List.iteri
+    (fun i (name, spec, base, faulty, injected) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"faults\": \"%s\", \"kops_fault_free\": \
+            %.1f, \"kops_faulty\": %.1f, \"injected\": %d }%s\n"
+           (json_escape name) (json_escape spec) base faulty injected
+           (if i = List.length faults - 1 then "" else ",")))
+    faults;
   Buffer.add_string buf "  ],\n  \"fig2_sim_kops\": [\n";
   List.iteri
     (fun i (w, impl, kops) ->
@@ -317,6 +364,14 @@ let validate_json ~path =
       in
       ignore (req "micro_ns_per_op" j);
       ignore (req "fig2_sim_kops" j);
+      (match J.as_arr (req "faults_sim_kops" j) with
+      | Some rows ->
+          List.iter
+            (fun row ->
+              List.iter (fun f -> req_num f row)
+                [ "kops_fault_free"; "kops_faulty"; "injected" ])
+            rows
+      | None -> fail "member \"faults_sim_kops\" is not a list");
       let metrics = req "metrics" j in
       List.iter
         (fun block ->
@@ -363,6 +418,7 @@ let () =
     Option.value (Sys.getenv_opt "PSMR_BENCH_JSON") ~default:"BENCH_cos.json"
   in
   write_json ~path:json_path ~micro:micro_for_json ~fig2
+    ~faults:(sim_faults ~smoke ())
     ~metrics:(sim_metrics ~smoke ());
   validate_json ~path:json_path;
   if (not smoke) && not (getenv_flag "PSMR_BENCH_SKIP_FIGURES") then begin

@@ -184,6 +184,28 @@ let metrics_arg =
            histograms during the run and print them as JSON.  Does not \
            change the simulation.")
 
+let faults_conv =
+  let parse s =
+    match Psmr_fault.Schedule.parse s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (Psmr_fault.Schedule.to_string f)
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt faults_conv Psmr_fault.Schedule.empty
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault schedule, e.g. \
+           'seed=7,net-loss=1,worker-crash=1\\@0.05+0.02'.  See \
+           docs/FAULTS.md for the grammar.  The run is replayable from the \
+           workload seed and this spec alone.")
+
 let trace_out_arg =
   Arg.(
     value
@@ -196,11 +218,11 @@ let trace_out_arg =
            sections.")
 
 let standalone_cmd =
-  let run impl workers writes cost duration metrics trace_out =
+  let run impl workers writes cost duration faults metrics trace_out =
     let r =
       Psmr_harness.Standalone.run ~impl ~workers
         ~spec:{ write_pct = writes; cost }
-        ?duration ~metrics
+        ?duration ~faults ~metrics
         ~trace:(trace_out <> None)
         ()
     in
@@ -209,6 +231,10 @@ let standalone_cmd =
       workers writes
       (Psmr_workload.Workload.cost_label cost)
       r.kops r.mean_population;
+    if not (Psmr_fault.Schedule.is_empty faults) then
+      Printf.printf "faults: %s -> %d injected, %d workers crashed\n"
+        (Psmr_fault.Schedule.to_string faults)
+        r.faults_injected r.crashed_workers;
     (match (metrics, r.metrics) with
     | true, Some m ->
         print_string
@@ -230,27 +256,31 @@ let standalone_cmd =
     (Cmd.info "standalone" ~doc:"One standalone data-structure measurement.")
     Term.(
       const run $ impl_arg $ workers_arg $ writes_arg $ cost_arg $ duration_arg
-      $ metrics_arg $ trace_out_arg)
+      $ faults_arg $ metrics_arg $ trace_out_arg)
 
 let smr_cmd =
-  let run impl workers writes cost clients duration =
+  let run impl workers writes cost clients duration faults =
     let r =
       Psmr_harness.Smr.run
         ~mode:(Psmr_replica.Replica.Parallel { impl; workers })
         ~spec:{ write_pct = writes; cost }
-        ~clients ?duration ()
+        ~clients ?duration ~faults ()
     in
     Printf.printf
       "%s workers=%d writes=%g%% cost=%s clients=%d: %.1f kops/s, latency %.2f ms (p99 %.2f)\n"
       (Psmr_cos.Registry.to_string impl)
       workers writes
       (Psmr_workload.Workload.cost_label cost)
-      clients r.kops r.mean_latency_ms r.p99_latency_ms
+      clients r.kops r.mean_latency_ms r.p99_latency_ms;
+    if not (Psmr_fault.Schedule.is_empty faults) then
+      Printf.printf "faults: %s -> %d injected, %d views\n"
+        (Psmr_fault.Schedule.to_string faults)
+        r.faults_injected r.views
   in
   Cmd.v (Cmd.info "smr" ~doc:"One replicated-deployment measurement.")
     Term.(
       const run $ impl_arg $ workers_arg $ writes_arg $ cost_arg $ clients_arg
-      $ duration_arg)
+      $ duration_arg $ faults_arg)
 
 let () =
   let info =

@@ -126,6 +126,51 @@ let stop_on_first_arg =
     value & flag
     & info [ "stop-on-first" ] ~doc:"Stop at the first failing schedule.")
 
+let crashes_conv =
+  let parse s =
+    let parse_one p =
+      match String.index_opt p ':' with
+      | Some i -> (
+          let w = String.sub p 0 i
+          and k = String.sub p (i + 1) (String.length p - i - 1) in
+          match (int_of_string_opt w, int_of_string_opt k) with
+          | Some w, Some k when w >= 1 && k >= 1 -> Ok (w, k)
+          | _ -> Error (`Msg (Printf.sprintf "bad crash point %S" p)))
+      | None -> Error (`Msg (Printf.sprintf "bad crash point %S (want W:K)" p))
+    in
+    List.fold_right
+      (fun p acc ->
+        match (acc, parse_one p) with
+        | Ok acc, Ok c -> Ok (c :: acc)
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+      (String.split_on_char ',' (String.trim s))
+      (Ok [])
+  in
+  let print ppf cs =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map (fun (w, k) -> Printf.sprintf "%d:%d" w k) cs))
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt crashes_conv []
+    & info [ "faults" ] ~docv:"W:K,..."
+        ~doc:
+          "Inject worker crashes: worker $(i,W) dies at its $(i,K)-th \
+           reserved command and requeues it (the scheduler's recovery \
+           path).  Crash points are logical, so the explorer covers every \
+           interleaving of the requeue with the other workers.")
+
+let no_respawn_arg =
+  Arg.(
+    value & flag
+    & info [ "no-respawn" ]
+        ~doc:
+          "Crashed workers stay dead (crash-stop) instead of re-entering \
+           their loop.")
+
 let replay_arg =
   Arg.(
     value
@@ -173,18 +218,26 @@ let print_failure sc (f : Check.Explore.failure) =
   List.iter (fun v -> Printf.printf "    %s\n" v) f.violations;
   match f.seed with
   | Some s ->
-      Printf.printf "    replay: psmr-check --impl %s --replay %Ld%s\n"
+      Printf.printf "    replay: psmr-check --impl %s --replay %Ld%s%s%s\n"
         (Check.Cos_check.target_name sc.Check.Cos_check.target)
         s
         (if sc.Check.Cos_check.drain_before_close then "" else " --no-drain")
+        (match sc.Check.Cos_check.crashes with
+        | [] -> ""
+        | cs ->
+            " --faults "
+            ^ String.concat ","
+                (List.map (fun (w, k) -> Printf.sprintf "%d:%d" w k) cs))
+        (if sc.Check.Cos_check.respawn then "" else " --no-respawn")
   | None -> ()
 
-let run target workers commands writes max_size no_drain workload_seed seed
-    schedules dfs bound max_schedules max_steps time_box stop_on_first replay
-    trace_out =
+let run target workers commands writes max_size no_drain crashes no_respawn
+    workload_seed seed schedules dfs bound max_schedules max_steps time_box
+    stop_on_first replay trace_out =
   let sc =
     Check.Cos_check.scenario ~target ~workers ~commands ~write_pct:writes
-      ~max_size ~drain_before_close:(not no_drain) ~workload_seed ()
+      ~max_size ~drain_before_close:(not no_drain) ~crashes
+      ~respawn:(not no_respawn) ~workload_seed ()
   in
   match replay with
   | Some s ->
@@ -252,7 +305,7 @@ let () =
        (Cmd.v info
           Term.(
             const run $ impl_arg $ workers_arg $ commands_arg $ writes_arg
-            $ max_size_arg $ no_drain_arg $ workload_seed_arg $ seed_arg
-            $ schedules_arg $ dfs_arg $ bound_arg $ max_schedules_arg
-            $ max_steps_arg $ time_box_arg $ stop_on_first_arg $ replay_arg
-            $ trace_out_arg)))
+            $ max_size_arg $ no_drain_arg $ faults_arg $ no_respawn_arg
+            $ workload_seed_arg $ seed_arg $ schedules_arg $ dfs_arg
+            $ bound_arg $ max_schedules_arg $ max_steps_arg $ time_box_arg
+            $ stop_on_first_arg $ replay_arg $ trace_out_arg)))

@@ -26,6 +26,15 @@
    algorithms to registry internals and invite ad-hoc counters that bypass
    the zero-cost-when-disabled discipline.
 
+   Similarly, the runtime layers (lib/cos/, lib/sched/, lib/replica/,
+   lib/net/) may consult fault injection only through the fault facade
+   ([Psmr_fault.Fault]): arming plans or poking schedules
+   ([Psmr_fault.Plan], [Psmr_fault.Schedule]) from runtime code would let
+   an algorithm see or steer the fault plan, breaking the property that an
+   empty plan is a single pointer read and a fault-free run is
+   bit-identical to one without fault support.  Harnesses and tests arm
+   plans; runtime code only asks.
+
    Wired into [dune runtest] via the rule in the root dune file; exits 1
    with file:line diagnostics on any hit. *)
 
@@ -48,6 +57,11 @@ let wall_clock = [ "Unix." ^ "gettimeofday"; "Unix." ^ "sleepf" ]
 let obs_head = "Psmr" ^ "_obs."
 let obs_allowed = obs_head ^ "Pro" ^ "be"
 
+(* The fault facade rule for the runtime layers (see the header). *)
+let fault_head = "Psmr" ^ "_fault."
+let fault_allowed = fault_head ^ "Fau" ^ "lt"
+let fault_dirs = [ "lib/cos/"; "lib/sched/"; "lib/replica/"; "lib/net/" ]
+
 let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
 
 let exempt path =
@@ -56,12 +70,14 @@ let exempt path =
   let n = String.length norm and s = String.length suffix in
   n >= s && String.sub norm (n - s) s = suffix
 
-let in_cos path =
+let in_dir sub path =
   let norm = normalize path in
-  let sub = "lib/cos/" in
   let n = String.length norm and s = String.length sub in
   let rec scan i = i + s <= n && (String.sub norm i s = sub || scan (i + 1)) in
   scan 0
+
+let in_cos path = in_dir "lib/cos/" path
+let in_fault_scope path = List.exists (fun d -> in_dir d path) fault_dirs
 
 (* Blank out comments (nested) and string literals, preserving newlines so
    reported line numbers stay correct. *)
@@ -204,6 +220,20 @@ let scan_file path =
                "COS implementations may record observability events only \
                 through %sProbe"
                obs_head)
+            :: !hits;
+        let fault_ok =
+          starts_with s i fault_allowed
+          && (let j = i + String.length fault_allowed in
+              j >= String.length s || s.[j] = '.' || not (ident_char s.[j]))
+        in
+        if in_fault_scope path && starts_with s i fault_head && not fault_ok
+        then
+          hits :=
+            (line_of s i,
+             Printf.sprintf
+               "runtime layers may consult fault injection only through the \
+                %sFault facade"
+               fault_head)
             :: !hits
       end)
     s;

@@ -440,7 +440,11 @@ module Make (P : Platform_intf.S) = struct
     | Commit { view; committed } ->
         if view = t.view && t.status = Normal && not (is_leader t) then begin
           t.last_leader_contact <- P.now ();
-          note_commit t committed
+          note_commit t committed;
+          (* The leader committed entries we never received (their Prepares
+             were lost): fetch the missing tail. *)
+          if committed >= log_end t then
+            t.send src (Need_log { from_seq = log_end t })
         end
     | Applied { seq } ->
         if seq > t.applied_reports.(src) then begin
@@ -530,7 +534,18 @@ module Make (P : Platform_intf.S) = struct
         then cut_batch t;
         if now -. t.last_heartbeat >= t.config.heartbeat_interval then begin
           t.last_heartbeat <- now;
-          send_all t (Commit { view = t.view; committed = t.committed })
+          send_all t (Commit { view = t.view; committed = t.committed });
+          (* Lossy links: a dropped Prepare or Prepare_ok would otherwise
+             stall commitment forever, so re-propose a bounded window of
+             the uncommitted tail each heartbeat.  Receivers overwrite
+             idempotently and re-ack, so this is safe under any loss or
+             duplication pattern and a no-op once everything commits. *)
+          let stop = min (log_end t - 1) (t.committed + 16) in
+          for seq = max (t.committed + 1) t.base to stop do
+            send_all t
+              (Prepare
+                 { view = t.view; seq; cmds = log_get t seq; committed = t.committed })
+          done
         end
       end
       else if now -. t.last_leader_contact > t.config.election_timeout then begin

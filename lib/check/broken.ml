@@ -183,6 +183,11 @@ struct
       P.Semaphore.release ~n:promoted t.ready;
     P.Semaphore.release t.space
 
+  let requeue t n =
+    if not (P.Atomic.compare_and_set n.st Exe Rdy) then
+      invalid_arg "Broken.requeue: command not reserved";
+    P.Semaphore.release t.ready
+
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
       P.Semaphore.release ~n:t.close_tokens t.ready;

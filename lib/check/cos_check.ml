@@ -56,18 +56,32 @@ type scenario = {
       (* [true]: the inserter waits for every command to be executed before
          calling [close] (the production shutdown protocol).  [false]:
          [close] races with the workers — exercising the close-drain path. *)
+  crashes : (int * int) list;
+      (* [(w, k)]: worker [w] crashes at its [k]-th reserved command (1-based):
+         it requeues the command instead of executing it.  Logical points, not
+         times — virtual time never advances under the checker — and the
+         picker explores every interleaving of the requeue with the other
+         workers' operations. *)
+  respawn : bool;
+      (* [true]: a crashed worker recovers (re-enters its loop, modelling the
+         scheduler's respawn path); [false]: crash-stop, the pool shrinks. *)
 }
 
 let scenario ?(target = Impl Registry.Lockfree) ?(workers = 3) ?(commands = 10)
     ?(write_pct = 40.0) ?(max_size = 8) ?(drain_before_close = true)
-    ~workload_seed () =
+    ?(crashes = []) ?(respawn = true) ~workload_seed () =
   if workers <= 0 then invalid_arg "Cos_check.scenario: workers must be positive";
   if commands < 0 then invalid_arg "Cos_check.scenario: negative command count";
+  List.iter
+    (fun (w, k) ->
+      if w < 1 || w > workers || k < 1 then
+        invalid_arg "Cos_check.scenario: crash point out of range")
+    crashes;
   let rng = Psmr_util.Rng.create ~seed:workload_seed in
   let writes =
     Array.init commands (fun _ -> Psmr_util.Rng.below_percent rng write_pct)
   in
-  { target; workers; writes; max_size; drain_before_close }
+  { target; workers; writes; max_size; drain_before_close; crashes; respawn }
 
 type outcome = {
   completed : bool;
@@ -127,6 +141,7 @@ let run_schedule ?(max_steps = 50_000) ?(trace = false) ?(metrics = false) sc
   let got_at = Array.make n (-1) in
   let removed_at = Array.make n (-1) in
   let got_count = Array.make n 0 in
+  let requeued = Array.make n 0 in
   let close_started = ref (-1) in
   let finished = ref 0 in
   let total_tasks = sc.workers + 1 in
@@ -149,6 +164,7 @@ let run_schedule ?(max_steps = 50_000) ?(trace = false) ?(metrics = false) sc
     P.spawn
       ~name:(Printf.sprintf "worker-%d" w)
       (fun () ->
+        let gets = ref 0 in
         let rec loop () =
           match S.get t with
           | None ->
@@ -156,12 +172,17 @@ let run_schedule ?(max_steps = 50_000) ?(trace = false) ?(metrics = false) sc
                 viol "get returned None before close started";
               incr finished
           | Some h ->
+              incr gets;
               let c = S.command h in
               let i = c.Cmd.idx in
               got_count.(i) <- got_count.(i) + 1;
-              if got_count.(i) > 1 then
+              (* A command may be reserved once, plus once more per requeue
+                 that preceded this get — anything beyond that is two
+                 workers holding it concurrently. *)
+              if got_count.(i) > 1 + requeued.(i) then
                 viol "double get: command %d reserved twice" i
-              else got_at.(i) <- Check_platform.ticket ctx;
+              else if got_at.(i) < 0 then
+                got_at.(i) <- Check_platform.ticket ctx;
               inv ~strict:false ();
               (* Command execution: a decision point between [get] and
                  [remove], so schedules exist in which other workers [get]
@@ -170,17 +191,33 @@ let run_schedule ?(max_steps = 50_000) ?(trace = false) ?(metrics = false) sc
                  step and an illegal concurrent [get] could never be
                  observed. *)
               P.yield ();
-              (* Stamp the removal before invoking it, so a correct COS can
-                 never produce an inverted conflict pair (no false
-                 positives: the internal removal effect is strictly after
-                 this ticket, and a later [get] of a dependent is strictly
-                 after that). *)
-              if removed_at.(i) < 0 then
-                removed_at.(i) <- Check_platform.ticket ctx;
-              S.remove t h;
-              inv ~strict:false ();
-              P.Semaphore.release done_sem;
-              loop ()
+              if List.mem (w, !gets) sc.crashes then begin
+                (* Injected crash point: die holding the reservation.  The
+                   scheduler's recovery path returns the command via
+                   [requeue]; every interleaving of the demotion with the
+                   other workers is the picker's to explore. *)
+                requeued.(i) <- requeued.(i) + 1;
+                S.requeue t h;
+                inv ~strict:false ();
+                if sc.respawn then begin
+                  P.yield ();
+                  loop ()
+                end
+                else incr finished
+              end
+              else begin
+                (* Stamp the removal before invoking it, so a correct COS
+                   can never produce an inverted conflict pair (no false
+                   positives: the internal removal effect is strictly after
+                   this ticket, and a later [get] of a dependent is strictly
+                   after that). *)
+                if removed_at.(i) < 0 then
+                  removed_at.(i) <- Check_platform.ticket ctx;
+                S.remove t h;
+                inv ~strict:false ();
+                P.Semaphore.release done_sem;
+                loop ()
+              end
         in
         loop ())
   done;

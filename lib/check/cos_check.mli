@@ -31,6 +31,14 @@ type scenario = {
       (** [true]: the inserter waits for all commands to execute before
           [close] (the production shutdown protocol); [false]: [close]
           races with the workers, exercising the close-drain path. *)
+  crashes : (int * int) list;
+      (** [(w, k)]: worker [w] crashes at its [k]-th reserved command
+          (1-based), requeueing it instead of executing — the scheduler's
+          fault-recovery path.  The picker explores every interleaving of
+          the demotion with the other workers. *)
+  respawn : bool;
+      (** [true]: crashed workers recover and re-enter their loop; [false]:
+          crash-stop, the pool shrinks. *)
 }
 
 val scenario :
@@ -40,13 +48,15 @@ val scenario :
   ?write_pct:float ->
   ?max_size:int ->
   ?drain_before_close:bool ->
+  ?crashes:(int * int) list ->
+  ?respawn:bool ->
   workload_seed:int64 ->
   unit ->
   scenario
 (** Build a scenario with a pseudo-random command sequence; the workload is
     fully determined by [workload_seed] and independent of the schedule
     exploration seed.  Defaults: lock-free target, 3 workers, 10 commands,
-    40% writes, [max_size] 8, drain before close. *)
+    40% writes, [max_size] 8, drain before close, no crashes, respawn on. *)
 
 type outcome = {
   completed : bool;  (** every process ran to completion *)

@@ -16,7 +16,7 @@ module Probe = Psmr_obs.Probe
 module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
   type cmd = C.t
 
-  type status = Waiting | Executing
+  type status = Waiting | Executing | Removed
 
   type node = {
     cmd : cmd;
@@ -183,10 +183,30 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
           end
         end);
     unlink t n;
+    n.st <- Removed;
     Probe.remove_done ~visits:!visits;
     P.Condition.signal t.not_full;
     if t.closed && t.size = 0 then P.Condition.broadcast t.has_ready;
     P.Mutex.unlock t.mutex
+
+  (* Demote a reserved node back to waiting (dead-worker recovery).  Its
+     dependency set is empty — it was when [get] promoted it, and edges are
+     only ever added to nodes younger than the inserting one — so the node
+     is immediately eligible for the next [get]. *)
+  let requeue t n =
+    P.Mutex.lock t.mutex;
+    Probe.monitor_section ();
+    if n.st <> Executing then begin
+      P.Mutex.unlock t.mutex;
+      invalid_arg "Coarse.requeue: command not reserved"
+    end
+    else begin
+      n.st <- Waiting;
+      n.ready_at <- Probe.now ();
+      Probe.requeue ();
+      P.Condition.signal t.has_ready;
+      P.Mutex.unlock t.mutex
+    end
 
   let close t =
     P.Mutex.lock t.mutex;

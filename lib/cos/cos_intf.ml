@@ -84,6 +84,15 @@ module type S = sig
   (** Delete an executed command, releasing commands that depended on it.
       Thread-safe. *)
 
+  val requeue : t -> handle -> unit
+  (** Return a reserved command to the ready state {e without} removing it
+      — the fault-tolerance path for a worker that died between {!get} and
+      {!remove}.  The command keeps its delivery position and its
+      dependency edges, so the conflict order is unaffected; a subsequent
+      {!get} (by any worker) may return it again.  Must be called by the
+      dead worker's supervisor, instead of {!remove}, at most once per
+      {!get}.  Thread-safe. *)
+
   val close : t -> unit
   (** Initiate shutdown: blocked and future {!get} calls return [None] once
       no ready command remains.  Call after the scheduler has stopped

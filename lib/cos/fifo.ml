@@ -117,6 +117,21 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
         invalid_arg "Fifo.remove: not the in-flight command");
     P.Mutex.unlock t.mutex
 
+  (* Put the in-flight head back up for grabs (dead-worker recovery). *)
+  let requeue t h =
+    P.Mutex.lock t.mutex;
+    Probe.monitor_section ();
+    (match Queue.peek_opt t.queue with
+    | Some head when head == h && t.in_flight ->
+        t.in_flight <- false;
+        h.ready_at <- Probe.now ();
+        Probe.requeue ();
+        P.Condition.signal t.can_get
+    | Some _ | None ->
+        P.Mutex.unlock t.mutex;
+        invalid_arg "Fifo.requeue: not the in-flight command");
+    P.Mutex.unlock t.mutex
+
   let close t =
     P.Mutex.lock t.mutex;
     t.closed <- true;

@@ -22,7 +22,7 @@ module Probe = Psmr_obs.Probe
 module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
   type cmd = C.t
 
-  type status = Waiting | Executing
+  type status = Waiting | Executing | Removed
 
   type node = {
     cmd : cmd option;  (* [None] only for the head sentinel *)
@@ -223,11 +223,30 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
           strip cur cur.next
     in
     strip n n.next;
+    n.st <- Removed;
     P.Mutex.unlock n.mx;
     ignore (P.Atomic.fetch_and_add t.size (-1) : int);
     Probe.remove_done ~visits:!visits;
     if !freed > 0 then P.Semaphore.release ~n:!freed t.ready;
     P.Semaphore.release t.space
+
+  (* Demote a reserved node back to waiting (dead-worker recovery).  The
+     node's dependency set is empty (it was when promoted; removes only
+     strip edges), so flipping the status suffices — plus one [ready]
+     token to replace the one the dead worker's [get] consumed. *)
+  let requeue t n =
+    P.Mutex.lock n.mx;
+    if n.st <> Executing then begin
+      P.Mutex.unlock n.mx;
+      invalid_arg "Fine.requeue: command not reserved"
+    end
+    else begin
+      n.st <- Waiting;
+      n.ready_at <- Probe.now ();
+      P.Mutex.unlock n.mx;
+      Probe.requeue ();
+      P.Semaphore.release t.ready
+    end
 
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin

@@ -336,6 +336,16 @@ module Make (P : Platform_intf.S) (C : Cos_intf.KEYED_COMMAND) = struct
     P.Semaphore.release t.space;
     Probe.remove_done ~visits
 
+  (* Demote a reserved node back to [Rdy] (dead-worker recovery); see the
+     matching comment in [Lockfree.requeue].  The index is untouched: the
+     node never left it. *)
+  let requeue t n =
+    if not (P.Atomic.compare_and_set n.st Exe Rdy) then
+      invalid_arg "Indexed.requeue: command not reserved";
+    n.ready_at <- Probe.now ();
+    Probe.requeue ();
+    P.Semaphore.release t.ready
+
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
       Probe.close_tokens (2 * t.close_tokens);

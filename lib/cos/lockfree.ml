@@ -257,6 +257,20 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
     P.Semaphore.release t.space;
     Probe.remove_done ~visits
 
+  (* Demote a reserved node back to [Rdy] (dead-worker recovery).  The
+     node's recorded dependencies are all [Rmd] — they were when [lf_get]'s
+     CAS promoted it, and [Rmd] is terminal — so [Rdy] is immediately
+     legal; the released token replaces the one the dead worker's [get]
+     consumed.  This is the one backward move in the state chain; the
+     promoted-with-live-dependency invariant survives it because the
+     demoted node's dependency set is unchanged. *)
+  let requeue t n =
+    if not (P.Atomic.compare_and_set n.st Exe Rdy) then
+      invalid_arg "Lockfree.requeue: command not reserved";
+    n.ready_at <- Probe.now ();
+    Probe.requeue ();
+    P.Semaphore.release t.ready
+
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
       Probe.close_tokens (2 * t.close_tokens);
@@ -276,9 +290,11 @@ module Make (P : Platform_intf.S) (C : Cos_intf.COMMAND) = struct
      - at most one node is in the [Ins] state (there is a single inserting
        scheduler thread);
      - state legality: a node promoted to [Rdy]/[Exe] has only [Rmd]
-       dependencies — promotions never run ahead of removals (states only
-       move forward along [Ins -> Wtg -> Rdy -> Exe -> Rmd], so this holds
-       at every instant, not just at the promotion point). *)
+       dependencies — promotions never run ahead of removals (states move
+       forward along [Ins -> Wtg -> Rdy -> Exe -> Rmd] except for the
+       [requeue] demotion [Exe -> Rdy], which keeps the dependency set and
+       [Rmd] is terminal, so this holds at every instant, not just at the
+       promotion point). *)
   let invariant ?(strict = false) t =
     let errs = ref [] in
     let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in

@@ -277,6 +277,26 @@ struct
     if !freed > 0 then P.Semaphore.release ~n:!freed t.ready;
     P.Semaphore.release t.space
 
+  (* Demote a reserved node back to waiting (dead-worker recovery).  One
+     segment lock orders the status flip against traversals; a single lock
+     acquisition cannot deadlock against the ordered hand-over-hand
+     chains.  One [ready] token replaces the one the dead worker's [get]
+     consumed. *)
+  let requeue t n =
+    P.Mutex.lock n.segment.mx;
+    Probe.monitor_section ();
+    if n.st <> Executing then begin
+      P.Mutex.unlock n.segment.mx;
+      invalid_arg "Striped.requeue: command not reserved"
+    end
+    else begin
+      n.st <- Waiting;
+      n.ready_at <- Probe.now ();
+      P.Mutex.unlock n.segment.mx;
+      Probe.requeue ();
+      P.Semaphore.release t.ready
+    end
+
   let close t =
     if not (P.Atomic.exchange t.closed true) then begin
       Probe.close_tokens (2 * t.close_tokens);

@@ -43,6 +43,9 @@ let sim_costs : Psmr_sim.Costs.t =
        Bechamel [Hashtbl] micro-bench (bench/main.ml, EXPERIMENTS.md):
        find-150 58 ns, replace-150 54 ns on the reference container. *)
     hash = ns 55.0;
+    (* One armed-plan consultation that fired: a branch and a counter on
+       state already in cache. *)
+    fault = ns 50.0;
   }
 
 (** Command execution cost: scanning the linked list.

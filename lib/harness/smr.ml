@@ -12,7 +12,8 @@ type result = {
   mean_latency_ms : float;
   p99_latency_ms : float;
   completed_calls : int;
-  views : int;  (** view changes observed (should be 0 in these runs) *)
+  views : int;  (** view changes observed (should be 0 in fault-free runs) *)
+  faults_injected : int;  (** fault decisions that fired during the run *)
 }
 
 let default_duration = 0.2
@@ -22,9 +23,16 @@ let default_cmds_per_request = 10
 
 let run ~(mode : Psmr_replica.Replica.mode) ~(spec : Psmr_workload.Workload.spec)
     ~clients ?(cmds_per_request = default_cmds_per_request)
-    ?(duration = default_duration) ?(warmup = default_warmup) ?(seed = 7L) () =
+    ?(duration = default_duration) ?(warmup = default_warmup) ?(seed = 7L)
+    ?(faults = Psmr_fault.Schedule.empty) () =
   let engine = Psmr_sim.Engine.create () in
   let (module SP) = Psmr_sim.Sim_platform.make engine Model.sim_costs in
+  (* Arm the fault plan for the whole deployment: network faults fire in
+     the message layer, worker faults inside the replicas' executors. *)
+  let plan =
+    Psmr_fault.Plan.make ~now:(fun () -> Psmr_sim.Engine.now engine) faults
+  in
+  Psmr_fault.Plan.with_plan plan @@ fun () ->
   let module SMR = Psmr_replica.Replica.Make (SP) (Costed_list) in
   let measuring = ref false in
   (* One simulated CPU bank per replica. *)
@@ -98,4 +106,5 @@ let run ~(mode : Psmr_replica.Replica.mode) ~(spec : Psmr_workload.Workload.spec
     p99_latency_ms = p99 *. 1e3;
     completed_calls = !completed;
     views = SMR.Deployment.replica_view d 1;
+    faults_injected = Psmr_fault.Plan.injected plan;
   }

@@ -9,6 +9,7 @@ type result = {
   p99_latency_ms : float;
   completed_calls : int;
   views : int;  (** view changes observed (0 in healthy runs) *)
+  faults_injected : int;  (** fault decisions that fired during the run *)
 }
 
 val default_duration : float
@@ -23,5 +24,11 @@ val run :
   ?duration:float ->
   ?warmup:float ->
   ?seed:int64 ->
+  ?faults:Psmr_fault.Schedule.t ->
   unit ->
   result
+(** [faults] (default empty) arms a deterministic fault schedule for the
+    deployment: message loss/duplication/delay in the simulated network and
+    worker crashes/stalls/slowdowns inside the replicas' parallel
+    executors.  Empty schedule: bit-identical to a run without fault
+    support. *)

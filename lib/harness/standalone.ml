@@ -20,6 +20,8 @@ type result = {
   kops : float;  (** completed commands per second, in thousands *)
   mean_population : float;  (** mean number of commands in the graph *)
   executed : int;
+  faults_injected : int;  (** fault decisions that fired during the run *)
+  crashed_workers : int;  (** workers lost to injected crashes *)
   metrics : Psmr_obs.Metrics.t option;  (** when run with [~metrics:true] *)
   trace : Psmr_obs.Trace.t option;  (** when run with [~trace:true] *)
 }
@@ -29,11 +31,16 @@ let default_warmup = 0.02
 
 let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
     ?(batch = 1) ?(costs = Model.sim_costs) ?(duration = default_duration)
-    ?(warmup = default_warmup) ?(seed = 42L) ?(metrics = false)
-    ?(trace = false) () =
+    ?(warmup = default_warmup) ?(seed = 42L)
+    ?(faults = Psmr_fault.Schedule.empty) ?(metrics = false) ?(trace = false)
+    () =
   if batch <= 0 then invalid_arg "Standalone.run: batch must be positive";
   let engine = Psmr_sim.Engine.create () in
   let (module SP) = Psmr_sim.Sim_platform.make engine costs in
+  let plan =
+    Psmr_fault.Plan.make ~now:(fun () -> Psmr_sim.Engine.now engine) faults
+  in
+  Psmr_fault.Plan.with_plan plan @@ fun () ->
   (* Observability registry: recording is pure mutation driven by probe
      hooks, so the run computes exactly the same virtual-time history with
      metrics on or off (test/test_obs.ml holds us to that). *)
@@ -121,6 +128,8 @@ let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
     mean_population =
       (if !pop_n = 0 then 0.0 else float_of_int !pop_sum /. float_of_int !pop_n);
     executed = !completed;
+    faults_injected = Psmr_fault.Plan.injected plan;
+    crashed_workers = Sched.crashed_workers sched;
     metrics = registry;
     trace = trace_buf;
   }

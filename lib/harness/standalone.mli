@@ -6,6 +6,8 @@ type result = {
   kops : float;  (** completed commands per second, in thousands *)
   mean_population : float;  (** mean number of commands in the graph *)
   executed : int;
+  faults_injected : int;  (** fault decisions that fired during the run *)
+  crashed_workers : int;  (** workers lost to injected crashes *)
   metrics : Psmr_obs.Metrics.t option;  (** when run with [~metrics:true] *)
   trace : Psmr_obs.Trace.t option;  (** when run with [~trace:true] *)
 }
@@ -23,6 +25,7 @@ val run :
   ?duration:float ->
   ?warmup:float ->
   ?seed:int64 ->
+  ?faults:Psmr_fault.Schedule.t ->
   ?metrics:bool ->
   ?trace:bool ->
   unit ->
@@ -32,6 +35,12 @@ val run :
     feeds the inserter through the COS's batched path, [batch] commands per
     delivery; [costs] overrides the calibrated model (for sensitivity
     studies).
+
+    [faults] (default empty) arms a deterministic fault schedule for the
+    run: worker crashes/stalls/slowdowns fire at their virtual times and
+    the run degrades accordingly.  The faulty run is replayable from
+    ([seed], [faults]) alone; with the empty schedule the virtual-time
+    history is bit-identical to a build without fault support.
 
     [metrics] (default false) activates an observability registry for the
     run and returns it in [result.metrics]; [trace] additionally collects a

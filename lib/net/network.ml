@@ -70,8 +70,21 @@ module Make (P : Platform_intf.S) = struct
           if Mailbox.put t.inboxes.(dst) { src; dst; payload } then
             ignore (P.Atomic.fetch_and_add t.delivered 1 : int)
       in
-      let lat = t.latency ~src ~dst in
-      if lat <= 0.0 then deliver () else P.after lat deliver
+      let at lat = if lat <= 0.0 then deliver () else P.after lat deliver in
+      (* Injected message faults, decided by the armed plan (a single
+         pointer read when none is): loss, duplication, extra delay.
+         Retransmission and deduplication are the protocols' job above. *)
+      match Psmr_fault.Fault.net ~src ~dst with
+      | Psmr_fault.Fault.Deliver -> at (t.latency ~src ~dst)
+      | Psmr_fault.Fault.Drop -> P.work Fault
+      | Psmr_fault.Fault.Duplicate ->
+          P.work Fault;
+          let lat = t.latency ~src ~dst in
+          at lat;
+          at lat
+      | Psmr_fault.Fault.Delay d ->
+          P.work Fault;
+          at (t.latency ~src ~dst +. d)
     end
 
   let broadcast t ~src ~dsts payload =
@@ -91,6 +104,14 @@ module Make (P : Platform_intf.S) = struct
     check t addr;
     P.Atomic.set t.crashed.(addr) true;
     Mailbox.close t.inboxes.(addr)
+
+  (* Bring a crashed endpoint back with a fresh (empty) mailbox: a
+     recovered replica restarts from its checkpoint, not from messages
+     queued at its corpse. *)
+  let restore t addr =
+    check t addr;
+    t.inboxes.(addr) <- Mailbox.create ();
+    P.Atomic.set t.crashed.(addr) false
 
   let set_link_filter t f = t.link_up <- f
 

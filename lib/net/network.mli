@@ -4,7 +4,9 @@
 
     Guarantees (matching the paper's §2 model): per-link FIFO delivery, no
     duplication, no corruption; crashed endpoints neither send nor receive.
-    Loss happens only through {!crash} and {!set_link_filter}. *)
+    Loss happens only through {!crash}, {!set_link_filter}, and — when a
+    fault plan is armed ({!Psmr_fault}) — injected message loss,
+    duplication, and extra delay decided per message at send time. *)
 
 open Psmr_platform
 
@@ -36,7 +38,13 @@ module Make (P : Platform_intf.S) : sig
   val try_recv : 'msg t -> addr -> 'msg envelope option
 
   val crash : 'msg t -> addr -> unit
-  (** Permanently silence an endpoint (crash-stop). *)
+  (** Silence an endpoint (crash-stop); messages from and to it are dropped
+      and blocked receivers drain.  Permanent unless {!restore}d. *)
+
+  val restore : 'msg t -> addr -> unit
+  (** Bring a crashed endpoint back with a fresh, empty mailbox (crash-
+      recovery): messages sent while it was down stay lost, new messages
+      flow again.  State recovery is the endpoint's own job. *)
 
   val is_crashed : 'msg t -> addr -> bool
 

@@ -37,6 +37,7 @@ type counters = {
   mutable work_alloc : int;
   mutable work_marshal : int;
   mutable work_hash : int;
+  mutable work_fault : int;
   (* Per-operation traversal footprints, reported by the COS probes. *)
   mutable insert_ops : int;
   mutable insert_visits : int;
@@ -52,6 +53,17 @@ type counters = {
   (* Delivery batching. *)
   mutable batches : int;
   mutable batched_cmds : int;
+  (* Fault injection (recorded by the Psmr_fault facade and the runtime's
+     degradation paths; all zero on fault-free runs). *)
+  mutable requeues : int;  (* COS exe -> rdy demotions of orphaned commands *)
+  mutable fault_worker_crashes : int;
+  mutable fault_worker_stalls : int;
+  mutable fault_worker_slowdowns : int;
+  mutable fault_net_drops : int;
+  mutable fault_net_dups : int;
+  mutable fault_net_delays : int;
+  mutable fault_replica_crashes : int;
+  mutable fault_recoveries : int;
 }
 
 let fresh_counters () =
@@ -73,6 +85,7 @@ let fresh_counters () =
     work_alloc = 0;
     work_marshal = 0;
     work_hash = 0;
+    work_fault = 0;
     insert_ops = 0;
     insert_visits = 0;
     get_ops = 0;
@@ -85,6 +98,15 @@ let fresh_counters () =
     monitor_sections = 0;
     batches = 0;
     batched_cmds = 0;
+    requeues = 0;
+    fault_worker_crashes = 0;
+    fault_worker_stalls = 0;
+    fault_worker_slowdowns = 0;
+    fault_net_drops = 0;
+    fault_net_dups = 0;
+    fault_net_delays = 0;
+    fault_replica_crashes = 0;
+    fault_recoveries = 0;
   }
 
 type t = {
@@ -157,6 +179,7 @@ let assoc t =
     i "work_alloc" c.work_alloc;
     i "work_marshal" c.work_marshal;
     i "work_hash" c.work_hash;
+    i "work_fault" c.work_fault;
     i "insert_ops" c.insert_ops;
     i "insert_visits" c.insert_visits;
     i "get_ops" c.get_ops;
@@ -169,6 +192,15 @@ let assoc t =
     i "monitor_sections" c.monitor_sections;
     i "batches" c.batches;
     i "batched_cmds" c.batched_cmds;
+    i "requeues" c.requeues;
+    i "fault_worker_crashes" c.fault_worker_crashes;
+    i "fault_worker_stalls" c.fault_worker_stalls;
+    i "fault_worker_slowdowns" c.fault_worker_slowdowns;
+    i "fault_net_drops" c.fault_net_drops;
+    i "fault_net_dups" c.fault_net_dups;
+    i "fault_net_delays" c.fault_net_delays;
+    i "fault_replica_crashes" c.fault_replica_crashes;
+    i "fault_recoveries" c.fault_recoveries;
   ]
   @ List.concat_map
       (fun (name, h) ->

@@ -25,6 +25,7 @@ type counters = {
   mutable work_alloc : int;
   mutable work_marshal : int;
   mutable work_hash : int;
+  mutable work_fault : int;
   mutable insert_ops : int;
   mutable insert_visits : int;
   mutable get_ops : int;
@@ -37,6 +38,15 @@ type counters = {
   mutable monitor_sections : int;
   mutable batches : int;
   mutable batched_cmds : int;
+  mutable requeues : int;
+  mutable fault_worker_crashes : int;
+  mutable fault_worker_stalls : int;
+  mutable fault_worker_slowdowns : int;
+  mutable fault_net_drops : int;
+  mutable fault_net_dups : int;
+  mutable fault_net_delays : int;
+  mutable fault_replica_crashes : int;
+  mutable fault_recoveries : int;
 }
 
 type t

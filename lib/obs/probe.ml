@@ -108,7 +108,8 @@ let work kind =
       | `Conflict -> c.work_conflict <- c.work_conflict + 1
       | `Alloc -> c.work_alloc <- c.work_alloc + 1
       | `Marshal -> c.work_marshal <- c.work_marshal + 1
-      | `Hash -> c.work_hash <- c.work_hash + 1)
+      | `Hash -> c.work_hash <- c.work_hash + 1
+      | `Fault -> c.work_fault <- c.work_fault + 1)
 
 (* ------------------------------------------------------------------ *)
 (* COS operations.                                                     *)
@@ -179,6 +180,31 @@ let batch n =
       let c = Metrics.counters m in
       c.batches <- c.batches + 1;
       c.batched_cmds <- c.batched_cmds + n
+
+let requeue () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.requeues <- c.requeues + 1
+
+(* One injected fault firing, by kind; recorded by the Psmr_fault facade
+   (and by the recovery harness for replica crash/recovery events). *)
+let fault kind =
+  match !Metrics.active with
+  | None -> ()
+  | Some m -> (
+      let c = Metrics.counters m in
+      match kind with
+      | `Worker_crash -> c.fault_worker_crashes <- c.fault_worker_crashes + 1
+      | `Worker_stall -> c.fault_worker_stalls <- c.fault_worker_stalls + 1
+      | `Worker_slow ->
+          c.fault_worker_slowdowns <- c.fault_worker_slowdowns + 1
+      | `Net_drop -> c.fault_net_drops <- c.fault_net_drops + 1
+      | `Net_dup -> c.fault_net_dups <- c.fault_net_dups + 1
+      | `Net_delay -> c.fault_net_delays <- c.fault_net_delays + 1
+      | `Replica_crash -> c.fault_replica_crashes <- c.fault_replica_crashes + 1
+      | `Recovery -> c.fault_recoveries <- c.fault_recoveries + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Per-command latency pipeline.                                       *)

@@ -40,7 +40,7 @@ val sem_wake : unit -> unit
 (** {1 Nonblocking layer and modeled work} *)
 
 val cas : success:bool -> unit
-val work : [ `Visit | `Conflict | `Alloc | `Marshal | `Hash ] -> unit
+val work : [ `Visit | `Conflict | `Alloc | `Marshal | `Hash | `Fault ] -> unit
 
 (** {1 COS operations} *)
 
@@ -53,6 +53,25 @@ val coupling_step : unit -> unit
 val monitor_section : unit -> unit
 val close_tokens : int -> unit
 val batch : int -> unit
+
+val requeue : unit -> unit
+(** One orphaned command demoted back to ready (COS [requeue]). *)
+
+(** {1 Fault injection} *)
+
+val fault :
+  [ `Worker_crash
+  | `Worker_stall
+  | `Worker_slow
+  | `Net_drop
+  | `Net_dup
+  | `Net_delay
+  | `Replica_crash
+  | `Recovery ] ->
+  unit
+(** One injected fault firing.  Recorded by the [Psmr_fault] facade when an
+    armed plan makes a non-[Run]/non-[Deliver] decision, and by the
+    recovery harness for replica-level events. *)
 
 (** {1 Per-command latency pipeline} *)
 

@@ -88,6 +88,10 @@ type work_kind =
   | Hash
       (** one hash-index lookup or update on the keyed insert path (a
           hashtable probe over a command's key footprint) *)
+  | Fault
+      (** consulting an armed fault plan at an injection point (a fault
+          actually firing); never charged while fault injection is
+          disabled, so fault-free runs stay bit-identical *)
 
 module type S = sig
   val name : string

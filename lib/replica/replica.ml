@@ -205,10 +205,15 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
       Array.mapi (fun i cmd -> { client = c.c_id; rid = base + 1 + i; cmd }) cmds
     in
     let marker = base + k in
+    (* Bounded exponential backoff on retries: the first attempt uses the
+       configured timeout unchanged; each failover doubles it up to 16x, so a
+       crashed or recovering system is probed progressively more gently
+       instead of being hammered at a fixed cadence. *)
     let send_attempt attempt =
       Net.send c.c_net ~src:c.c_id ~dst:c.c_target
         (Proto (Psmr_broadcast.Abcast.Request envelopes));
-      P.after c.c_timeout (fun () ->
+      let wait = c.c_timeout *. float_of_int (1 lsl min attempt 4) in
+      P.after wait (fun () ->
           Net.send c.c_net ~src:c.c_id ~dst:c.c_id
             (Client_timeout { rid = marker; attempt }))
     in

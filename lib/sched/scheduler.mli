@@ -19,7 +19,15 @@ module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) : sig
   (** Create the COS (bounded by [max_size], default 150) and spawn
       [workers] worker threads running [execute] on each command they
       reserve.  [execute] must tolerate concurrent invocation on
-      non-conflicting commands. *)
+      non-conflicting commands.
+
+      When a fault plan is armed ([Psmr_fault]), workers consult it before
+      each execution: a crashed worker requeues its reserved command (no
+      command is lost or run twice) and leaves the pool — permanently, or
+      until its scheduled respawn; stalled/slowed workers sleep the
+      configured amount around the execution.  With no plan armed the
+      consultation is a single pointer read and the run is bit-identical
+      to one without fault support. *)
 
   val submit : t -> Cos.cmd -> unit
   (** Insert the next command, in delivery order.  Single-threaded caller
@@ -35,6 +43,10 @@ module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) : sig
 
   val in_flight : t -> int
   (** [submitted - executed]; advisory under concurrency. *)
+
+  val crashed_workers : t -> int
+  (** Workers killed by injected faults so far (counting each crash, also
+      of a respawned worker). *)
 
   val drain : ?poll:float -> t -> unit
   (** Block until everything submitted has executed (polling every [poll]

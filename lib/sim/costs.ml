@@ -12,6 +12,7 @@ type t = {
   alloc : float;
   marshal : float;
   hash : float;
+  fault : float;
 }
 
 let ns x = x *. 1e-9
@@ -31,6 +32,7 @@ let default =
     alloc = ns 150.0;
     marshal = ns 800.0;
     hash = ns 35.0;
+    fault = ns 50.0;
   }
 
 let to_assoc t =
@@ -48,6 +50,7 @@ let to_assoc t =
     ("alloc", t.alloc);
     ("marshal", t.marshal);
     ("hash", t.hash);
+    ("fault", t.fault);
   ]
 
 let zero =
@@ -65,4 +68,5 @@ let zero =
     alloc = 0.0;
     marshal = 0.0;
     hash = 0.0;
+    fault = 0.0;
   }

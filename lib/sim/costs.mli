@@ -28,6 +28,9 @@ type t = {
           serialization) on a replica's delivery path *)
   hash : float;
       (** one hash-index probe (lookup or update) on the keyed insert path *)
+  fault : float;
+      (** one fault-plan consultation that actually fired (crash flag
+          check, drop decision); charged only while a plan is armed *)
 }
 
 val default : t

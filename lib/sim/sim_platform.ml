@@ -95,4 +95,7 @@ let make (engine : Engine.t) (costs : Costs.t) : (module Platform_intf.S) =
       | Hash ->
           Psmr_obs.Probe.work `Hash;
           Engine.delay costs.hash
+      | Fault ->
+          Psmr_obs.Probe.work `Fault;
+          Engine.delay costs.fault
   end)

@@ -29,8 +29,13 @@ module Harness = struct
     }
 
   let make ?(config = config) ?(n = 3) ?(latency = 1e-4) ?(submit = fun _ -> [])
-      () =
+      ?(faults = Psmr_fault.Schedule.empty) () =
     let engine = Psmr_sim.Engine.create () in
+    (* Armed around [run_until], so every send the protocol makes consults
+       the fault plan; the empty schedule never fires and changes nothing. *)
+    let plan =
+      Psmr_fault.Plan.make ~now:(fun () -> Psmr_sim.Engine.now engine) faults
+    in
     let (module SP) = Psmr_sim.Sim_platform.make engine Psmr_sim.Costs.zero in
     let module Net = Psmr_net.Network.Make (SP) in
     let module Ab = Abcast.Make (SP) in
@@ -83,7 +88,10 @@ module Harness = struct
       crash = (fun id -> Net.crash net id);
       partition = (fun f -> Net.set_link_filter net f);
       heal = (fun () -> Net.heal net);
-      run_until = (fun t -> Psmr_sim.Engine.run ~until:t engine);
+      run_until =
+        (fun t ->
+          Psmr_fault.Plan.with_plan plan (fun () ->
+              Psmr_sim.Engine.run ~until:t engine));
     }
 
   let delivered t id = List.rev !(t.deliveries.(id)) |> List.concat
@@ -284,6 +292,74 @@ let test_five_replicas_three_crashes_no_progress () =
     (Harness.delivered h 3);
   Alcotest.(check (list int)) "replica 4 agrees" [] (Harness.delivered h 4)
 
+(* --- injected network faults: the protocol must mask loss, duplication
+   and delay (exactly-once delivery in one total order) --- *)
+
+let injected_submits n = List.init n (fun i -> (0.001 +. (0.004 *. float_of_int i), 0, [ i ]))
+
+let check_exactly_once_identical h ~n ~replicas =
+  let d0 = Harness.delivered h 0 in
+  Alcotest.(check (list int)) "every command exactly once"
+    (List.init n Fun.id) (List.sort compare d0);
+  for id = 1 to replicas - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "replica %d identical" id)
+      d0 (Harness.delivered h id)
+  done
+
+let test_injected_loss_retransmit () =
+  (* 20% of every message (Prepares, Acks, heartbeats, ticks) is dropped;
+     heartbeat-driven gap recovery must still deliver everything, exactly
+     once, in one order. *)
+  let h =
+    Harness.make
+      ~faults:(Psmr_fault.Schedule.parse_exn "seed=21,net-loss=20")
+      ~submit:(fun () -> injected_submits 20)
+      ()
+  in
+  h.run_until 8.0;
+  check_exactly_once_identical h ~n:20 ~replicas:3
+
+let test_injected_duplication_dedup () =
+  (* Every message delivered twice: commit bookkeeping must deduplicate —
+     acks are idempotent, delivery fires once per committed entry. *)
+  let h =
+    Harness.make
+      ~faults:(Psmr_fault.Schedule.parse_exn "seed=22,net-dup=100")
+      ~submit:(fun () -> injected_submits 20)
+      ()
+  in
+  h.run_until 3.0;
+  check_exactly_once_identical h ~n:20 ~replicas:3
+
+let test_injected_delay_keeps_order () =
+  (* A uniform extra delay on every message shifts the run but cannot
+     reorder deliveries or lose commands. *)
+  let h =
+    Harness.make
+      ~faults:(Psmr_fault.Schedule.parse_exn "seed=23,net-delay=100:0.002")
+      ~submit:(fun () -> injected_submits 20)
+      ()
+  in
+  h.run_until 5.0;
+  check_exactly_once_identical h ~n:20 ~replicas:3;
+  Alcotest.(check (list int)) "submission order preserved"
+    (List.init 20 Fun.id) (Harness.delivered h 0)
+
+let test_broadcast_zero_perturbation () =
+  (* An armed-but-empty plan must leave the protocol run bit-identical:
+     same deliveries and the same number of simulation events. *)
+  let scenario faults =
+    let h = Harness.make ?faults ~submit:(fun () -> injected_submits 20) () in
+    h.run_until 2.0;
+    ( List.init 3 (Harness.delivered h),
+      Psmr_sim.Engine.events_executed h.Harness.engine )
+  in
+  let reference = scenario None in
+  let armed = scenario (Some (Psmr_fault.Schedule.parse_exn "seed=123")) in
+  Alcotest.(check bool) "bit-identical deliveries and event count" true
+    (reference = armed)
+
 (* Property: crash the current leader at a random time while random
    submissions flow; all surviving replicas must deliver identical sequences
    with no duplicates (safety under failover). *)
@@ -371,6 +447,17 @@ let () =
             test_view_change_after_truncation;
           Alcotest.test_case "gap recovery via log transfer" `Quick
             test_gap_recovery_via_log_transfer;
+        ] );
+      ( "injected-faults",
+        [
+          Alcotest.test_case "loss masked by retransmission" `Quick
+            test_injected_loss_retransmit;
+          Alcotest.test_case "duplication deduplicated" `Quick
+            test_injected_duplication_dedup;
+          Alcotest.test_case "delay preserves order" `Quick
+            test_injected_delay_keeps_order;
+          Alcotest.test_case "empty plan is zero perturbation" `Quick
+            test_broadcast_zero_perturbation;
         ] );
       ( "five-replicas",
         [

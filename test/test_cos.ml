@@ -268,6 +268,138 @@ let test_dependency_chain impl () =
   Alcotest.(check int) "w3 last" 3 (S.command h3).Rw_cmd.idx;
   S.remove t h3
 
+(* --- requeue: the fault-tolerance path for a worker that died between
+   get and remove --- *)
+
+let test_requeue_basic impl () =
+  let module S = (val impl_cos impl) in
+  let t = S.create () in
+  S.insert t (write 0);
+  S.insert t (write 1);
+  let h0 = Option.get (S.get t) in
+  Alcotest.(check int) "w0 reserved first" 0 (S.command h0).Rw_cmd.idx;
+  S.requeue t h0;
+  (* The command keeps its delivery position: it comes back before w1. *)
+  (match S.get t with
+  | Some h ->
+      Alcotest.(check int) "w0 re-reserved" 0 (S.command h).Rw_cmd.idx;
+      S.remove t h
+  | None -> Alcotest.fail "requeued command not offered again");
+  (match S.get t with
+  | Some h ->
+      Alcotest.(check int) "then w1" 1 (S.command h).Rw_cmd.idx;
+      S.remove t h
+  | None -> Alcotest.fail "w1 lost");
+  Alcotest.(check int) "drained" 0 (S.pending t)
+
+let test_requeue_invalid impl () =
+  let module S = (val impl_cos impl) in
+  let t = S.create () in
+  S.insert t (write 0);
+  let h = Option.get (S.get t) in
+  S.remove t h;
+  match S.requeue t h with
+  | () -> Alcotest.fail "requeue after remove accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_requeue_dependents impl () =
+  (* A requeued command keeps its dependency edges: a write delivered after
+     two reads stays blocked while one of the reads is requeued, and is
+     released only once both reads are removed. *)
+  let module S = (val impl_cos impl) in
+  let t = S.create () in
+  S.insert t (read 0);
+  S.insert t (read 1);
+  S.insert t (write 2);
+  let ha = Option.get (S.get t) in
+  let hb = Option.get (S.get t) in
+  Alcotest.(check bool) "two reads in flight" true
+    ((not (S.command ha).Rw_cmd.write) && not (S.command hb).Rw_cmd.write);
+  S.requeue t hb;
+  (match S.get t with
+  | Some h ->
+      Alcotest.(check bool) "requeued read, not the write" false
+        (S.command h).Rw_cmd.write;
+      S.remove t ha;
+      S.remove t h
+  | None -> Alcotest.fail "requeued read not offered again");
+  match S.get t with
+  | Some h ->
+      Alcotest.(check int) "write released after both reads" 2
+        (S.command h).Rw_cmd.idx;
+      S.remove t h
+  | None -> Alcotest.fail "write lost"
+
+let test_requeue_then_close_drains impl () =
+  (* close must drain a requeued command, not drop it. *)
+  let module S = (val impl_cos impl) in
+  let t = S.create () in
+  S.insert t (write 0);
+  let h = Option.get (S.get t) in
+  S.requeue t h;
+  S.close t;
+  (match S.get t with
+  | Some h' ->
+      Alcotest.(check int) "requeued survives close" 0 (S.command h').Rw_cmd.idx;
+      S.remove t h'
+  | None -> Alcotest.fail "requeued command dropped by close");
+  match S.get t with
+  | None -> ()
+  | Some _ -> Alcotest.fail "spurious command after drain"
+
+(* --- worker crashes through the scheduler on the simulator: the
+   supervisor requeues the reserved command and (with a respawn delay in
+   the schedule) replaces the worker --- *)
+
+let sim_scheduler_crash impl ~spec ~expect_crashed () =
+  let open Psmr_sim in
+  let e = Engine.create () in
+  let (module SP) = Sim_platform.make e Costs.default in
+  let (module S : Cos_intf.S with type cmd = Rw_cmd.t) =
+    Registry.instantiate_keyed impl (module SP) (module Rw_cmd)
+  in
+  let module Sched = Psmr_sched.Scheduler.Make (SP) (S) in
+  let plan =
+    Psmr_fault.Plan.make
+      ~now:(fun () -> Engine.now e)
+      (Psmr_fault.Schedule.parse_exn spec)
+  in
+  let commands = 200 in
+  let count = Array.make commands 0 in
+  let finished = ref false in
+  Psmr_fault.Plan.with_plan plan (fun () ->
+      Engine.spawn e (fun () ->
+          let execute (c : Rw_cmd.t) =
+            SP.sleep 1e-4;
+            count.(c.Rw_cmd.idx) <- count.(c.Rw_cmd.idx) + 1
+          in
+          let sched = Sched.start ~workers:4 ~execute () in
+          let rng = Psmr_util.Rng.create ~seed:11L in
+          for i = 0 to commands - 1 do
+            Sched.submit sched
+              { Rw_cmd.idx = i; write = Psmr_util.Rng.below_percent rng 20.0 }
+          done;
+          Sched.shutdown sched;
+          Alcotest.(check int) "crashed workers" expect_crashed
+            (Sched.crashed_workers sched);
+          finished := true);
+      Engine.run e);
+  Alcotest.(check bool) "completed" true !finished;
+  Array.iteri
+    (fun i n ->
+      if n <> 1 then Alcotest.failf "command %d executed %d times" i n)
+    count;
+  Alcotest.(check bool) "fault fired" true (Psmr_fault.Plan.injected plan >= 1)
+
+let test_sim_scheduler_crash_respawn impl () =
+  sim_scheduler_crash impl ~spec:"worker-crash=1@0.001+0.002" ~expect_crashed:1
+    ()
+
+let test_sim_scheduler_crash_stop impl () =
+  (* No respawn: the pool shrinks to 3 workers but the run still drains,
+     including the requeued command. *)
+  sim_scheduler_crash impl ~spec:"worker-crash=1@0.001" ~expect_crashed:1 ()
+
 (* --- concurrent stress through the scheduler runtime --- *)
 
 (* Execute a random readers-writers workload on a real linked list through
@@ -780,6 +912,14 @@ let () =
         @ per_impl_all "close drains blocked getters"
             test_close_drains_blocked_getters );
       ("dag", per_impl "dependency chain" test_dependency_chain);
+      ( "requeue",
+        per_impl_all "reserved command returns" test_requeue_basic
+        @ per_impl_all "requeue after remove rejected" test_requeue_invalid
+        @ per_impl "dependents kept" test_requeue_dependents
+        @ per_impl_all "close drains requeued" test_requeue_then_close_drains );
+      ( "worker-crash",
+        per_impl "crash + respawn, exactly-once" test_sim_scheduler_crash_respawn
+        @ per_impl "crash-stop, pool shrinks" test_sim_scheduler_crash_stop );
       ( "batch",
         per_impl_all "insert_batch chunks and keeps order"
           test_insert_batch_chunks );
