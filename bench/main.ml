@@ -7,8 +7,12 @@
    work kind charged by the key-indexed insert.
 
    Part 2 — a machine-readable summary, BENCH_cos.json: per-implementation
-   micro costs plus the simulated Fig. 2 standalone throughput (light cost,
-   0% writes) for the scan-based and indexed inserts.
+   micro costs, the simulated Fig. 2 standalone throughput (light cost,
+   0% writes) for the scan-based and indexed inserts plus the early
+   class-map dispatcher, and the keyed low-conflict comparison at 32
+   workers (early vs early-opt under a mis-speculation sweep vs the COS
+   family).  All simulated points are memoized on their full
+   configuration, so a config shared between sections runs once.
 
    Part 3 — regeneration of every figure of the paper's evaluation (Figures
    2-6) through the simulation harness.  Set PSMR_BENCH_FAST=1 for a
@@ -182,27 +186,127 @@ let run_micro ~smoke () =
     (fun (name, ns, _) -> Option.map (fun e -> (name, e)) ns)
     measured
 
+(* One simulated standalone point, memoized on its full configuration
+   (impl, workers, batch, workload, smoke): the Fig. 2 grid and the keyed
+   comparison below both draw from this table, so a configuration that
+   appears under several labels — or a worker count repeated across
+   sections — is simulated exactly once.  COS impls on the plain workload
+   go through [Standalone]; anything with a keyed spec (the early family,
+   or a COS impl raced against it) goes through [Keyed_bench], which also
+   reports the dispatcher's class statistics. *)
+type sim_row = {
+  s_kops : float;
+  s_direct : int;
+  s_rendezvous : int;
+  s_repairs : int;
+  s_revoked : int;
+}
+
+let fig2_spec =
+  { Psmr_workload.Workload.write_pct = 0.0; cost = Psmr_workload.Workload.Light }
+
+let sim_point =
+  let memo : (string, sim_row) Hashtbl.t = Hashtbl.create 32 in
+  fun ~smoke ~impl ~workers ?(batch = 1) ?keyed () ->
+    let key =
+      Printf.sprintf "%s/w%d/b%d/%s/%b" impl workers batch
+        (match keyed with
+        | None -> "fig2"
+        | Some spec ->
+            Format.asprintf "%a" Psmr_workload.Workload.Keyed.pp spec)
+        smoke
+    in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+        let duration, warmup = if smoke then (0.02, 0.005) else (0.08, 0.02) in
+        let r =
+          match keyed with
+          | Some spec ->
+              let backend =
+                match Psmr_early.Registry.of_string impl with
+                | Some b -> b
+                | None -> invalid_arg ("sim_point: unknown backend " ^ impl)
+              in
+              let r =
+                Psmr_harness.Keyed_bench.run ~backend ~workers ~spec ~batch
+                  ~duration ~warmup ()
+              in
+              {
+                s_kops = r.Psmr_harness.Keyed_bench.kops;
+                s_direct = r.direct;
+                s_rendezvous = r.rendezvous;
+                s_repairs = r.repairs;
+                s_revoked = r.revoked;
+              }
+          | None ->
+              let ci =
+                match Psmr_cos.Registry.of_string impl with
+                | Some i -> i
+                | None -> invalid_arg ("sim_point: unknown COS impl " ^ impl)
+              in
+              let r =
+                Psmr_harness.Standalone.run ~impl:ci ~workers ~batch
+                  ~spec:fig2_spec ~duration ~warmup ()
+              in
+              {
+                s_kops = r.Psmr_harness.Standalone.kops;
+                s_direct = 0;
+                s_rendezvous = 0;
+                s_repairs = 0;
+                s_revoked = 0;
+              }
+        in
+        Hashtbl.add memo key r;
+        r
+
 (* Simulated Fig. 2 points for the JSON summary: standalone throughput at
-   light cost, 0% writes, for the scan-based baseline and the indexed
-   insert with and without delivery batching. *)
+   light cost, 0% writes, for the scan-based baseline, the indexed insert
+   with and without delivery batching, and the early dispatcher (keyed
+   low-conflict workload at 0% writes — footprints are needed for the
+   class map, the cost profile matches). *)
 let sim_fig2 ~smoke () =
-  let duration, warmup = if smoke then (0.02, 0.005) else (0.08, 0.02) in
-  let spec =
-    { Psmr_workload.Workload.write_pct = 0.0; cost = Psmr_workload.Workload.Light }
+  let keyed0 =
+    { Psmr_workload.Workload.Keyed.low_conflict with write_pct = 0.0 }
   in
-  let run impl batch w =
-    (Psmr_harness.Standalone.run ~impl ~workers:w ~batch ~spec ~duration
-       ~warmup ())
-      .kops
+  let grid =
+    [
+      ("lockfree", "lockfree", 1, None);
+      ("indexed", "indexed", 1, None);
+      ("indexed_batch16", "indexed", 16, None);
+      ("early", "early", 1, Some keyed0);
+      ("early_opt", "early-opt", 1, Some keyed0);
+    ]
   in
   List.concat_map
     (fun w ->
-      [
-        (w, "lockfree", run Psmr_cos.Registry.Lockfree 1 w);
-        (w, "indexed", run Psmr_cos.Registry.Indexed 1 w);
-        (w, "indexed_batch16", run Psmr_cos.Registry.Indexed 16 w);
-      ])
+      List.map
+        (fun (label, impl, batch, keyed) ->
+          (w, label, (sim_point ~smoke ~impl ~workers:w ~batch ?keyed ()).s_kops))
+        grid)
     [ 16; 32; 64 ]
+
+(* The acceptance comparison (docs/SCHEDULING.md): the keyed low-conflict
+   workload at 32 workers — early scheduling, conservative and optimistic
+   under a mis-speculation sweep, against the COS family fed the identical
+   command stream.  Rows carry the dispatcher's class statistics so the
+   fast-path share is visible next to the throughput. *)
+let sim_keyed ~smoke () =
+  let base = Psmr_workload.Workload.Keyed.low_conflict in
+  let pt ?(mis = 0.0) ?(batch = 1) impl =
+    sim_point ~smoke ~impl ~workers:32 ~batch
+      ~keyed:{ base with mis_pct = mis }
+      ()
+  in
+  [
+    ("early", 0.0, pt "early");
+    ("early_opt_mis0", 0.0, pt "early-opt");
+    ("early_opt_mis1", 1.0, pt ~mis:1.0 "early-opt");
+    ("early_opt_mis10", 10.0, pt ~mis:10.0 "early-opt");
+    ("indexed", 0.0, pt "indexed");
+    ("indexed_batch16", 0.0, pt ~batch:16 "indexed");
+    ("lockfree", 0.0, pt "lockfree");
+  ]
 
 (* Throughput-under-faults rows: coarse vs lock-free at 32 workers, with
    one mid-window worker crash that recovers, against the fault-free
@@ -288,7 +392,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~micro ~fig2 ~faults ~metrics =
+let write_json ~path ~micro ~fig2 ~keyed ~faults ~metrics =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"metrics\": {\n";
   List.iteri
@@ -325,16 +429,42 @@ let write_json ~path ~micro ~fig2 ~faults ~metrics =
            (json_escape impl) kops
            (if i = List.length fig2 - 1 then "" else ",")))
     fig2;
-  let find impl =
-    List.find_opt (fun (w, i, _) -> w = 32 && String.equal i impl) fig2
-  in
-  (match (find "lockfree", find "indexed_batch16") with
-  | Some (_, _, base), Some (_, _, ix) when base > 0.0 ->
+  Buffer.add_string buf "  ],\n  \"keyed_sim_kops\": [\n";
+  List.iteri
+    (fun i (name, mis, r) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "  ],\n  \"speedup_w32_indexed_batch16_vs_lockfree\": %.2f\n" (ix /. base))
-  | _ -> Buffer.add_string buf "  ]\n");
-  Buffer.add_string buf "}\n";
+           "    { \"name\": \"%s\", \"workers\": 32, \"mis_pct\": %.1f, \
+            \"kops\": %.1f, \"direct\": %d, \"rendezvous\": %d, \"repairs\": \
+            %d, \"revoked\": %d }%s\n"
+           (json_escape name) mis r.s_kops r.s_direct r.s_rendezvous
+           r.s_repairs r.s_revoked
+           (if i = List.length keyed - 1 then "" else ",")))
+    keyed;
+  Buffer.add_string buf "  ]";
+  let fig2_find impl =
+    List.find_map
+      (fun (w, i, k) -> if w = 32 && String.equal i impl then Some k else None)
+      fig2
+  in
+  let keyed_find name =
+    List.find_map
+      (fun (n, _, r) -> if String.equal n name then Some r.s_kops else None)
+      keyed
+  in
+  (match (fig2_find "lockfree", fig2_find "indexed_batch16") with
+  | Some base, Some ix when base > 0.0 ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n  \"speedup_w32_indexed_batch16_vs_lockfree\": %.2f" (ix /. base))
+  | _ -> ());
+  (match (keyed_find "indexed", keyed_find "early") with
+  | Some base, Some early when base > 0.0 ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\n  \"speedup_w32_early_vs_indexed\": %.2f"
+           (early /. base))
+  | _ -> ());
+  Buffer.add_string buf "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -364,6 +494,18 @@ let validate_json ~path =
       in
       ignore (req "micro_ns_per_op" j);
       ignore (req "fig2_sim_kops" j);
+      (match J.as_arr (req "keyed_sim_kops" j) with
+      | Some rows ->
+          List.iter
+            (fun row ->
+              List.iter (fun f -> req_num f row)
+                [
+                  "workers"; "mis_pct"; "kops"; "direct"; "rendezvous";
+                  "repairs"; "revoked";
+                ])
+            rows
+      | None -> fail "member \"keyed_sim_kops\" is not a list");
+      req_num "speedup_w32_early_vs_indexed" j;
       (match J.as_arr (req "faults_sim_kops" j) with
       | Some rows ->
           List.iter
@@ -418,6 +560,7 @@ let () =
     Option.value (Sys.getenv_opt "PSMR_BENCH_JSON") ~default:"BENCH_cos.json"
   in
   write_json ~path:json_path ~micro:micro_for_json ~fig2
+    ~keyed:(sim_keyed ~smoke ())
     ~faults:(sim_faults ~smoke ())
     ~metrics:(sim_metrics ~smoke ());
   validate_json ~path:json_path;

@@ -6,6 +6,7 @@
      psmr-bench fig6 --writes 10
      psmr-bench all --csv results/
      psmr-bench standalone --impl lockfree --workers 16 --writes 5 --cost moderate
+     psmr-bench keyed --impl early --workers 32 --keys 4096 --cross 2
      psmr-bench smr --impl lockfree --workers 32 --clients 100 --cost heavy *)
 
 open Cmdliner
@@ -282,6 +283,104 @@ let smr_cmd =
       const run $ impl_arg $ workers_arg $ writes_arg $ cost_arg $ clients_arg
       $ duration_arg $ faults_arg)
 
+(* The keyed standalone surface: one feeder racing W workers on the DES,
+   with any backend from the early-scheduling registry — the early family
+   ("early", "early-opt", "early-N") or any COS impl, fed an identical
+   keyed command stream (docs/SCHEDULING.md). *)
+let backend_conv =
+  let parse s =
+    match Psmr_early.Registry.of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+  in
+  let print ppf b =
+    Format.pp_print_string ppf (Psmr_early.Registry.to_string b)
+  in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv (Psmr_early.Registry.Early Psmr_early.Early_intf.conservative)
+    & info [ "impl" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution backend: early, early-opt, early[-opt]-CLASSES, or any \
+           COS implementation name (coarse, lockfree, indexed, ...).")
+
+let keys_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "keys" ] ~docv:"N" ~doc:"Key universe of the workload.")
+
+let cross_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "cross" ] ~docv:"PCT"
+        ~doc:"Percent of commands touching a second (possibly cross-class) key.")
+
+let mis_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "mis" ] ~docv:"PCT"
+        ~doc:
+          "Mis-speculation rate of the optimistic delivery stream (early-opt \
+           only).")
+
+let batch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Delivery batch size on the conservative submit path.")
+
+let keyed_cmd =
+  let run backend workers keys writes cross mis cost batch duration faults
+      metrics =
+    let spec =
+      {
+        Psmr_workload.Workload.Keyed.keys;
+        write_pct = writes;
+        cross_pct = cross;
+        cost;
+        mis_pct = mis;
+      }
+    in
+    let r =
+      Psmr_harness.Keyed_bench.run ~backend ~workers ~spec ~batch ?duration
+        ~faults ~metrics ()
+    in
+    Printf.printf
+      "%s workers=%d %s: %.1f kops/s (mean population %.1f)\n"
+      (Psmr_early.Registry.to_string backend)
+      workers
+      (Format.asprintf "%a" Psmr_workload.Workload.Keyed.pp spec)
+      r.kops r.mean_population;
+    if r.direct + r.rendezvous > 0 then
+      Printf.printf
+        "classes: %d direct, %d rendezvous; repairs %d (revoked %d, dropped \
+         %d)\n"
+        r.direct r.rendezvous r.repairs r.revoked r.dropped;
+    if not (Psmr_fault.Schedule.is_empty faults) then
+      Printf.printf "faults: %s -> %d injected, %d workers crashed\n"
+        (Psmr_fault.Schedule.to_string faults)
+        r.faults_injected r.crashed_workers;
+    match (metrics, r.metrics) with
+    | true, Some m ->
+        print_string
+          (Psmr_obs.Metrics.to_json
+             ~cost_model:(Psmr_sim.Costs.to_assoc Psmr_harness.Model.sim_costs)
+             m)
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "keyed"
+       ~doc:
+         "One keyed-workload measurement: early scheduling vs COS on an \
+          identical command stream.")
+    Term.(
+      const run $ backend_arg $ workers_arg $ keys_arg $ writes_arg $ cross_arg
+      $ mis_arg $ cost_arg $ batch_arg $ duration_arg $ faults_arg
+      $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "psmr-bench" ~version:"1.0.0"
@@ -294,5 +393,5 @@ let () =
        (Cmd.group info
           [
             fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; ablations_cmd;
-            all_cmd; standalone_cmd; smr_cmd;
+            all_cmd; standalone_cmd; keyed_cmd; smr_cmd;
           ]))

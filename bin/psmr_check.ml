@@ -1,49 +1,93 @@
-(* Model-checking driver for the COS implementations.
+(* Model-checking driver for the COS implementations and the early
+   class-map scheduler.
 
    Examples:
      psmr-check --impl lockfree --schedules 5000 --seed 42
      psmr-check --impl coarse --dfs --commands 4 --workers 2
      psmr-check --impl broken-wtg-start --schedules 2000 --stop-on-first
      psmr-check --impl lockfree --replay 1234567890 --commands 6
+     psmr-check --impl early-opt --mis 40 --schedules 2000
+     psmr-check --impl early --faults 1:1 --no-respawn --cross 100 \
+       --expect-violation
 
    Exit status: 0 when every explored schedule is clean, 1 when an oracle
-   reported a violation, 2 on usage errors. *)
+   reported a violation, 2 on usage errors.  With --expect-violation the
+   meaning of 0 and 1 flips: the run passes only if the oracles fire —
+   for planted-bug and crash-stop targets pinned in CI aliases. *)
 
 open Cmdliner
 module Check = Psmr_checker
+
+(* A check target is either a COS scenario (possibly a planted-bug
+   variant) or an early-scheduling scenario; [repair = false] is the early
+   family's planted bug (the mis-speculation repair scan disabled). *)
+type target =
+  | Cos_target of Check.Cos_check.target
+  | Early_target of {
+      name : string;
+      classes : int option;
+      optimistic : bool;
+      repair : bool;
+    }
+
+let target_name = function
+  | Cos_target t -> Check.Cos_check.target_name t
+  | Early_target e -> e.name
 
 let target_conv =
   let parse s =
     match String.lowercase_ascii s with
     | "broken-wtg-start" | "wtg-start" ->
         Ok
-          (Check.Cos_check.Custom
-             ("broken-wtg-start", (module Check.Broken.Wtg_start)))
+          (Cos_target
+             (Check.Cos_check.Custom
+                ("broken-wtg-start", (module Check.Broken.Wtg_start))))
     | "broken-lost-signal" | "lost-signal" ->
         Ok
-          (Check.Cos_check.Custom
-             ("broken-lost-signal", (module Check.Broken.Lost_signal)))
+          (Cos_target
+             (Check.Cos_check.Custom
+                ("broken-lost-signal", (module Check.Broken.Lost_signal))))
     | "broken-no-sentinel" | "no-sentinel" ->
         Ok
-          (Check.Cos_check.Custom
-             ("broken-no-sentinel", (module Check.Broken.No_sentinel)))
+          (Cos_target
+             (Check.Cos_check.Custom
+                ("broken-no-sentinel", (module Check.Broken.No_sentinel))))
+    | "broken-early-norepair" | "early-norepair" ->
+        Ok
+          (Early_target
+             {
+               name = "broken-early-norepair";
+               classes = None;
+               optimistic = true;
+               repair = false;
+             })
     | s -> (
-        match Psmr_cos.Registry.of_string s with
-        | Some i -> Ok (Check.Cos_check.Impl i)
+        match Psmr_early.Registry.of_string s with
+        | Some (Psmr_early.Registry.Cos i) -> Ok (Cos_target (Check.Cos_check.Impl i))
+        | Some (Psmr_early.Registry.Early _ as b) ->
+            Ok
+              (Early_target
+                 {
+                   name = Psmr_early.Registry.to_string b;
+                   classes = Psmr_early.Registry.classes b;
+                   optimistic = Psmr_early.Registry.is_optimistic b;
+                   repair = true;
+                 })
         | None -> Error (`Msg (Printf.sprintf "unknown implementation %S" s)))
   in
-  let print ppf t = Format.pp_print_string ppf (Check.Cos_check.target_name t) in
+  let print ppf t = Format.pp_print_string ppf (target_name t) in
   Arg.conv (parse, print)
 
 let impl_arg =
   Arg.(
     value
-    & opt target_conv (Check.Cos_check.Impl Psmr_cos.Registry.Lockfree)
+    & opt target_conv (Cos_target (Check.Cos_check.Impl Psmr_cos.Registry.Lockfree))
     & info [ "impl" ] ~docv:"IMPL"
         ~doc:
           "Implementation to check: coarse, fine, lockfree, striped[-K], \
-           fifo, indexed, or a planted-bug variant (broken-wtg-start, \
-           broken-lost-signal, broken-no-sentinel).")
+           fifo, indexed, early[-K], early-opt[-K], or a planted-bug \
+           variant (broken-wtg-start, broken-lost-signal, \
+           broken-no-sentinel, broken-early-norepair).")
 
 let workers_arg =
   Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N" ~doc:"Worker processes.")
@@ -57,6 +101,28 @@ let writes_arg =
   Arg.(
     value & opt float 40.0
     & info [ "writes" ] ~docv:"PCT" ~doc:"Write percentage of the workload.")
+
+let keys_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "keys" ] ~docv:"N"
+        ~doc:"Key-space size of the early scenarios' keyed workload.")
+
+let cross_arg =
+  Arg.(
+    value & opt float 20.0
+    & info [ "cross" ] ~docv:"PCT"
+        ~doc:
+          "Cross-key percentage of the early scenarios' workload — each \
+           such command touches a second key, forming cross-class barriers.")
+
+let mis_arg =
+  Arg.(
+    value & opt float 30.0
+    & info [ "mis" ] ~docv:"PCT"
+        ~doc:
+          "Mis-speculation rate of the optimistic early scenarios: adjacent \
+           delivery swaps per position in the speculative stream.")
 
 let max_size_arg =
   Arg.(
@@ -125,6 +191,15 @@ let stop_on_first_arg =
   Arg.(
     value & flag
     & info [ "stop-on-first" ] ~doc:"Stop at the first failing schedule.")
+
+let expect_violation_arg =
+  Arg.(
+    value & flag
+    & info [ "expect-violation" ]
+        ~doc:
+          "Invert the exit status: succeed only if the oracles report a \
+           violation.  For pinning planted-bug and crash-stop targets in \
+           CI: the run then fails exactly when the checker goes blind.")
 
 let crashes_conv =
   let parse s =
@@ -209,7 +284,7 @@ let write_oplog_trace ~path (o : Check.Cos_check.outcome) =
     (Psmr_obs.Trace.count tr) path
     (Psmr_obs.Trace.dropped tr)
 
-let print_failure sc (f : Check.Explore.failure) =
+let print_failure ~replay_cmd (f : Check.Explore.failure) =
   Printf.printf "  schedule %d%s: %d decision points\n" f.schedule
     (match f.seed with
     | Some s -> Printf.sprintf " (replay seed %Ld)" s
@@ -217,45 +292,87 @@ let print_failure sc (f : Check.Explore.failure) =
     (Array.length f.choices);
   List.iter (fun v -> Printf.printf "    %s\n" v) f.violations;
   match f.seed with
-  | Some s ->
-      Printf.printf "    replay: psmr-check --impl %s --replay %Ld%s%s%s\n"
-        (Check.Cos_check.target_name sc.Check.Cos_check.target)
-        s
-        (if sc.Check.Cos_check.drain_before_close then "" else " --no-drain")
-        (match sc.Check.Cos_check.crashes with
+  | Some s -> Printf.printf "    replay: %s\n" (replay_cmd s)
+  | None -> ()
+
+let run target workers commands writes keys cross mis max_size no_drain crashes
+    no_respawn workload_seed seed schedules dfs bound max_schedules max_steps
+    time_box stop_on_first expect_violation replay trace_out =
+  let name = target_name target in
+  (* One runner closure per target family; both produce the shared
+     [Cos_check.outcome], so the exploration drivers below don't care which
+     family they are exercising. *)
+  let run_schedule ~trace ~pick =
+    match target with
+    | Cos_target t ->
+        let sc =
+          Check.Cos_check.scenario ~target:t ~workers ~commands
+            ~write_pct:writes ~max_size ~drain_before_close:(not no_drain)
+            ~crashes ~respawn:(not no_respawn) ~workload_seed ()
+        in
+        Check.Cos_check.run_schedule ~max_steps ~trace sc ~pick
+    | Early_target e ->
+        let sc =
+          Check.Early_check.scenario ~workers ?classes:e.classes ~commands
+            ~keys ~write_pct:writes ~cross_pct:cross ~optimistic:e.optimistic
+            ~mis_pct:mis ~repair:e.repair ~max_size
+            ~drain_before_close:(not no_drain) ~crashes
+            ~respawn:(not no_respawn) ~workload_seed ()
+        in
+        Check.Early_check.run_schedule ~max_steps ~trace sc ~pick
+  in
+  let replay_cmd s =
+    let is_early = match target with Early_target _ -> true | _ -> false in
+    String.concat ""
+      [
+        (* [--replay=] rather than [--replay ]: derived seeds are often
+           negative, and a bare leading [-] parses as an option. *)
+        Printf.sprintf
+          "psmr-check --impl %s --replay=%Ld --workers %d --commands %d \
+           --writes %g --max-size %d --workload-seed %Ld"
+          name s workers commands writes max_size workload_seed;
+        (if is_early then
+           Printf.sprintf " --keys %d --cross %g --mis %g" keys cross mis
+         else "");
+        (if no_drain then " --no-drain" else "");
+        (match crashes with
         | [] -> ""
         | cs ->
             " --faults "
             ^ String.concat ","
-                (List.map (fun (w, k) -> Printf.sprintf "%d:%d" w k) cs))
-        (if sc.Check.Cos_check.respawn then "" else " --no-respawn")
-  | None -> ()
-
-let run target workers commands writes max_size no_drain crashes no_respawn
-    workload_seed seed schedules dfs bound max_schedules max_steps time_box
-    stop_on_first replay trace_out =
-  let sc =
-    Check.Cos_check.scenario ~target ~workers ~commands ~write_pct:writes
-      ~max_size ~drain_before_close:(not no_drain) ~crashes
-      ~respawn:(not no_respawn) ~workload_seed ()
+                (List.map (fun (w, k) -> Printf.sprintf "%d:%d" w k) cs));
+        (if no_respawn then " --no-respawn" else "");
+      ]
+  in
+  (* [dirty = true] when an oracle fired; --expect-violation flips which
+     outcome is the passing one. *)
+  let finish ~dirty =
+    match (dirty, expect_violation) with
+    | false, false -> ()
+    | true, true -> print_endline "expected violation found"
+    | true, false -> exit 1
+    | false, true ->
+        print_endline "error: expected a violation but every schedule was clean";
+        exit 1
   in
   match replay with
   | Some s ->
-      let o = Check.Explore.replay ~max_steps sc ~seed:s in
-      Printf.printf "replaying seed %Ld on %s: %d decision points%s\n" s
-        (Check.Cos_check.target_name target)
+      let o =
+        Check.Explore.replay_with
+          ~run:(fun ~pick -> run_schedule ~trace:true ~pick)
+          ~seed:s ()
+      in
+      Printf.printf "replaying seed %Ld on %s: %d decision points%s\n" s name
         o.decisions
         (if o.truncated then " (truncated)" else "");
-      List.iter
-        (fun (p, op) -> Printf.printf "  p%-2d %s\n" p op)
-        o.oplog;
+      List.iter (fun (p, op) -> Printf.printf "  p%-2d %s\n" p op) o.oplog;
       Option.iter (fun path -> write_oplog_trace ~path o) trace_out;
       if o.violations = [] then print_endline "clean: no violations"
       else begin
         print_endline "violations:";
-        List.iter (fun v -> Printf.printf "  %s\n" v) o.violations;
-        exit 1
-      end
+        List.iter (fun v -> Printf.printf "  %s\n" v) o.violations
+      end;
+      finish ~dirty:(o.violations <> [])
   | None ->
       let deadline =
         match time_box with
@@ -266,17 +383,19 @@ let run target workers commands writes max_size no_drain crashes no_respawn
       in
       let r =
         if dfs then
-          Check.Explore.dfs ?deadline ~max_steps ~max_schedules
-            ~preemption_bound:bound ~stop_on_first sc
+          Check.Explore.dfs_with ?deadline ~max_schedules
+            ~preemption_bound:bound ~stop_on_first
+            ~run:(fun ~pick -> run_schedule ~trace:false ~pick)
+            ()
         else
-          Check.Explore.random_walk ?deadline ~max_steps ~stop_on_first sc
-            ~seed ~schedules
+          Check.Explore.random_walk_with ?deadline ~stop_on_first
+            ~run:(fun ~pick -> run_schedule ~trace:false ~pick)
+            ~seed ~schedules ()
       in
       Printf.printf
         "%s: %d schedules (%d distinct), %d decision points, %d truncated, \
          %d incomplete%s\n"
-        (Check.Cos_check.target_name target)
-        r.schedules r.distinct r.decisions r.truncated r.incomplete
+        name r.schedules r.distinct r.decisions r.truncated r.incomplete
         (if r.exhausted then ", bounded tree exhausted" else "");
       if r.failures = [] then print_endline "clean: no violations"
       else begin
@@ -286,18 +405,19 @@ let run target workers commands writes max_size no_drain crashes no_respawn
           | _ when n = 0 -> []
           | x :: rest -> x :: take (n - 1) rest
         in
-        List.iter (print_failure sc) (take 5 r.failures);
+        List.iter (print_failure ~replay_cmd) (take 5 r.failures);
         if List.length r.failures > 5 then
-          Printf.printf "  ... and %d more\n" (List.length r.failures - 5);
-        exit 1
-      end
+          Printf.printf "  ... and %d more\n" (List.length r.failures - 5)
+      end;
+      finish ~dirty:(r.failures <> [])
 
 let () =
   let info =
     Cmd.info "psmr-check" ~version:"1.0.0"
       ~doc:
-        "Schedule-exploring model checker for the COS implementations: \
-         linearizability, data races, invariants and deadlocks under \
+        "Schedule-exploring model checker for the COS implementations and \
+         the early class-map scheduler: linearizability, data races, \
+         invariants, class-barrier deadlocks and conflict-order under \
          exhaustively or randomly explored interleavings."
   in
   exit
@@ -305,7 +425,8 @@ let () =
        (Cmd.v info
           Term.(
             const run $ impl_arg $ workers_arg $ commands_arg $ writes_arg
-            $ max_size_arg $ no_drain_arg $ faults_arg $ no_respawn_arg
-            $ workload_seed_arg $ seed_arg $ schedules_arg $ dfs_arg
-            $ bound_arg $ max_schedules_arg $ max_steps_arg $ time_box_arg
-            $ stop_on_first_arg $ replay_arg $ trace_out_arg)))
+            $ keys_arg $ cross_arg $ mis_arg $ max_size_arg $ no_drain_arg
+            $ faults_arg $ no_respawn_arg $ workload_seed_arg $ seed_arg
+            $ schedules_arg $ dfs_arg $ bound_arg $ max_schedules_arg
+            $ max_steps_arg $ time_box_arg $ stop_on_first_arg
+            $ expect_violation_arg $ replay_arg $ trace_out_arg)))

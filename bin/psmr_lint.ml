@@ -19,15 +19,16 @@
    paths are flagged regardless.  Comments and string literals are ignored.
    Tests are not scanned — instantiating concrete platforms is their job.
 
-   Additionally, the conflict-ordered-set implementations (lib/cos/) may
-   record observability events only through the probe facade
-   ([Psmr_obs.Probe]): reaching into the registry or trace buffer directly
-   ([Psmr_obs.Metrics], [Psmr_obs.Trace]) from a COS impl would couple the
-   algorithms to registry internals and invite ad-hoc counters that bypass
-   the zero-cost-when-disabled discipline.
+   Additionally, the scheduling algorithm layers (lib/cos/ and the early
+   class-map dispatcher, lib/early/) may record observability events only
+   through the probe facade ([Psmr_obs.Probe]): reaching into the registry
+   or trace buffer directly ([Psmr_obs.Metrics], [Psmr_obs.Trace]) from an
+   implementation would couple the algorithms to registry internals and
+   invite ad-hoc counters that bypass the zero-cost-when-disabled
+   discipline.
 
-   Similarly, the runtime layers (lib/cos/, lib/sched/, lib/replica/,
-   lib/net/) may consult fault injection only through the fault facade
+   Similarly, the runtime layers (lib/cos/, lib/early/, lib/sched/,
+   lib/replica/, lib/net/) may consult fault injection only through the fault facade
    ([Psmr_fault.Fault]): arming plans or poking schedules
    ([Psmr_fault.Plan], [Psmr_fault.Schedule]) from runtime code would let
    an algorithm see or steer the fault plan, breaking the property that an
@@ -53,14 +54,18 @@ let qualified =
 
 let wall_clock = [ "Unix." ^ "gettimeofday"; "Unix." ^ "sleepf" ]
 
-(* The observability facade rule for lib/cos/ (see the header). *)
+(* The observability facade rule for the scheduling algorithm layers
+   (see the header): lib/cos/ and the early dispatcher alike. *)
 let obs_head = "Psmr" ^ "_obs."
 let obs_allowed = obs_head ^ "Pro" ^ "be"
+let obs_dirs = [ "lib/cos/"; "lib/early/" ]
 
 (* The fault facade rule for the runtime layers (see the header). *)
 let fault_head = "Psmr" ^ "_fault."
 let fault_allowed = fault_head ^ "Fau" ^ "lt"
-let fault_dirs = [ "lib/cos/"; "lib/sched/"; "lib/replica/"; "lib/net/" ]
+
+let fault_dirs =
+  [ "lib/cos/"; "lib/early/"; "lib/sched/"; "lib/replica/"; "lib/net/" ]
 
 let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
 
@@ -76,7 +81,7 @@ let in_dir sub path =
   let rec scan i = i + s <= n && (String.sub norm i s = sub || scan (i + 1)) in
   scan 0
 
-let in_cos path = in_dir "lib/cos/" path
+let in_obs_scope path = List.exists (fun d -> in_dir d path) obs_dirs
 let in_fault_scope path = List.exists (fun d -> in_dir d path) fault_dirs
 
 (* Blank out comments (nested) and string literals, preserving newlines so
@@ -213,12 +218,12 @@ let scan_file path =
           && (let j = i + String.length obs_allowed in
               j >= String.length s || s.[j] = '.' || not (ident_char s.[j]))
         in
-        if in_cos path && starts_with s i obs_head && not obs_ok then
+        if in_obs_scope path && starts_with s i obs_head && not obs_ok then
           hits :=
             (line_of s i,
              Printf.sprintf
-               "COS implementations may record observability events only \
-                through %sProbe"
+               "scheduling implementations may record observability events \
+                only through %sProbe"
                obs_head)
             :: !hits;
         let fault_ok =

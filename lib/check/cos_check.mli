@@ -76,6 +76,10 @@ exception Truncated
 (** Raised internally by the step bound; escapes only through a picker that
     deliberately re-raises it. *)
 
+val hash_choices : int array -> int64
+(** FNV-1a hash of a choice sequence — the schedule-identity function used
+    for {!outcome.trace_hash} (shared with [Early_check]). *)
+
 val run_schedule :
   ?max_steps:int ->
   ?trace:bool ->

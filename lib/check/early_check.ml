@@ -1,0 +1,294 @@
+(** Early-scheduling scenario runner and oracles for the controlled
+    scheduler — the [Psmr_early.Dispatch] counterpart of {!Cos_check}.
+
+    A scenario is a fixed concurrent program: one parallelizer process
+    feeding a fixed keyed-footprint command sequence to the class-map
+    dispatcher (conservatively in final order, or optimistically in a
+    disordered stream confirmed in final order), and the dispatcher's own
+    worker processes looping over their per-class token FIFOs.
+    [run_schedule] executes it once under a given picker and applies the
+    oracles:
+
+    - {b conflict order}: for every conflicting pair [a] before [b] in
+      final delivery order, [a]'s execution must finish strictly before
+      [b]'s begins — on optimistic runs this is exactly what the repair
+      path must restore, and the deliberately broken [repair = false]
+      variant is caught here;
+    - {b exactly-once}: no command executes twice (revocation must not
+      duplicate work) and, on completed runs, none is lost;
+    - {b class-barrier deadlock}: when the run halts with work left, a
+      partially-arrived rendezvous is reported via
+      [Dispatch.stalled_barriers] — the signature failure of a worker
+      crash-stopping inside a barrier;
+    - {b happens-before races} on instrumented cells and the dispatcher's
+      {b structural invariants} (ghost snapshots; strict at quiescence). *)
+
+module Engine = Psmr_sim.Engine
+
+(* Commands as the dispatcher sees them: an index in final delivery order
+   plus an explicit key footprint; conflict iff a shared key with at least
+   one writer. *)
+module Cmd = struct
+  type t = { idx : int; fp : (int * bool) list }
+
+  let footprint c = c.fp
+
+  let conflict a b =
+    List.exists
+      (fun (k, w) -> List.exists (fun (k', w') -> k = k' && (w || w')) b.fp)
+      a.fp
+
+  let pp ppf c =
+    Format.fprintf ppf "#%d{%s}" c.idx
+      (String.concat ";"
+         (List.map
+            (fun (k, w) -> Printf.sprintf "%d%s" k (if w then "w" else "r"))
+            c.fp))
+end
+
+type scenario = {
+  workers : int;
+  classes : int option;  (* class-map size; [None] = one class per worker *)
+  footprints : (int * bool) list array;  (* commands in final delivery order *)
+  max_size : int;
+  optimistic : bool;
+      (* [true]: feed through submit_optimistic (in an order disordered by
+         [mis_pct]) + confirm in final order; [false]: conservative submit *)
+  mis_pct : float;
+  opt_seed : int64;  (* seeds the optimistic disorder, per scenario *)
+  repair : bool;
+      (* [false] disables the mis-speculation repair scan — the planted
+         bug the conflict-order oracle must catch under optimism *)
+  drain_before_close : bool;
+  crashes : (int * int) list;
+      (* [(w, k)]: worker [w] crashes at its [k]-th token fetch (1-based),
+         requeueing the token at the queue front.  Logical points; the
+         picker explores every interleaving, including crashes after
+         barrier partners already arrived. *)
+  respawn : bool;  (* [true]: the crashed worker re-enters its loop *)
+}
+
+let scenario ?(workers = 3) ?classes ?(commands = 10) ?(keys = 4)
+    ?(write_pct = 40.0) ?(cross_pct = 20.0) ?(optimistic = false)
+    ?(mis_pct = 30.0) ?(repair = true) ?(max_size = 8)
+    ?(drain_before_close = true) ?(crashes = []) ?(respawn = true)
+    ~workload_seed () =
+  if workers <= 0 then
+    invalid_arg "Early_check.scenario: workers must be positive";
+  if commands < 0 then invalid_arg "Early_check.scenario: negative command count";
+  if keys <= 0 then invalid_arg "Early_check.scenario: keys must be positive";
+  if max_size <= 0 then
+    invalid_arg "Early_check.scenario: max_size must be positive";
+  List.iter
+    (fun (w, k) ->
+      if w < 1 || w > workers || k < 1 then
+        invalid_arg "Early_check.scenario: crash point out of range")
+    crashes;
+  let rng = Psmr_util.Rng.create ~seed:workload_seed in
+  let spec =
+    {
+      Psmr_workload.Workload.Keyed.keys;
+      write_pct;
+      cross_pct;
+      cost = Psmr_workload.Workload.Light;
+      mis_pct;
+    }
+  in
+  let footprints =
+    Array.init commands (fun _ ->
+        Psmr_workload.Workload.Keyed.next_footprint spec rng)
+  in
+  {
+    workers;
+    classes;
+    footprints;
+    max_size;
+    optimistic;
+    mis_pct;
+    opt_seed = Psmr_util.Rng.int64 rng;
+    repair;
+    drain_before_close;
+    crashes;
+    respawn;
+  }
+
+let run_schedule ?(max_steps = 50_000) ?(trace = false) ?(metrics = false) sc
+    ~(pick : last:int -> int array -> int) : Cos_check.outcome =
+  let engine = Engine.create () in
+  let ctx = Check_platform.create engine in
+  Check_platform.set_tracing ctx trace;
+  let registry =
+    if metrics then
+      Some
+        (Psmr_obs.Metrics.make
+           ~now:(fun () -> float_of_int (Check_platform.ops ctx))
+           ~track:(fun () -> Engine.running_tag engine)
+           ())
+    else None
+  in
+  let (module P) = Check_platform.make ctx in
+  let module ED = Psmr_early.Dispatch.Make (P) (Cmd) in
+  let n = Array.length sc.footprints in
+  let violations = ref [] in
+  let viol fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let started_at = Array.make n (-1) in
+  let ended_at = Array.make n (-1) in
+  let exec_count = Array.make n 0 in
+  let done_sem = P.Semaphore.create 0 in
+  let execute (c : Cmd.t) =
+    let i = c.Cmd.idx in
+    exec_count.(i) <- exec_count.(i) + 1;
+    if exec_count.(i) > 1 then viol "double execution: command %d" i
+    else started_at.(i) <- Check_platform.ticket ctx;
+    (* A decision point inside the execution window, so schedules exist in
+       which a conflicting command's execution could overlap this one —
+       without it the window would be atomic and an overlap unobservable. *)
+    P.yield ();
+    if ended_at.(i) < 0 then ended_at.(i) <- Check_platform.ticket ctx;
+    P.Semaphore.release done_sem
+  in
+  let fault ~id ~nth =
+    if List.mem (id, nth) sc.crashes then
+      Psmr_fault.Fault.Crash
+        { respawn_after = (if sc.respawn then Some 1e-9 else None) }
+    else Psmr_fault.Fault.Run
+  in
+  let d =
+    ED.start_full ~max_size:sc.max_size ?classes:sc.classes ~repair:sc.repair
+      ~fault ~workers:sc.workers ~execute ()
+  in
+  let inv ~strict () =
+    Check_platform.with_ghost ctx (fun () ->
+        List.iter (fun e -> viol "invariant [early]: %s" e)
+          (ED.invariant ~strict d))
+  in
+  let parallelizer_done = ref false in
+  P.spawn ~name:"parallelizer" (fun () ->
+      (if not sc.optimistic then
+         Array.iteri
+           (fun i fp ->
+             ED.submit d { Cmd.idx = i; fp };
+             inv ~strict:false ())
+           sc.footprints
+       else begin
+         (* Optimistic protocol, block-wise so the in-flight window can
+            never wedge on unconfirmed speculations: submit each block in
+            an order disordered by [mis_pct], confirm in final order. *)
+         let orng = Psmr_util.Rng.create ~seed:sc.opt_seed in
+         let specs = Array.make n None in
+         let base = ref 0 in
+         while !base < n do
+           let len = min sc.max_size (n - !base) in
+           let idxs = Array.init len (fun j -> !base + j) in
+           let opt =
+             Psmr_early.Spec_stream.disorder ~swap_pct:sc.mis_pct ~rng:orng
+               idxs
+           in
+           Array.iter
+             (fun i ->
+               specs.(i) <-
+                 Some
+                   (ED.submit_optimistic d
+                      { Cmd.idx = i; fp = sc.footprints.(i) });
+               inv ~strict:false ())
+             opt;
+           Array.iter
+             (fun i ->
+               ED.confirm d (Option.get specs.(i));
+               inv ~strict:false ())
+             idxs;
+           base := !base + len
+         done
+       end);
+      if sc.drain_before_close then
+        for _ = 1 to n do
+          P.Semaphore.acquire done_sem
+        done;
+      ED.close d;
+      inv ~strict:false ();
+      parallelizer_done := true);
+  let decisions = ref 0 in
+  let choices = ref [] in
+  let last = ref 0 in
+  let truncated = ref false in
+  Engine.set_picker engine
+    (Some
+       (fun tags ->
+         incr decisions;
+         if !decisions > max_steps then raise Cos_check.Truncated;
+         let idx = pick ~last:!last tags in
+         let idx = if idx < 0 || idx >= Array.length tags then 0 else idx in
+         last := tags.(idx);
+         choices := tags.(idx) :: !choices;
+         idx));
+  Option.iter Psmr_obs.Metrics.enable registry;
+  Fun.protect
+    ~finally:(fun () ->
+      if Option.is_some registry then Psmr_obs.Metrics.disable ())
+    (fun () ->
+      try Engine.run engine with
+      | Cos_check.Truncated -> truncated := true
+      | e -> viol "uncaught exception: %s" (Printexc.to_string e));
+  (* Ghost read: the run is over, but [running_tag] still names the last
+     process, so a bare platform read would try to yield outside any
+     fiber. *)
+  let executed = Check_platform.with_ghost ctx (fun () -> ED.executed d) in
+  let completed = (not !truncated) && !parallelizer_done && executed = n in
+  if not !truncated then begin
+    (* Deadlock diagnostics: the engine halted with work left.  A
+       partially-arrived rendezvous is the class-barrier deadlock the
+       crash-stop scenarios must surface. *)
+    if (not !parallelizer_done) || executed < n then begin
+      let stalled =
+        Check_platform.with_ghost ctx (fun () -> ED.stalled_barriers d)
+      in
+      List.iter (fun s -> viol "class-barrier deadlock: %s" s) stalled;
+      viol "deadlock: %d of %d commands never executed%s" (n - executed) n
+        (if !parallelizer_done then "" else " (parallelizer blocked)")
+    end;
+    if completed then begin
+      Array.iteri
+        (fun i c -> if c = 0 then viol "lost command: %d was never executed" i)
+        exec_count;
+      inv ~strict:true ()
+    end;
+    (* Conflict order over whatever executed — also meaningful on
+       deadlocked runs. *)
+    for b = 0 to n - 1 do
+      if started_at.(b) >= 0 then
+        for a = 0 to b - 1 do
+          if
+            Cmd.conflict
+              { Cmd.idx = a; fp = sc.footprints.(a) }
+              { Cmd.idx = b; fp = sc.footprints.(b) }
+          then
+            if exec_count.(a) = 0 then
+              viol
+                "conflict order violated: %d executed while conflicting older \
+                 %d was still pending"
+                b a
+            else if ended_at.(a) < 0 || ended_at.(a) >= started_at.(b) then
+              viol
+                "conflict order violated: %d (ended@%d) must precede %d \
+                 (started@%d)"
+                a ended_at.(a) b started_at.(b)
+        done
+    done
+  end;
+  List.iter
+    (fun r -> viol "%s" (Format.asprintf "%a" Check_platform.pp_race r))
+    (Check_platform.races ctx);
+  let choices = Array.of_list (List.rev !choices) in
+  {
+    Cos_check.completed;
+    violations = List.rev !violations;
+    decisions = !decisions;
+    truncated = !truncated;
+    choices;
+    trace_hash = Cos_check.hash_choices choices;
+    oplog = Check_platform.oplog ctx;
+    metrics =
+      (match registry with
+      | Some m -> Psmr_obs.Metrics.assoc m
+      | None -> []);
+  }

@@ -79,8 +79,15 @@ let finish acc ~exhausted =
     failures = List.rev acc.failures;
   }
 
-let random_walk ?(deadline = fun () -> false) ?max_steps
-    ?(stop_on_first = false) sc ~seed ~schedules =
+(* The drivers are scenario-agnostic: [run] executes one schedule under the
+   given picker and returns its outcome — any runner producing
+   [Cos_check.outcome]s plugs in ([Cos_check.run_schedule],
+   [Early_check.run_schedule], ...).  The classic entry points below
+   specialize them to the COS scenario type they predate. *)
+
+let random_walk_with ?(deadline = fun () -> false) ?(stop_on_first = false)
+    ~(run : pick:(last:int -> int array -> int) -> Cos_check.outcome) ~seed
+    ~schedules () =
   let acc = acc_create () in
   let i = ref 0 in
   let stop = ref false in
@@ -90,8 +97,7 @@ let random_walk ?(deadline = fun () -> false) ?max_steps
       let s = derive_seed seed !i in
       let rw = Strategy.Random_walk.create ~seed:s in
       let o =
-        Cos_check.run_schedule ?max_steps sc ~pick:(fun ~last tags ->
-            Strategy.Random_walk.pick rw ~last tags)
+        run ~pick:(fun ~last tags -> Strategy.Random_walk.pick rw ~last tags)
       in
       record acc ~schedule:!i ~seed:(Some s) o;
       if stop_on_first && o.violations <> [] then stop := true;
@@ -100,8 +106,9 @@ let random_walk ?(deadline = fun () -> false) ?max_steps
   done;
   finish acc ~exhausted:false
 
-let dfs ?(deadline = fun () -> false) ?max_steps ?(max_schedules = 100_000)
-    ?preemption_bound ?(stop_on_first = false) sc =
+let dfs_with ?(deadline = fun () -> false) ?(max_schedules = 100_000)
+    ?preemption_bound ?(stop_on_first = false)
+    ~(run : pick:(last:int -> int array -> int) -> Cos_check.outcome) () =
   let acc = acc_create () in
   let d = Strategy.Dfs.create ?preemption_bound () in
   let exhausted = ref false in
@@ -110,10 +117,7 @@ let dfs ?(deadline = fun () -> false) ?max_steps ?(max_schedules = 100_000)
   while (not !stop) && (not !exhausted) && !i < max_schedules do
     if deadline () then stop := true
     else begin
-      let o =
-        Cos_check.run_schedule ?max_steps sc ~pick:(fun ~last tags ->
-            Strategy.Dfs.pick d ~last tags)
-      in
+      let o = run ~pick:(fun ~last tags -> Strategy.Dfs.pick d ~last tags) in
       record acc ~schedule:!i ~seed:None o;
       if stop_on_first && o.violations <> [] then stop := true
       else if not (Strategy.Dfs.next d) then exhausted := true;
@@ -122,7 +126,23 @@ let dfs ?(deadline = fun () -> false) ?max_steps ?(max_schedules = 100_000)
   done;
   finish acc ~exhausted:!exhausted
 
-let replay ?max_steps ?(trace = true) sc ~seed =
+let replay_with ~(run : pick:(last:int -> int array -> int) -> Cos_check.outcome)
+    ~seed () =
   let rw = Strategy.Random_walk.create ~seed in
-  Cos_check.run_schedule ?max_steps ~trace sc ~pick:(fun ~last tags ->
-      Strategy.Random_walk.pick rw ~last tags)
+  run ~pick:(fun ~last tags -> Strategy.Random_walk.pick rw ~last tags)
+
+let random_walk ?deadline ?max_steps ?stop_on_first sc ~seed ~schedules =
+  random_walk_with ?deadline ?stop_on_first
+    ~run:(fun ~pick -> Cos_check.run_schedule ?max_steps sc ~pick)
+    ~seed ~schedules ()
+
+let dfs ?deadline ?max_steps ?max_schedules ?preemption_bound ?stop_on_first sc
+    =
+  dfs_with ?deadline ?max_schedules ?preemption_bound ?stop_on_first
+    ~run:(fun ~pick -> Cos_check.run_schedule ?max_steps sc ~pick)
+    ()
+
+let replay ?max_steps ?(trace = true) sc ~seed =
+  replay_with
+    ~run:(fun ~pick -> Cos_check.run_schedule ?max_steps ~trace sc ~pick)
+    ~seed ()

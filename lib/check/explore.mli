@@ -22,6 +22,38 @@ val derive_seed : int64 -> int -> int64
 (** [derive_seed base i] is the seed of random-walk run [i] under base seed
     [base] (splitmix64 mixing); exposed so failures can be replayed. *)
 
+(** {2 Scenario-agnostic drivers}
+
+    [run] executes one schedule under the given picker and returns its
+    outcome; any runner producing {!Cos_check.outcome}s plugs in
+    ([Cos_check.run_schedule], [Early_check.run_schedule], ...). *)
+
+val random_walk_with :
+  ?deadline:(unit -> bool) ->
+  ?stop_on_first:bool ->
+  run:(pick:(last:int -> int array -> int) -> Cos_check.outcome) ->
+  seed:int64 ->
+  schedules:int ->
+  unit ->
+  report
+
+val dfs_with :
+  ?deadline:(unit -> bool) ->
+  ?max_schedules:int ->
+  ?preemption_bound:int ->
+  ?stop_on_first:bool ->
+  run:(pick:(last:int -> int array -> int) -> Cos_check.outcome) ->
+  unit ->
+  report
+
+val replay_with :
+  run:(pick:(last:int -> int array -> int) -> Cos_check.outcome) ->
+  seed:int64 ->
+  unit ->
+  Cos_check.outcome
+
+(** {2 COS entry points} *)
+
 val random_walk :
   ?deadline:(unit -> bool) ->
   ?max_steps:int ->

@@ -1,0 +1,38 @@
+(** The static key → class → worker-set map of early scheduling.
+
+    Built once per dispatcher; {!plan} maps a command's key footprint to
+    the set of worker queues that must receive a token.  Planning mutates
+    round-robin cursors, so it is single-threaded by contract (only the
+    parallelizer plans). *)
+
+type plan =
+  | Direct of { worker : int }
+      (** Single involved queue: fast-path append, no synchronization. *)
+  | Rendezvous of { members : int array; designated : int }
+      (** A token per member queue (ascending 1-based worker ids); all
+          members synchronize on the command and [designated] (the
+          smallest id) executes it. *)
+
+type t
+
+val create : ?classes:int -> workers:int -> unit -> t
+(** [classes] defaults to [workers] (one class per worker: every
+    single-key command is conflict-free); it is clamped to [workers].
+    Worker ids are 1-based, matching the scheduler runtime; class [c]
+    serves the workers with [(id - 1) mod classes = c]. *)
+
+val classes : t -> int
+val workers : t -> int
+
+val class_of_key : t -> int -> int
+(** Total and static: [key mod classes], normalized to [0..classes-1]. *)
+
+val members_of_class : t -> int -> int array
+(** Ascending worker ids serving the class (a copy). *)
+
+val plan : t -> (int * bool) list -> plan
+(** Map a footprint ([(key, is_write)] pairs) to its dispatch plan: full
+    member coverage for written classes, one round-robin representative
+    for read-only classes, global round-robin for an empty footprint. *)
+
+val pp_plan : Format.formatter -> plan -> unit

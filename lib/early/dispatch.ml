@@ -1,0 +1,546 @@
+(* The early-scheduling execution runtime: one FIFO of tokens per worker,
+   a static class map deciding at submit time which queues a command
+   touches, and a rendezvous barrier for cross-class commands.
+
+   Token life cycle.  A token is [Pending] (optimistically enqueued, not
+   yet confirmed by final delivery), [Confirmed] (executable once it
+   reaches the head of its queue) or [Revoked] (pulled out by the repair
+   path; workers skip it).  Conservative submissions append [Confirmed]
+   tokens directly; optimistic submissions append [Pending] ones and a
+   later {!confirm} flips them.
+
+   Ordering argument.  The submit thread is the only thread that appends,
+   confirms or revokes, and it processes final deliveries in final order,
+   so confirmation order = final delivery order.  The repair rule enforces
+   the queue invariant "no [Pending] token ahead of a [Confirmed] one":
+   when a command is confirmed (or conservatively submitted), any pending
+   token still ahead of it in one of its queues belongs to a command whose
+   confirmation — hence final position — comes later, so that command is
+   mis-speculated: all its tokens are revoked and re-appended at the tail,
+   preserving the victims' relative order.  Workers pop only [Confirmed]
+   tokens, in queue order, and block while the head is [Pending]; hence
+   per queue, execution order = confirmation order.  Two conflicting
+   commands always share a queue (they share a key, the writer covers
+   every worker of that key's class, and the reader has a representative
+   in it), so conflicting commands execute in final delivery order.
+
+   Fault behavior mirrors the COS scheduler: before participating in a
+   dequeued token the worker consults the fault hook; a crash pushes the
+   token back at the {e front} of the queue (the reservation is returned,
+   order intact) and the core leaves the pool or respawns.  A crash-stop
+   of a worker involved in a rendezvous leaves that barrier unable to
+   complete — the class-barrier deadlock the checker's oracle looks for —
+   while a respawned worker re-pops the token and drains the barrier. *)
+
+open Psmr_platform
+module Probe = Psmr_obs.Probe
+
+module Make (P : Platform_intf.S) (C : Psmr_cos.Cos_intf.KEYED_COMMAND) =
+struct
+  module Latch = Latch.Make (P)
+  module B = Barrier.Make (P)
+
+  type cmd = C.t
+
+  let name = "early"
+
+  type tstate = Pending | Confirmed | Revoked
+
+  type entry = {
+    e_cmd : C.t;
+    e_barrier : B.t option;  (* [None] = single-queue fast path *)
+    e_spec : bool;  (* entered through [submit_optimistic] *)
+    e_enq_at : float;  (* virtual enqueue time (0 while probes are off) *)
+    mutable e_tokens : token array;  (* live token per member queue *)
+    e_done : bool P.Atomic.t;  (* executed or dropped; window released *)
+  }
+
+  and token = { t_entry : entry; t_queue : queue; mutable t_state : tstate }
+
+  and queue = {
+    q_worker : int;
+    q_m : P.Mutex.t;
+    q_cv : P.Condition.t;
+    mutable q_front : token list;  (* oldest first *)
+    mutable q_back : token list;  (* newest first *)
+    mutable q_pending : int;  (* pending tokens currently queued *)
+    mutable q_closed : bool;
+  }
+
+  type spec = entry
+
+  type t = {
+    map : Class_map.t;
+    queues : queue array;
+    window : P.Semaphore.t;  (* in-flight bound, like the COS max_size *)
+    repair : bool;
+    execute : C.t -> unit;
+    fault : id:int -> nth:int -> Psmr_fault.Fault.worker_action;
+    joined : Latch.t;
+    submitted : int P.Atomic.t;
+    executed : int P.Atomic.t;
+    crashed : int P.Atomic.t;
+    dropped : int P.Atomic.t;
+    wmax : int;  (* the window bound, for chunked reservation *)
+    (* Submit-thread state: the submit thread is the only writer, so these
+       are plain mutables.  [spec_out] counts optimistic submissions not
+       yet confirmed — when it is zero, no [Pending] token exists in any
+       queue, which lets the hot path skip the repair scan and reserve
+       window slots in chunks.  [credit] is the number of window slots
+       already acquired but not yet spent. *)
+    mutable spec_out : int;
+    mutable credit : int;
+    (* Submit-thread statistics; exact after shutdown, advisory before. *)
+    mutable n_direct : int;
+    mutable n_rendezvous : int;
+    mutable n_repairs : int;
+    mutable n_revoked : int;
+    mutable live_barriers : entry list;  (* for diagnostics; purged lazily *)
+    mutable live_count : int;
+  }
+
+  (* ---------------------------------------------------------------- *)
+  (* Queue primitives.                                                 *)
+
+  (* The queue's single consumer waits on [q_cv] in exactly two states:
+     queue empty, or head [Pending] (woken by confirm/revoke/close
+     broadcasts, not by appends).  So an append only needs to signal when
+     it makes the queue non-empty. *)
+  let q_append q tok =
+    P.Mutex.lock q.q_m;
+    let was_empty = q.q_front = [] && q.q_back = [] in
+    q.q_back <- tok :: q.q_back;
+    if tok.t_state = Pending then q.q_pending <- q.q_pending + 1;
+    if was_empty then P.Condition.signal q.q_cv;
+    P.Mutex.unlock q.q_m
+
+  (* Crash requeue: the reservation goes back where it came from. *)
+  let q_push_front q tok =
+    P.Mutex.lock q.q_m;
+    q.q_front <- tok :: q.q_front;
+    P.Condition.signal q.q_cv;
+    P.Mutex.unlock q.q_m
+
+  let drop t e =
+    if P.Atomic.compare_and_set e.e_done false true then begin
+      ignore (P.Atomic.fetch_and_add t.dropped 1 : int);
+      P.Semaphore.release t.window
+    end
+
+  (* The worker's blocking fetch: skip revoked tokens, wait while the head
+     is pending (its confirmation or revocation will broadcast), pop
+     confirmed ones.  After close, a still-pending head is a speculation
+     that will never be confirmed — dropped, releasing its window slot. *)
+  let q_next t q =
+    P.Mutex.lock q.q_m;
+    let rec loop () =
+      (match q.q_front with
+      | [] when q.q_back <> [] ->
+          q.q_front <- List.rev q.q_back;
+          q.q_back <- []
+      | _ -> ());
+      match q.q_front with
+      | [] -> if q.q_closed then None else (P.Condition.wait q.q_cv q.q_m; loop ())
+      | tok :: rest -> (
+          match tok.t_state with
+          | Revoked ->
+              q.q_front <- rest;
+              loop ()
+          | Confirmed ->
+              q.q_front <- rest;
+              Some tok
+          | Pending ->
+              if q.q_closed then begin
+                q.q_front <- rest;
+                q.q_pending <- q.q_pending - 1;
+                drop t tok.t_entry;
+                loop ()
+              end
+              else (P.Condition.wait q.q_cv q.q_m; loop ()))
+    in
+    let r = loop () in
+    P.Mutex.unlock q.q_m;
+    r
+
+  (* ---------------------------------------------------------------- *)
+  (* Submit-side: planning, enqueueing, confirmation and repair.       *)
+
+  let make_entry t c ~spec ~state =
+    let fp = C.footprint c in
+    let plan =
+      List.iter (fun _ -> P.work Hash) fp;
+      Class_map.plan t.map fp
+    in
+    let member_ids =
+      match plan with
+      | Class_map.Direct { worker } -> [| worker |]
+      | Class_map.Rendezvous { members; _ } -> members
+    in
+    let queues = Array.map (fun id -> t.queues.(id - 1)) member_ids in
+    let barrier =
+      match plan with
+      | Class_map.Direct _ -> None
+      | Class_map.Rendezvous { members; designated } ->
+          P.work Alloc;
+          Some (B.create ~size:(Array.length members) ~designated)
+    in
+    let e =
+      {
+        e_cmd = c;
+        e_barrier = barrier;
+        e_spec = spec;
+        e_enq_at = Probe.now ();
+        e_tokens = [||];
+        e_done = P.Atomic.make false;
+      }
+    in
+    e.e_tokens <-
+      Array.map
+        (fun q ->
+          P.work Alloc;
+          { t_entry = e; t_queue = q; t_state = state })
+        queues;
+    (match plan with
+    | Class_map.Direct _ ->
+        t.n_direct <- t.n_direct + 1;
+        Probe.class_direct ()
+    | Class_map.Rendezvous { members; _ } ->
+        t.n_rendezvous <- t.n_rendezvous + 1;
+        Probe.class_barrier ~tokens:(Array.length members);
+        t.live_barriers <- e :: t.live_barriers;
+        t.live_count <- t.live_count + 1;
+        if t.live_count > 512 then begin
+          t.live_barriers <-
+            List.filter (fun e -> not (P.Atomic.get e.e_done)) t.live_barriers;
+          t.live_count <- List.length t.live_barriers
+        end);
+    Probe.insert_done ~visits:(List.length fp);
+    e
+
+  let enqueue_tokens e = Array.iter (fun tok -> q_append tok.t_queue tok) e.e_tokens
+
+  (* Mis-speculation scan: collect the entries of pending tokens still
+     ahead of [e]'s tokens.  [self_pending] tells whether [e]'s own tokens
+     count in [q_pending].  Victims are by definition [Pending] tokens, and
+     those exist only while an optimistic submission awaits confirmation —
+     so when [spec_out] says no such submission is outstanding (beyond [e]
+     itself), the scan is skipped without touching any queue lock: that is
+     the conservative fast path. *)
+  let mis_speculated t e ~self_pending =
+    let outstanding = if self_pending then t.spec_out - 1 else t.spec_out in
+    if (not t.repair) || outstanding <= 0 then []
+    else begin
+      let threshold = if self_pending then 1 else 0 in
+      let victims = ref [] in
+      Array.iter
+        (fun tok ->
+          let q = tok.t_queue in
+          P.Mutex.lock q.q_m;
+          if q.q_pending > threshold then begin
+            let found = ref false in
+            let visit tok' =
+              if not !found then
+                if tok' == tok then found := true
+                else begin
+                  P.work Visit;
+                  if tok'.t_state = Pending then
+                    victims := tok'.t_entry :: !victims
+                end
+            in
+            List.iter visit q.q_front;
+            List.iter visit (List.rev q.q_back)
+          end;
+          P.Mutex.unlock q.q_m)
+        e.e_tokens;
+      (* First-encounter order, deduplicated: the victims' relative order
+         is preserved when they are re-appended. *)
+      List.fold_left
+        (fun acc v -> if List.memq v acc then acc else v :: acc)
+        [] !victims
+      |> List.rev
+    end
+
+  (* Pull a mis-speculated command out of every queue and re-append fresh
+     pending tokens at the tail.  Its tokens were never popped (they are
+     pending), so its barrier — if any — has no arrivals and is reused. *)
+  let revoke t v =
+    Array.iter
+      (fun tok ->
+        let q = tok.t_queue in
+        P.Mutex.lock q.q_m;
+        if tok.t_state = Pending then q.q_pending <- q.q_pending - 1;
+        tok.t_state <- Revoked;
+        P.Condition.broadcast q.q_cv;
+        P.Mutex.unlock q.q_m)
+      v.e_tokens;
+    v.e_tokens <-
+      Array.map
+        (fun tok ->
+          P.work Alloc;
+          { t_entry = v; t_queue = tok.t_queue; t_state = Pending })
+        v.e_tokens;
+    Array.iter (fun tok -> q_append tok.t_queue tok) v.e_tokens;
+    t.n_revoked <- t.n_revoked + 1
+
+  let repair t e ~self_pending =
+    match mis_speculated t e ~self_pending with
+    | [] -> if e.e_spec then Probe.spec_confirm ()
+    | vs ->
+        t.n_repairs <- t.n_repairs + 1;
+        List.iter (revoke t) vs;
+        Probe.spec_repair ~revoked:(List.length vs)
+
+  (* Window reservation.  When no speculation is outstanding, every slot
+     currently held belongs to a confirmed command that will execute and
+     release without further help from the submit thread, so an n-ary
+     acquire cannot deadlock and one semaphore charge buys a chunk of
+     slots.  With speculations in flight, pending commands hold slots that
+     only a later [confirm] from this very thread can free — chunking
+     could then block the submit thread on itself — so the reservation
+     falls back to one slot at a time. *)
+  let window_chunk = 32
+
+  let acquire_window t =
+    if t.credit > 0 then t.credit <- t.credit - 1
+    else if t.spec_out > 0 then P.Semaphore.acquire t.window
+    else begin
+      let n = min window_chunk t.wmax in
+      P.Semaphore.acquire ~n t.window;
+      t.credit <- n - 1
+    end
+
+  let submit t c =
+    acquire_window t;
+    let e = make_entry t c ~spec:false ~state:Confirmed in
+    enqueue_tokens e;
+    repair t e ~self_pending:false;
+    ignore (P.Atomic.fetch_and_add t.submitted 1 : int)
+
+  let submit_batch t cs =
+    Probe.batch (Array.length cs);
+    Array.iter (submit t) cs
+
+  let submit_optimistic t c =
+    acquire_window t;
+    let e = make_entry t c ~spec:true ~state:Pending in
+    enqueue_tokens e;
+    t.spec_out <- t.spec_out + 1;
+    e
+
+  let confirm t e =
+    if not e.e_spec then
+      invalid_arg "Dispatch.confirm: not an optimistic submission";
+    (match e.e_tokens.(0).t_state with
+    | Pending -> ()
+    | Confirmed | Revoked ->
+        invalid_arg "Dispatch.confirm: already confirmed");
+    repair t e ~self_pending:true;
+    t.spec_out <- t.spec_out - 1;
+    Array.iter
+      (fun tok ->
+        let q = tok.t_queue in
+        P.Mutex.lock q.q_m;
+        tok.t_state <- Confirmed;
+        q.q_pending <- q.q_pending - 1;
+        P.Condition.broadcast q.q_cv;
+        P.Mutex.unlock q.q_m)
+      e.e_tokens;
+    ignore (P.Atomic.fetch_and_add t.submitted 1 : int)
+
+  (* ---------------------------------------------------------------- *)
+  (* Workers.                                                          *)
+
+  let run_entry t e =
+    Probe.dispatch_latency (Probe.now () -. e.e_enq_at);
+    let t0 = Probe.now () in
+    t.execute e.e_cmd;
+    Probe.exec_latency (Probe.now () -. t0);
+    P.Atomic.set e.e_done true;
+    ignore (P.Atomic.fetch_and_add t.executed 1 : int);
+    P.Semaphore.release t.window
+
+  (* [i] identifies the simulated core, stable across respawns; [nth]
+     counts this core's token fetches, which is what logical fault points
+     (the checker's crash coordinates) address. *)
+  let rec worker_loop t i nth () =
+    let q = t.queues.(i - 1) in
+    match q_next t q with
+    | None -> Latch.count_down t.joined
+    | Some tok -> (
+        let nth = nth + 1 in
+        match t.fault ~id:i ~nth with
+        | Psmr_fault.Fault.Crash { respawn_after } ->
+            P.work Fault;
+            q_push_front q tok;
+            Probe.requeue ();
+            ignore (P.Atomic.fetch_and_add t.crashed 1 : int);
+            (match respawn_after with
+            | None -> Latch.count_down t.joined
+            | Some d -> P.after d (worker_loop t i nth))
+        | (Run | Stall _ | Slow _) as action ->
+            (match action with
+            | Stall d ->
+                P.work Fault;
+                P.sleep d
+            | Run | Slow _ | Crash _ -> ());
+            (match tok.t_entry.e_barrier with
+            | None -> run_entry t tok.t_entry
+            | Some b -> (
+                match B.arrive b ~worker:i with
+                | `Execute ->
+                    run_entry t tok.t_entry;
+                    B.complete b
+                | `Done -> ()));
+            (match action with
+            | Slow d ->
+                P.work Fault;
+                P.sleep d
+            | Run | Stall _ | Crash _ -> ());
+            worker_loop t i nth ())
+
+  (* ---------------------------------------------------------------- *)
+  (* Life cycle.                                                       *)
+
+  let start_full ?max_size ?classes ?(repair = true) ?fault ~workers ~execute
+      () =
+    if workers <= 0 then invalid_arg "Dispatch.start: workers must be positive";
+    let max_size =
+      match max_size with
+      | None -> Psmr_cos.Cos_intf.default_max_size
+      | Some m ->
+          if m <= 0 then invalid_arg "Dispatch.start: max_size must be positive";
+          m
+    in
+    let fault =
+      match fault with
+      | Some f -> f
+      | None -> fun ~id ~nth:_ -> Psmr_fault.Fault.worker ~id
+    in
+    let t =
+      {
+        map = Class_map.create ?classes ~workers ();
+        queues =
+          Array.init workers (fun i ->
+              {
+                q_worker = i + 1;
+                q_m = P.Mutex.create ();
+                q_cv = P.Condition.create ();
+                q_front = [];
+                q_back = [];
+                q_pending = 0;
+                q_closed = false;
+              });
+        window = P.Semaphore.create max_size;
+        repair;
+        execute;
+        fault;
+        joined = Latch.create workers;
+        submitted = P.Atomic.make 0;
+        executed = P.Atomic.make 0;
+        crashed = P.Atomic.make 0;
+        dropped = P.Atomic.make 0;
+        wmax = max_size;
+        spec_out = 0;
+        credit = 0;
+        n_direct = 0;
+        n_rendezvous = 0;
+        n_repairs = 0;
+        n_revoked = 0;
+        live_barriers = [];
+        live_count = 0;
+      }
+    in
+    for i = 1 to workers do
+      P.spawn ~name:(Printf.sprintf "worker-%d" i) (worker_loop t i 0)
+    done;
+    t
+
+  let start ?max_size ~workers ~execute () =
+    start_full ?max_size ~workers ~execute ()
+
+  let submitted t = P.Atomic.get t.submitted
+  let executed t = P.Atomic.get t.executed
+  let in_flight t = submitted t - executed t
+  let crashed_workers t = P.Atomic.get t.crashed
+  let dropped t = P.Atomic.get t.dropped
+  let classes t = Class_map.classes t.map
+  let direct_count t = t.n_direct
+  let rendezvous_count t = t.n_rendezvous
+  let repair_count t = t.n_repairs
+  let revoked_count t = t.n_revoked
+
+  let drain ?(poll = 1e-4) t =
+    while executed t < submitted t do
+      P.sleep poll
+    done
+
+  let close t =
+    Array.iter
+      (fun q ->
+        P.Mutex.lock q.q_m;
+        q.q_closed <- true;
+        P.Condition.broadcast q.q_cv;
+        P.Mutex.unlock q.q_m)
+      t.queues
+
+  let shutdown ?poll t =
+    drain ?poll t;
+    close t;
+    Latch.wait t.joined
+
+  (* ---------------------------------------------------------------- *)
+  (* Diagnostics: ghost reads for the checker and the tests.  Like the
+     COS [invariant], these take no locks and are exact only between
+     scheduled operations (checker) or at quiescence (tests). *)
+
+  let stalled_barriers t =
+    List.rev
+      (List.filter_map
+         (fun e ->
+           match e.e_barrier with
+           | Some b
+             when (not (B.completed b))
+                  && (not (P.Atomic.get e.e_done))
+                  && B.arrived b > 0
+                  && B.arrived b < B.size b ->
+               Some
+                 (Printf.sprintf
+                    "class-barrier stuck at %d/%d arrivals (designated w%d)"
+                    (B.arrived b) (B.size b) (B.designated b))
+           | _ -> None)
+         t.live_barriers)
+
+  let invariant ?(strict = false) t =
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    Array.iter
+      (fun q ->
+        let toks = q.q_front @ List.rev q.q_back in
+        let pending =
+          List.length (List.filter (fun tok -> tok.t_state = Pending) toks)
+        in
+        if pending <> q.q_pending then
+          err "queue w%d: pending counter %d but %d pending tokens" q.q_worker
+            q.q_pending pending;
+        let seen_pending = ref false in
+        List.iter
+          (fun tok ->
+            match tok.t_state with
+            | Pending -> seen_pending := true
+            | Confirmed ->
+                if !seen_pending then
+                  err "queue w%d: confirmed token behind a pending one"
+                    q.q_worker
+            | Revoked -> ())
+          toks;
+        if strict && toks <> [] then
+          err "queue w%d: %d tokens left at quiescence" q.q_worker
+            (List.length toks))
+      t.queues;
+    if strict then begin
+      let sub = submitted t and ex = executed t in
+      if sub <> ex then err "submitted %d <> executed %d at quiescence" sub ex;
+      List.iter (fun msg -> err "%s at quiescence" msg) (stalled_barriers t)
+    end;
+    List.rev !errs
+end

@@ -1,0 +1,38 @@
+(** Early scheduling: shared configuration and vocabulary.
+
+    This subsystem is the repo's second scheduling {e family}, racing the
+    COS runtime (lib/cos + lib/sched) on the same platform stack.  Where a
+    COS decides conflicts at delivery time by building a dependency graph,
+    early scheduling decides them {e before} delivery with a static
+    class map ({!Class_map}): commands whose footprints stay inside one
+    worker's classes are appended to that worker's FIFO with no shared
+    structure touched at all, and only cross-class commands pay for
+    synchronization — a rendezvous ({!Barrier}) of every involved worker.
+
+    Two dispatch modes share the machinery ({!Dispatch}):
+    - {e conservative}: commands are enqueued in final delivery order and
+      every enqueued token is immediately executable;
+    - {e optimistic}: commands are enqueued on {e optimistic} delivery as
+      pending tokens, and a later confirmation in final delivery order
+      either validates the speculated position (the fast path) or repairs
+      the queues by revoking mis-speculated pending tokens and
+      re-enqueueing them behind the confirmed command. *)
+
+type config = {
+  classes : int option;
+      (** Number of worker classes; [None] means one class per worker
+          (the finest map, every single-key command conflict-free). *)
+  optimistic : bool;
+      (** Whether the benchmark/checker harness drives the optimistic
+          delivery protocol.  The dispatcher itself always accepts both
+          conservative and optimistic submissions; this flag selects how
+          a harness feeds it. *)
+}
+
+let conservative = { classes = None; optimistic = false }
+let optimistic = { classes = None; optimistic = true }
+
+let pp_config ppf { classes; optimistic } =
+  Format.fprintf ppf "{classes=%s; optimistic=%b}"
+    (match classes with None -> "per-worker" | Some k -> string_of_int k)
+    optimistic

@@ -1,0 +1,52 @@
+(* Mis-speculation modeling: an optimistic delivery stream is the final
+   delivery stream with occasional adjacent transpositions.  Swapping only
+   adjacent elements keeps the displacement of every element at exactly
+   one position, so a harness replaying confirmations in final order needs
+   a lead of just two optimistic submissions — while still exercising the
+   full repair path (a swapped pair confirms in the opposite order to its
+   speculated queue positions). *)
+
+type 'a t = {
+  rng : Psmr_util.Rng.t;
+  swap_pct : float;
+  src : unit -> 'a;
+  mutable held : 'a option;
+  mutable swaps : int;
+}
+
+let create ?(swap_pct = 0.0) ~rng src =
+  if swap_pct < 0.0 || swap_pct > 100.0 then
+    invalid_arg "Spec_stream.create: swap_pct must be in [0, 100]";
+  { rng; swap_pct; src; held = None; swaps = 0 }
+
+let next t =
+  match t.held with
+  | Some x ->
+      t.held <- None;
+      x
+  | None ->
+      let a = t.src () in
+      if t.swap_pct > 0.0 && Psmr_util.Rng.below_percent t.rng t.swap_pct then begin
+        let b = t.src () in
+        t.held <- Some a;
+        t.swaps <- t.swaps + 1;
+        b
+      end
+      else a
+
+let swaps t = t.swaps
+
+let disorder ?(swap_pct = 0.0) ~rng arr =
+  let a = Array.copy arr in
+  let n = Array.length a in
+  let i = ref 0 in
+  while !i < n - 1 do
+    if swap_pct > 0.0 && Psmr_util.Rng.below_percent rng swap_pct then begin
+      let tmp = a.(!i) in
+      a.(!i) <- a.(!i + 1);
+      a.(!i + 1) <- tmp;
+      i := !i + 2
+    end
+    else incr i
+  done;
+  a

@@ -1,0 +1,22 @@
+(** Mis-speculation modeling for the optimistic dispatch mode: the
+    optimistic delivery stream as the final stream with seeded adjacent
+    transpositions at a configurable rate.  Adjacent swaps bound every
+    element's displacement to one position, so harnesses need only a
+    two-command optimistic lead. *)
+
+type 'a t
+
+val create : ?swap_pct:float -> rng:Psmr_util.Rng.t -> (unit -> 'a) -> 'a t
+(** Wrap a final-order generator; [swap_pct] (default 0) is the percent
+    chance that each emitted position starts an adjacent transposition.
+    @raise Invalid_argument outside [0, 100]. *)
+
+val next : 'a t -> 'a
+(** Next element in optimistic order. *)
+
+val swaps : 'a t -> int
+(** Transpositions performed so far (each displaces two commands). *)
+
+val disorder : ?swap_pct:float -> rng:Psmr_util.Rng.t -> 'a array -> 'a array
+(** Array form for fixed traces: a copy with seeded adjacent swaps —
+    used by the checker to derive an optimistic order from a final one. *)

@@ -1,0 +1,199 @@
+(** Standalone keyed-workload experiments on the DES: one feeder thread at
+    maximum rate, W workers, any execution backend from the early-scheduling
+    registry — the harness the early-vs-COS comparison runs on.
+
+    Conservative backends are fed through the generic
+    {!Psmr_sched.Sched_intf.BACKEND} submit path; the [early-opt] backend
+    is driven through the optimistic protocol: commands are generated in
+    blocks, optimistically submitted in an order disordered by the
+    workload's [mis_pct] (adjacent transpositions, see
+    {!Psmr_early.Spec_stream}), then confirmed in final order. *)
+
+(* Commands as the dispatchers see them: just a footprint; the conflict
+   relation is derived from it (shared key with at least one writer). *)
+module Cmd = struct
+  type t = { fp : (int * bool) list }
+
+  let footprint c = c.fp
+
+  let conflict a b =
+    List.exists
+      (fun (k, w) -> List.exists (fun (k', w') -> k = k' && (w || w')) b.fp)
+      a.fp
+
+  let is_write c = List.exists snd c.fp
+
+  let pp ppf c =
+    Format.fprintf ppf "{%s}"
+      (String.concat ";"
+         (List.map
+            (fun (k, w) -> Printf.sprintf "%d%s" k (if w then "w" else "r"))
+            c.fp))
+end
+
+let gen spec rng = { Cmd.fp = Psmr_workload.Workload.Keyed.next_footprint spec rng }
+
+type result = {
+  kops : float;  (** completed commands per second, in thousands *)
+  executed : int;
+  mean_population : float;  (** mean in-flight commands during the window *)
+  faults_injected : int;
+  crashed_workers : int;
+  direct : int;  (** fast-path dispatches (early backends; 0 for COS) *)
+  rendezvous : int;  (** cross-class barrier dispatches *)
+  repairs : int;  (** confirmations that found a mis-speculation *)
+  revoked : int;  (** commands revoked and re-enqueued by repairs *)
+  dropped : int;  (** speculations never confirmed (0 in steady state) *)
+  metrics : Psmr_obs.Metrics.t option;
+}
+
+(* Block size of the optimistic pipeline: how far optimistic delivery runs
+   ahead of final delivery.  Adjacent transpositions displace a command by
+   one position, so any block >= 2 is sound; 32 gives the window a
+   realistic speculated prefix. *)
+let opt_block = 32
+
+let run ~backend ~workers ~(spec : Psmr_workload.Workload.Keyed.spec)
+    ?max_size ?(batch = 1) ?(costs = Model.sim_costs)
+    ?(duration = Standalone.default_duration)
+    ?(warmup = Standalone.default_warmup) ?(seed = 42L)
+    ?(faults = Psmr_fault.Schedule.empty) ?(metrics = false) () =
+  if batch < 1 then invalid_arg "Keyed_bench.run: batch must be >= 1";
+  let engine = Psmr_sim.Engine.create () in
+  let (module SP) = Psmr_sim.Sim_platform.make engine costs in
+  let plan =
+    Psmr_fault.Plan.make ~now:(fun () -> Psmr_sim.Engine.now engine) faults
+  in
+  Psmr_fault.Plan.with_plan plan @@ fun () ->
+  let registry =
+    if metrics then
+      Some
+        (Psmr_obs.Metrics.make
+           ~now:(fun () -> Psmr_sim.Engine.now engine)
+           ~track:(fun () -> Psmr_sim.Engine.running_tag engine)
+           ())
+    else None
+  in
+  let cpu = Psmr_sim.Sim_sync.Cpu.create ~cores:Model.cores in
+  let measuring = ref false in
+  let completed = ref 0 in
+  let execute c =
+    Psmr_sim.Sim_sync.Cpu.use cpu
+      (Model.exec_cost spec.cost ~is_write:(Cmd.is_write c));
+    if !measuring then incr completed
+  in
+  let rng = Psmr_util.Rng.create ~seed in
+  let srng = Psmr_util.Rng.split rng in
+  (* Backend-specific feeder and statistics, behind one closure record so
+     the measurement loop below is shared. *)
+  let feed, in_flight, crashed, stats =
+    match (backend : Psmr_early.Registry.backend) with
+    | Early cfg ->
+        let module D = Psmr_early.Dispatch.Make (SP) (Cmd) in
+        let d = D.start_full ?max_size ?classes:cfg.classes ~workers ~execute () in
+        let feed =
+          if not cfg.optimistic then
+            if batch <= 1 then
+              let rec loop () =
+                D.submit d (gen spec rng);
+                loop ()
+              in
+              loop
+            else
+              let rec loop () =
+                D.submit_batch d (Array.init batch (fun _ -> gen spec rng));
+                loop ()
+              in
+              loop
+          else
+            (* Optimistic protocol: per block, submit in disordered
+               (optimistic) order, confirm in final order. *)
+            let order = Array.init opt_block Fun.id in
+            let specs = Array.make opt_block None in
+            let finals = Array.make opt_block None in
+            let rec loop () =
+              for i = 0 to opt_block - 1 do
+                finals.(i) <- Some (gen spec rng)
+              done;
+              let opt_order =
+                Psmr_early.Spec_stream.disorder ~swap_pct:spec.mis_pct
+                  ~rng:srng order
+              in
+              Array.iter
+                (fun i ->
+                  specs.(i) <-
+                    Some (D.submit_optimistic d (Option.get finals.(i))))
+                opt_order;
+              for i = 0 to opt_block - 1 do
+                D.confirm d (Option.get specs.(i))
+              done;
+              loop ()
+            in
+            loop
+        in
+        ( feed,
+          (fun () -> D.in_flight d),
+          (fun () -> D.crashed_workers d),
+          fun () ->
+            ( D.direct_count d,
+              D.rendezvous_count d,
+              D.repair_count d,
+              D.revoked_count d,
+              D.dropped d ) )
+    | Cos _ ->
+        let (module Bk) =
+          Psmr_early.Registry.instantiate backend (module SP) (module Cmd)
+        in
+        let b = Bk.start ?max_size ~workers ~execute () in
+        let loop =
+          if batch <= 1 then
+            let rec go () =
+              Bk.submit b (gen spec rng);
+              go ()
+            in
+            go
+          else
+            let rec go () =
+              Bk.submit_batch b (Array.init batch (fun _ -> gen spec rng));
+              go ()
+            in
+            go
+        in
+        ( loop,
+          (fun () -> Bk.in_flight b),
+          (fun () -> Bk.crashed_workers b),
+          fun () -> (0, 0, 0, 0, 0) )
+  in
+  Psmr_sim.Engine.spawn engine ~name:"feeder" feed;
+  let pop_sum = ref 0 and pop_n = ref 0 in
+  Psmr_sim.Engine.spawn engine ~name:"pop-probe" (fun () ->
+      let rec probe () =
+        SP.sleep 1e-3;
+        if !measuring then begin
+          pop_sum := !pop_sum + in_flight ();
+          incr pop_n
+        end;
+        probe ()
+      in
+      probe ());
+  Psmr_sim.Engine.spawn engine ~delay:warmup ~name:"warmup-gate" (fun () ->
+      measuring := true);
+  (match registry with Some r -> Psmr_obs.Metrics.enable r | None -> ());
+  Fun.protect
+    ~finally:(fun () -> Psmr_obs.Metrics.disable ())
+    (fun () -> Psmr_sim.Engine.run ~until:(warmup +. duration) engine);
+  let direct, rendezvous, repairs, revoked, dropped = stats () in
+  {
+    kops = float_of_int !completed /. duration /. 1000.0;
+    executed = !completed;
+    mean_population =
+      (if !pop_n = 0 then 0.0 else float_of_int !pop_sum /. float_of_int !pop_n);
+    faults_injected = Psmr_fault.Plan.injected plan;
+    crashed_workers = crashed ();
+    direct;
+    rendezvous;
+    repairs;
+    revoked;
+    dropped;
+    metrics = registry;
+  }

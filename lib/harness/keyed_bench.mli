@@ -1,0 +1,53 @@
+(** Standalone keyed-workload experiments on the DES: a feeder at maximum
+    rate, W workers, any backend from {!Psmr_early.Registry} — how the
+    early-scheduling family is raced against the COS family on identical
+    workloads and costs.  The [early-opt] backend is driven through the
+    optimistic submit/confirm protocol with the workload's mis-speculation
+    rate; everything else through the generic conservative path. *)
+
+(** Footprint-only commands: conflict iff a shared key with a writer. *)
+module Cmd : sig
+  type t = { fp : (int * bool) list }
+
+  val footprint : t -> (int * bool) list
+  val conflict : t -> t -> bool
+  val is_write : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+val gen : Psmr_workload.Workload.Keyed.spec -> Psmr_util.Rng.t -> Cmd.t
+
+type result = {
+  kops : float;  (** completed commands per second, in thousands *)
+  executed : int;
+  mean_population : float;  (** mean in-flight commands during the window *)
+  faults_injected : int;
+  crashed_workers : int;
+  direct : int;  (** fast-path dispatches (early backends; 0 for COS) *)
+  rendezvous : int;  (** cross-class barrier dispatches *)
+  repairs : int;  (** confirmations that found a mis-speculation *)
+  revoked : int;  (** commands revoked and re-enqueued by repairs *)
+  dropped : int;  (** speculations never confirmed (0 in steady state) *)
+  metrics : Psmr_obs.Metrics.t option;
+}
+
+val opt_block : int
+(** Optimistic pipeline depth: commands speculated ahead of final
+    delivery per block. *)
+
+val run :
+  backend:Psmr_early.Registry.backend ->
+  workers:int ->
+  spec:Psmr_workload.Workload.Keyed.spec ->
+  ?max_size:int ->
+  ?batch:int ->
+  (* delivery batch size on the conservative submit paths (default 1);
+     ignored by the optimistic protocol, which pipelines per block *)
+  ?costs:Psmr_sim.Costs.t ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?seed:int64 ->
+  ?faults:Psmr_fault.Schedule.t ->
+  ?metrics:bool ->
+  unit ->
+  result

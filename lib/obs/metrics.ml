@@ -64,6 +64,14 @@ type counters = {
   mutable fault_net_delays : int;
   mutable fault_replica_crashes : int;
   mutable fault_recoveries : int;
+  (* Early scheduling (lib/early): class-map dispatch and the optimistic
+     fast path.  All zero for COS-backed runs. *)
+  mutable class_direct : int;  (* single-queue fast-path dispatches *)
+  mutable class_barriers : int;  (* cross-class rendezvous commands *)
+  mutable barrier_tokens : int;  (* tokens enqueued for those rendezvous *)
+  mutable spec_confirms : int;  (* optimistic deliveries confirmed in place *)
+  mutable spec_repairs : int;  (* confirmations that found a mis-speculation *)
+  mutable spec_revoked : int;  (* commands revoked and re-enqueued by repair *)
 }
 
 let fresh_counters () =
@@ -107,6 +115,12 @@ let fresh_counters () =
     fault_net_delays = 0;
     fault_replica_crashes = 0;
     fault_recoveries = 0;
+    class_direct = 0;
+    class_barriers = 0;
+    barrier_tokens = 0;
+    spec_confirms = 0;
+    spec_repairs = 0;
+    spec_revoked = 0;
   }
 
 type t = {
@@ -201,6 +215,12 @@ let assoc t =
     i "fault_net_delays" c.fault_net_delays;
     i "fault_replica_crashes" c.fault_replica_crashes;
     i "fault_recoveries" c.fault_recoveries;
+    i "class_direct" c.class_direct;
+    i "class_barriers" c.class_barriers;
+    i "barrier_tokens" c.barrier_tokens;
+    i "spec_confirms" c.spec_confirms;
+    i "spec_repairs" c.spec_repairs;
+    i "spec_revoked" c.spec_revoked;
   ]
   @ List.concat_map
       (fun (name, h) ->

@@ -47,6 +47,12 @@ type counters = {
   mutable fault_net_delays : int;
   mutable fault_replica_crashes : int;
   mutable fault_recoveries : int;
+  mutable class_direct : int;
+  mutable class_barriers : int;
+  mutable barrier_tokens : int;
+  mutable spec_confirms : int;
+  mutable spec_repairs : int;
+  mutable spec_revoked : int;
 }
 
 type t

@@ -207,6 +207,39 @@ let fault kind =
       | `Recovery -> c.fault_recoveries <- c.fault_recoveries + 1)
 
 (* ------------------------------------------------------------------ *)
+(* Early scheduling (lib/early).                                       *)
+
+let class_direct () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.class_direct <- c.class_direct + 1
+
+let class_barrier ~tokens =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.class_barriers <- c.class_barriers + 1;
+      c.barrier_tokens <- c.barrier_tokens + tokens
+
+let spec_confirm () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.spec_confirms <- c.spec_confirms + 1
+
+let spec_repair ~revoked =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.spec_repairs <- c.spec_repairs + 1;
+      c.spec_revoked <- c.spec_revoked + revoked
+
+(* ------------------------------------------------------------------ *)
 (* Per-command latency pipeline.                                       *)
 
 let ready_latency dt =

@@ -73,6 +73,26 @@ val fault :
     armed plan makes a non-[Run]/non-[Deliver] decision, and by the
     recovery harness for replica-level events. *)
 
+(** {1 Early scheduling}
+
+    Recorded by the class-map dispatcher ([Psmr_early]); all zero for
+    COS-backed runs. *)
+
+val class_direct : unit -> unit
+(** One command dispatched on the single-queue fast path (no barrier). *)
+
+val class_barrier : tokens:int -> unit
+(** One cross-class command dispatched through a rendezvous over [tokens]
+    worker queues. *)
+
+val spec_confirm : unit -> unit
+(** One optimistically delivered command confirmed in its speculated
+    position. *)
+
+val spec_repair : revoked:int -> unit
+(** One confirmation that detected a mis-speculation; [revoked] commands
+    were pulled out of their queues and re-enqueued behind it. *)
+
 (** {1 Per-command latency pipeline} *)
 
 val ready_latency : float -> unit

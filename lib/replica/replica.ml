@@ -25,11 +25,19 @@ type mode =
   | Sequential  (** classical SMR: execute in delivery order, one at a time *)
   | Parallel of { impl : Psmr_cos.Registry.impl; workers : int }
       (** scheduler + COS + worker pool (Algorithm 1) *)
+  | Parallel_early of { workers : int; classes : int option }
+      (** class-map dispatcher (conservative early scheduling);
+          [classes = None] means one class per worker *)
 
 let mode_label = function
   | Sequential -> "sequential SMR"
   | Parallel { impl; workers } ->
       Printf.sprintf "%s, %d workers" (Psmr_cos.Registry.to_string impl) workers
+  | Parallel_early { workers; classes } ->
+      Printf.sprintf "%s, %d workers"
+        (Psmr_early.Registry.to_string
+           (Psmr_early.Registry.Early { classes; optimistic = false }))
+        workers
 
 module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
   module Net = Psmr_net.Network.Make (P)
@@ -140,6 +148,24 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
       exec_drain = (fun () -> Sched.drain sched);
       exec_shutdown = (fun () -> Sched.shutdown sched);
       exec_executed = (fun () -> Sched.executed sched);
+    }
+
+  (* The early class-map dispatcher behind the same executor record, via
+     the generic backend registry (conservative feed: the replica delivers
+     in final order, so there is nothing to speculate on). *)
+  let early_executor ~workers ~classes ~max_size ~apply =
+    let (module B : Psmr_sched.Sched_intf.BACKEND with type cmd = envelope) =
+      Psmr_early.Registry.instantiate
+        (Psmr_early.Registry.Early { classes; optimistic = false })
+        (module P) (module Env_cmd)
+    in
+    let b = B.start ?max_size ~workers ~execute:apply () in
+    {
+      exec_submit = (fun e -> B.submit b e);
+      exec_submit_batch = (fun es -> B.submit_batch b es);
+      exec_drain = (fun () -> B.drain b);
+      exec_shutdown = (fun () -> B.shutdown b);
+      exec_executed = (fun () -> B.executed b);
     }
 
   (* --- replica --- *)
@@ -313,6 +339,9 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
               | Sequential -> sequential_executor ~apply
               | Parallel { impl; workers } ->
                   parallel_executor ~impl ~workers ~max_size:cfg.cos_max_size
+                    ~apply
+              | Parallel_early { workers; classes } ->
+                  early_executor ~workers ~classes ~max_size:cfg.cos_max_size
                     ~apply
             in
             let delivered_commands = P.Atomic.make 0 in

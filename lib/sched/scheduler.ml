@@ -22,6 +22,10 @@ open Psmr_platform
 module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) = struct
   module Latch = Latch.Make (P)
 
+  type cmd = Cos.cmd
+
+  let name = "cos:" ^ Cos.name
+
   type t = {
     cos : Cos.t;
     workers : int;

@@ -7,52 +7,20 @@
 
 open Psmr_platform
 
-module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) : sig
-  type t
+module Make (P : Platform_intf.S) (Cos : Psmr_cos.Cos_intf.S) :
+  Sched_intf.BACKEND with type cmd = Cos.cmd
+(** The COS-based backend, as a {!Sched_intf.BACKEND}:
 
-  val start :
-    ?max_size:int ->
-    workers:int ->
-    execute:(Cos.cmd -> unit) ->
-    unit ->
-    t
-  (** Create the COS (bounded by [max_size], default 150) and spawn
-      [workers] worker threads running [execute] on each command they
-      reserve.  [execute] must tolerate concurrent invocation on
-      non-conflicting commands.
+    [start] creates the COS (bounded by [max_size], default 150) and
+    spawns [workers] worker threads looping over get/execute/remove.
+    [execute] must tolerate concurrent invocation on non-conflicting
+    commands; conflicting commands execute in delivery order because the
+    COS only promotes a command once its dependencies were removed.
 
-      When a fault plan is armed ([Psmr_fault]), workers consult it before
-      each execution: a crashed worker requeues its reserved command (no
-      command is lost or run twice) and leaves the pool — permanently, or
-      until its scheduled respawn; stalled/slowed workers sleep the
-      configured amount around the execution.  With no plan armed the
-      consultation is a single pointer read and the run is bit-identical
-      to one without fault support. *)
-
-  val submit : t -> Cos.cmd -> unit
-  (** Insert the next command, in delivery order.  Single-threaded caller
-      (the scheduler); blocks while the COS is full. *)
-
-  val submit_batch : t -> Cos.cmd array -> unit
-  (** Insert a whole delivered batch, in array order; equivalent to
-      submitting each command but lets the COS amortize its per-command
-      synchronization.  Same single-threaded contract as {!submit}. *)
-
-  val submitted : t -> int
-  val executed : t -> int
-
-  val in_flight : t -> int
-  (** [submitted - executed]; advisory under concurrency. *)
-
-  val crashed_workers : t -> int
-  (** Workers killed by injected faults so far (counting each crash, also
-      of a respawned worker). *)
-
-  val drain : ?poll:float -> t -> unit
-  (** Block until everything submitted has executed (polling every [poll]
-      seconds, default 100 us). *)
-
-  val shutdown : ?poll:float -> t -> unit
-  (** [drain], close the COS, and join the workers.  The caller must have
-      stopped submitting. *)
-end
+    When a fault plan is armed ([Psmr_fault]), workers consult it before
+    each execution: a crashed worker requeues its reserved command (no
+    command is lost or run twice) and leaves the pool — permanently, or
+    until its scheduled respawn; stalled/slowed workers sleep the
+    configured amount around the execution.  With no plan armed the
+    consultation is a single pointer read and the run is bit-identical to
+    one without fault support. *)

@@ -51,6 +51,44 @@ let next_list_command spec rng =
     measured loop, as the paper does). *)
 let generate_trace spec rng n = Array.init n (fun _ -> next_list_command spec rng)
 
+(** Keyed workloads for the early-scheduling experiments: commands carry an
+    explicit key footprint instead of the readers-writers single variable.
+    A command touches one uniformly random key (read or write per
+    [write_pct]); with probability [cross_pct] it touches a second random
+    key in the same mode — the cross-class traffic that forces a rendezvous
+    when keys map to different worker classes.  [mis_pct] configures the
+    optimistic delivery stream's mis-speculation rate (the percent chance
+    each position starts an adjacent transposition; see
+    [Psmr_early.Spec_stream]). *)
+module Keyed = struct
+  type spec = {
+    keys : int;  (** key universe size *)
+    write_pct : float;  (** 0..100: fraction of writes *)
+    cross_pct : float;  (** 0..100: fraction of two-key commands *)
+    cost : cost_class;  (** execution-cost class per command *)
+    mis_pct : float;  (** 0..100: optimistic mis-speculation rate *)
+  }
+
+  (** The acceptance workload: large key universe, mostly single-key reads,
+      so a per-worker class map keeps almost every command conflict-free. *)
+  let low_conflict =
+    { keys = 4096; write_pct = 10.0; cross_pct = 2.0; cost = Light; mis_pct = 0.0 }
+
+  let pp ppf s =
+    Format.fprintf ppf "%dk/%s/%.0f%%w/%.0f%%x/%.0f%%mis" s.keys
+      (cost_label s.cost) s.write_pct s.cross_pct s.mis_pct
+
+  (** Draw the next command footprint. *)
+  let next_footprint spec rng =
+    let k = Psmr_util.Rng.int rng spec.keys in
+    let w = Psmr_util.Rng.below_percent rng spec.write_pct in
+    if Psmr_util.Rng.below_percent rng spec.cross_pct then begin
+      let k2 = Psmr_util.Rng.int rng spec.keys in
+      [ (k, w); (k2, w) ]
+    end
+    else [ (k, w) ]
+end
+
 (** Zipf-distributed key sampler (exponent [theta]), for skewed KV workloads
     in the examples and extension experiments.  Uses the standard inverse-CDF
     over precomputed cumulative weights. *)

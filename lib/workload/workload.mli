@@ -34,6 +34,30 @@ val next_list_command :
 val generate_trace :
   spec -> Psmr_util.Rng.t -> int -> Psmr_app.Linked_list.command array
 
+(** Keyed workloads for the early-scheduling experiments: explicit
+    [(key, is_write)] footprints over a configurable key universe, with a
+    cross-key command fraction and an optimistic mis-speculation rate. *)
+module Keyed : sig
+  type spec = {
+    keys : int;  (** key universe size *)
+    write_pct : float;  (** 0..100: fraction of writes *)
+    cross_pct : float;  (** 0..100: fraction of two-key commands *)
+    cost : cost_class;  (** execution-cost class per command *)
+    mis_pct : float;  (** 0..100: optimistic mis-speculation rate *)
+  }
+
+  val low_conflict : spec
+  (** 4096 keys, 10% writes, 2% cross-key, light cost, no mis-speculation:
+      the acceptance workload where a per-worker class map keeps almost
+      every command conflict-free. *)
+
+  val pp : Format.formatter -> spec -> unit
+
+  val next_footprint : spec -> Psmr_util.Rng.t -> (int * bool) list
+  (** One uniformly random key, read or write per [write_pct]; with
+      probability [cross_pct] a second random key in the same mode. *)
+end
+
 (** Zipf-distributed key sampler (inverse-CDF over precomputed weights). *)
 module Zipf : sig
   type t

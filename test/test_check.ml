@@ -211,6 +211,129 @@ let test_fifo_close_race_regression () =
   let r = Explore.random_walk s ~seed:12L ~schedules:500 in
   Alcotest.(check int) "no deadlocks" 0 (List.length r.Explore.failures)
 
+(* --- early-scheduling scenarios (lib/early under the same checker) --- *)
+
+module Early_check = Check.Early_check
+
+let esc ?(workers = 3) ?classes ?(commands = 8) ?(keys = 3) ?(write_pct = 50.0)
+    ?(cross_pct = 30.0) ?optimistic ?mis_pct ?repair ?(drain = true) ?crashes
+    ?respawn ?(workload_seed = 1L) () =
+  Early_check.scenario ~workers ?classes ~commands ~keys ~write_pct ~cross_pct
+    ?optimistic ?mis_pct ?repair ~drain_before_close:drain ?crashes ?respawn
+    ~workload_seed ()
+
+let early_walk ?stop_on_first s ~seed ~schedules =
+  Explore.random_walk_with ?stop_on_first
+    ~run:(fun ~pick -> Early_check.run_schedule s ~pick)
+    ~seed ~schedules ()
+
+let test_early_replay_deterministic () =
+  let s = esc ~optimistic:true ~mis_pct:40.0 () in
+  let replay seed =
+    Explore.replay_with
+      ~run:(fun ~pick -> Early_check.run_schedule s ~pick)
+      ~seed ()
+  in
+  let a = replay 24680L and b = replay 24680L in
+  Alcotest.(check bool) "same trace hash" true (a.trace_hash = b.trace_hash);
+  Alcotest.(check int) "same decision count" a.decisions b.decisions;
+  Alcotest.(check (list string)) "same violations" a.violations b.violations;
+  Alcotest.(check bool) "completed" true a.completed;
+  let c = replay 24681L in
+  Alcotest.(check bool) "different seed, different schedule" true
+    (a.trace_hash <> c.trace_hash)
+
+let early_clean_random optimistic () =
+  List.iter
+    (fun drain ->
+      let s = esc ~optimistic ~mis_pct:40.0 ~drain () in
+      let r = early_walk s ~seed:13L ~schedules:600 in
+      Alcotest.(check int)
+        (Printf.sprintf "no failures (drain=%b)" drain)
+        0
+        (List.length r.Explore.failures);
+      Alcotest.(check int) "all complete" 0 r.Explore.incomplete)
+    [ true; false ]
+
+let test_early_dfs () =
+  let s = esc ~workers:2 ~commands:2 ~write_pct:100.0 ~cross_pct:100.0 () in
+  let r =
+    Explore.dfs_with ~preemption_bound:1 ~max_schedules:100_000
+      ~run:(fun ~pick -> Early_check.run_schedule s ~pick)
+      ()
+  in
+  Alcotest.(check bool) "bounded tree exhausted" true r.Explore.exhausted;
+  Alcotest.(check int) "no failures" 0 (List.length r.Explore.failures);
+  Alcotest.(check bool) "explored more than one schedule" true
+    (r.Explore.distinct > 50)
+
+(* Crash-stop inside a rendezvous: worker 1 dies at its first token fetch
+   with no respawn.  On an all-cross workload over 2 single-worker classes
+   every command is a 2-party barrier, so its partner arrives and waits
+   forever — the class-barrier deadlock oracle must name the stalled
+   barrier, and replaying the reported seed must reproduce it. *)
+let crash_sc ~respawn =
+  esc ~workers:2 ~commands:6 ~keys:2 ~write_pct:100.0 ~cross_pct:100.0
+    ~crashes:[ (1, 1) ] ~respawn ()
+
+let test_early_barrier_deadlock_caught () =
+  let s = crash_sc ~respawn:false in
+  let r = early_walk ~stop_on_first:true s ~seed:100L ~schedules:500 in
+  match r.Explore.failures with
+  | [] -> Alcotest.fail "crash-stop barrier deadlock not caught"
+  | f :: _ -> (
+      Alcotest.(check bool) "class-barrier oracle fired" true
+        (List.exists
+           (fun v ->
+             String.length v >= 13 && String.sub v 0 13 = "class-barrier")
+           f.Explore.violations);
+      match f.Explore.seed with
+      | None -> Alcotest.fail "random-walk failure carries no seed"
+      | Some seed ->
+          let o =
+            Explore.replay_with
+              ~run:(fun ~pick -> Early_check.run_schedule s ~pick)
+              ~seed ()
+          in
+          Alcotest.(check (list string))
+            "replay reproduces the exact violations" f.Explore.violations
+            o.Cos_check.violations)
+
+let test_early_crash_respawn_clean () =
+  let s = crash_sc ~respawn:true in
+  let r = early_walk s ~seed:100L ~schedules:400 in
+  Alcotest.(check int) "no failures" 0 (List.length r.Explore.failures);
+  Alcotest.(check int) "all complete" 0 r.Explore.incomplete
+
+(* The planted optimistic bug: with the repair scan disabled, a confirmed
+   command queued behind a mis-speculated pending one executes in the
+   speculative (wrong) order.  All-write, two-key workload at per-worker
+   classes keeps every same-key pair in one FIFO, so any disorder swap of
+   such a pair is a conflict-order violation; workload seed 2 is pinned to
+   contain one.  The repaired dispatcher stays clean on the identical
+   scenario. *)
+let norepair_sc ~repair =
+  esc ~workers:2 ~commands:8 ~keys:2 ~write_pct:100.0 ~cross_pct:0.0
+    ~optimistic:true ~mis_pct:40.0 ~repair ~workload_seed:2L ()
+
+let test_early_norepair_caught () =
+  let s = norepair_sc ~repair:false in
+  let r = early_walk ~stop_on_first:true s ~seed:100L ~schedules:200 in
+  match r.Explore.failures with
+  | [] -> Alcotest.fail "disabled repair not caught within 200 schedules"
+  | f :: _ ->
+      Alcotest.(check bool) "conflict-order oracle fired" true
+        (List.exists
+           (fun v ->
+             String.length v >= 14 && String.sub v 0 14 = "conflict order")
+           f.Explore.violations)
+
+let test_early_repair_clean () =
+  let s = norepair_sc ~repair:true in
+  let r = early_walk s ~seed:100L ~schedules:300 in
+  Alcotest.(check int) "no failures" 0 (List.length r.Explore.failures);
+  Alcotest.(check int) "all complete" 0 r.Explore.incomplete
+
 let per_impl name f =
   List.map
     (fun (impl, label) ->
@@ -243,5 +366,24 @@ let () =
             (test_self_sentinel_fix_holds Psmr_cos.Registry.Indexed);
           Alcotest.test_case "fifo close race regression" `Quick
             test_fifo_close_race_regression;
+        ] );
+      ( "early",
+        [
+          Alcotest.test_case "replay deterministic" `Quick
+            test_early_replay_deterministic;
+          Alcotest.test_case "clean, conservative" `Quick
+            (early_clean_random false);
+          Alcotest.test_case "clean, optimistic" `Quick
+            (early_clean_random true);
+          Alcotest.test_case "dfs bound-1 tree exhausted, clean" `Quick
+            test_early_dfs;
+          Alcotest.test_case "crash-stop barrier deadlock caught + replay"
+            `Quick test_early_barrier_deadlock_caught;
+          Alcotest.test_case "crash + respawn drains clean" `Quick
+            test_early_crash_respawn_clean;
+          Alcotest.test_case "disabled repair caught (conflict order)" `Quick
+            test_early_norepair_caught;
+          Alcotest.test_case "repair keeps identical scenario clean" `Quick
+            test_early_repair_clean;
         ] );
     ]

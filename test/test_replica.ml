@@ -288,6 +288,7 @@ let () =
   let m_par impl =
     Psmr_replica.Replica.Parallel { impl; workers = 3 }
   in
+  let m_early = Psmr_replica.Replica.Parallel_early { workers = 3; classes = None } in
   Alcotest.run "replica"
     [
       ( "roundtrip",
@@ -299,12 +300,14 @@ let () =
             (test_kv_roundtrip (m_par Psmr_cos.Registry.Fine));
           Alcotest.test_case "lockfree" `Quick
             (test_kv_roundtrip (m_par Psmr_cos.Registry.Lockfree));
+          Alcotest.test_case "early" `Quick (test_kv_roundtrip m_early);
         ] );
       ( "convergence",
         [
           Alcotest.test_case "sequential" `Quick (test_kv_replicas_converge m_seq);
           Alcotest.test_case "lockfree parallel" `Quick
             (test_kv_replicas_converge (m_par Psmr_cos.Registry.Lockfree));
+          Alcotest.test_case "early" `Quick (test_kv_replicas_converge m_early);
         ] );
       ( "failover",
         [
