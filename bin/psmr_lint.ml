@@ -1,279 +1,75 @@
-(* Platform-discipline lint.
+(* Static-analysis driver — a thin CLI over [Psmr_analysis].
 
-   Every algorithm in this repository is a functor over [Platform_intf.S];
-   the whole point is that the same source runs on real threads, on the
-   deterministic simulator and under the model checker.  That property
-   breaks silently the moment any module reaches for the real
-   concurrency/timing primitives directly, so this lint fails the build if
-   production code (lib/ and bin/) uses them outside the one module that is
-   allowed to: lib/platform/real_platform.ml.
+   The old 279-line string scanner that used to live here is gone: the
+   disciplines it enforced (platform primitives only via the
+   Platform_intf.S functor parameter, observability only via
+   Psmr_obs.Probe, fault injection only via Psmr_fault.Fault) are now
+   Parsetree-based rules in lib/analysis, together with the two
+   paper-grounded service rules (service-determinism and
+   footprint-discipline).  See docs/ANALYSIS.md for the rule catalogue and
+   the [@psmr.allow "rule-id"] suppression syntax.
 
-   Checked: direct use of the stdlib Mutex/Condition/Semaphore/Atomic
-   modules and of the threads library, plus wall-clock access
-   (Unix.gettimeofday / Unix.sleepf).  Qualified platform uses such as
-   [P.Mutex.lock] or [SP.Atomic.get] do not match: a token only counts when
-   the module path starts with it.  A file that itself defines or declares
-   [module Mutex] (the platform layers do — they implement these modules)
-   shadows the stdlib one, so bare references to that name inside such a
-   file are to the local module and are not flagged; [Stdlib.Mutex]-style
-   paths are flagged regardless.  Comments and string literals are ignored.
-   Tests are not scanned — instantiating concrete platforms is their job.
+   Usage: psmr_lint [--json] [--rule ID]... [--list-rules] [ROOT]...
+   Scans lib/ and bin/ by default; exits 1 on any diagnostic.  Wired into
+   `dune runtest` (and the fast `@lint` alias) via the root dune file. *)
 
-   Additionally, the scheduling algorithm layers (lib/cos/ and the early
-   class-map dispatcher, lib/early/) may record observability events only
-   through the probe facade ([Psmr_obs.Probe]): reaching into the registry
-   or trace buffer directly ([Psmr_obs.Metrics], [Psmr_obs.Trace]) from an
-   implementation would couple the algorithms to registry internals and
-   invite ad-hoc counters that bypass the zero-cost-when-disabled
-   discipline.
-
-   Similarly, the runtime layers (lib/cos/, lib/early/, lib/sched/,
-   lib/replica/, lib/net/) may consult fault injection only through the fault facade
-   ([Psmr_fault.Fault]): arming plans or poking schedules
-   ([Psmr_fault.Plan], [Psmr_fault.Schedule]) from runtime code would let
-   an algorithm see or steer the fault plan, breaking the property that an
-   empty plan is a single pointer read and a fault-free run is
-   bit-identical to one without fault support.  Harnesses and tests arm
-   plans; runtime code only asks.
-
-   Wired into [dune runtest] via the rule in the root dune file; exits 1
-   with file:line diagnostics on any hit. *)
-
-(* Assembled from pieces so this file cannot flag itself when scanned. *)
-let bare_heads =
-  List.map
-    (fun s -> s ^ ".")
-    [ "Mut" ^ "ex"; "Condi" ^ "tion"; "Thr" ^ "ead"; "Ato" ^ "mic"; "Sema" ^ "phore" ]
-
-(* [Stdlib.Mutex]-style qualified paths dodge the bare-head rule (the head
-   is preceded by a dot), so they get their own token list. *)
-let qualified =
-  List.map
-    (fun s -> "Stdlib." ^ s)
-    [ "Mut" ^ "ex"; "Condi" ^ "tion"; "Thr" ^ "ead"; "Ato" ^ "mic"; "Sema" ^ "phore" ]
-
-let wall_clock = [ "Unix." ^ "gettimeofday"; "Unix." ^ "sleepf" ]
-
-(* The observability facade rule for the scheduling algorithm layers
-   (see the header): lib/cos/ and the early dispatcher alike. *)
-let obs_head = "Psmr" ^ "_obs."
-let obs_allowed = obs_head ^ "Pro" ^ "be"
-let obs_dirs = [ "lib/cos/"; "lib/early/" ]
-
-(* The fault facade rule for the runtime layers (see the header). *)
-let fault_head = "Psmr" ^ "_fault."
-let fault_allowed = fault_head ^ "Fau" ^ "lt"
-
-let fault_dirs =
-  [ "lib/cos/"; "lib/early/"; "lib/sched/"; "lib/replica/"; "lib/net/" ]
-
-let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
-
-let exempt path =
-  let norm = normalize path in
-  let suffix = "lib/platform/real_platform.ml" in
-  let n = String.length norm and s = String.length suffix in
-  n >= s && String.sub norm (n - s) s = suffix
-
-let in_dir sub path =
-  let norm = normalize path in
-  let n = String.length norm and s = String.length sub in
-  let rec scan i = i + s <= n && (String.sub norm i s = sub || scan (i + 1)) in
-  scan 0
-
-let in_obs_scope path = List.exists (fun d -> in_dir d path) obs_dirs
-let in_fault_scope path = List.exists (fun d -> in_dir d path) fault_dirs
-
-(* Blank out comments (nested) and string literals, preserving newlines so
-   reported line numbers stay correct. *)
-let strip src =
-  let b = Bytes.of_string src in
-  let n = Bytes.length b in
-  let blank i = if Bytes.get b i <> '\n' then Bytes.set b i ' ' in
-  let i = ref 0 in
-  let depth = ref 0 in
-  while !i < n do
-    let c = Bytes.get b !i in
-    if !depth > 0 then begin
-      if c = '(' && !i + 1 < n && Bytes.get b (!i + 1) = '*' then begin
-        blank !i;
-        blank (!i + 1);
-        incr depth;
-        i := !i + 2
-      end
-      else if c = '*' && !i + 1 < n && Bytes.get b (!i + 1) = ')' then begin
-        blank !i;
-        blank (!i + 1);
-        decr depth;
-        i := !i + 2
-      end
-      else begin
-        blank !i;
-        incr i
-      end
-    end
-    else if c = '(' && !i + 1 < n && Bytes.get b (!i + 1) = '*' then begin
-      blank !i;
-      blank (!i + 1);
-      depth := 1;
-      i := !i + 2
-    end
-    else if c = '"' then begin
-      blank !i;
-      incr i;
-      let closed = ref false in
-      while (not !closed) && !i < n do
-        let c = Bytes.get b !i in
-        if c = '\\' && !i + 1 < n then begin
-          blank !i;
-          blank (!i + 1);
-          i := !i + 2
-        end
-        else begin
-          if c = '"' then closed := true;
-          blank !i;
-          incr i
-        end
-      done
-    end
-    else incr i
-  done;
-  Bytes.to_string b
-
-let ident_char c =
-  (c >= 'a' && c <= 'z')
-  || (c >= 'A' && c <= 'Z')
-  || (c >= '0' && c <= '9')
-  || c = '_' || c = '\'' || c = '.'
-
-let starts_with src i tok =
-  let n = String.length tok in
-  i + n <= String.length src && String.sub src i n = tok
-
-let line_of src i =
-  let line = ref 1 in
-  for j = 0 to i - 1 do
-    if src.[j] = '\n' then incr line
-  done;
-  !line
-
-(* Heads the file defines or declares itself ([module Mutex = ...],
-   [module Mutex : MUTEX], ...): local shadowing, so bare references are to
-   the local module. *)
-let shadowed_heads s =
-  List.filter
-    (fun tok ->
-      let head = String.sub tok 0 (String.length tok - 1) in
-      let def = "module " ^ head in
-      let n = String.length def in
-      let found = ref false in
-      String.iteri
-        (fun i _ ->
-          if
-            (not !found)
-            && starts_with s i def
-            && i + n < String.length s
-            && not (ident_char s.[i + n])
-          then found := true)
-        s;
-      !found)
-    bare_heads
-
-let scan_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let src = really_input_string ic len in
-  close_in ic;
-  let s = strip src in
-  let shadowed = shadowed_heads s in
-  let live_heads = List.filter (fun t -> not (List.mem t shadowed)) bare_heads in
-  let platform_msg tok =
-    Printf.sprintf
-      "direct use of %s — go through the Platform_intf.S functor parameter \
-       instead"
-      tok
-  in
-  let hits = ref [] in
-  String.iteri
-    (fun i _ ->
-      let head_ok = i = 0 || not (ident_char s.[i - 1]) in
-      if head_ok then begin
-        List.iter
-          (fun tok ->
-            if starts_with s i tok then
-              hits :=
-                (line_of s i,
-                 platform_msg (String.sub tok 0 (String.length tok - 1)))
-                :: !hits)
-          live_heads;
-        List.iter
-          (fun tok ->
-            if starts_with s i tok then
-              hits := (line_of s i, platform_msg tok) :: !hits)
-          (qualified @ wall_clock);
-        let obs_ok =
-          (* [Psmr_obs.Probe] exactly (a module alias) or a path under it;
-             anything else under [Psmr_obs] is off-limits in lib/cos/. *)
-          starts_with s i obs_allowed
-          && (let j = i + String.length obs_allowed in
-              j >= String.length s || s.[j] = '.' || not (ident_char s.[j]))
-        in
-        if in_obs_scope path && starts_with s i obs_head && not obs_ok then
-          hits :=
-            (line_of s i,
-             Printf.sprintf
-               "scheduling implementations may record observability events \
-                only through %sProbe"
-               obs_head)
-            :: !hits;
-        let fault_ok =
-          starts_with s i fault_allowed
-          && (let j = i + String.length fault_allowed in
-              j >= String.length s || s.[j] = '.' || not (ident_char s.[j]))
-        in
-        if in_fault_scope path && starts_with s i fault_head && not fault_ok
-        then
-          hits :=
-            (line_of s i,
-             Printf.sprintf
-               "runtime layers may consult fault injection only through the \
-                %sFault facade"
-               fault_head)
-            :: !hits
-      end)
-    s;
-  List.rev !hits
-
-let rec walk dir acc =
-  Array.fold_left
-    (fun acc entry ->
-      let path = Filename.concat dir entry in
-      if Sys.is_directory path then
-        if entry = "_build" || String.length entry > 0 && entry.[0] = '.' then acc
-        else walk path acc
-      else if
-        Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
-      then path :: acc
-      else acc)
-    acc (Sys.readdir dir)
+let usage () =
+  print_string
+    "usage: psmr_lint [--json] [--rule ID]... [--list-rules] [ROOT]...\n\
+     \n\
+    \  --json        machine-readable output (docs/ANALYSIS.md schema)\n\
+    \  --rule ID     run only the named rule (repeatable)\n\
+    \  --list-rules  print the rule catalogue and exit\n\
+     \n\
+     Default roots: lib bin.  Exit status 1 on any diagnostic.\n"
 
 let () =
-  let roots =
-    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib"; "bin" ] | _ :: r -> r
-  in
-  let files =
-    List.concat_map (fun r -> if Sys.file_exists r then walk r [] else []) roots
-    |> List.sort compare
-  in
-  let failed = ref false in
-  List.iter
-    (fun path ->
-      if not (exempt path) then
+  let json = ref false in
+  let only = ref [] in
+  let roots = ref [] in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | "--rule" :: id :: rest ->
+        only := id :: !only;
+        parse rest
+    | "--list-rules" :: _ ->
         List.iter
-          (fun (line, msg) ->
-            failed := true;
-            Printf.printf "%s:%d: %s\n" path line msg)
-          (scan_file path))
-    files;
-  if !failed then exit 1;
-  Printf.printf "platform-discipline lint: %d files clean\n" (List.length files)
+          (fun (r : Psmr_analysis.Rule.t) ->
+            Printf.printf "%-22s %s\n" r.id r.doc)
+          Psmr_analysis.Rules.all;
+        exit 0
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        prerr_endline ("psmr_lint: unknown option " ^ arg);
+        usage ();
+        exit 2
+    | root :: rest ->
+        roots := root :: !roots;
+        parse rest
+  in
+  parse args;
+  let rules =
+    match !only with
+    | [] -> Psmr_analysis.Rules.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Psmr_analysis.Rules.find id with
+            | Some r -> r
+            | None ->
+                prerr_endline ("psmr_lint: unknown rule " ^ id);
+                exit 2)
+          ids
+  in
+  let roots = match List.rev !roots with [] -> [ "lib"; "bin" ] | r -> r in
+  let files, diags = Psmr_analysis.Engine.analyze_roots ~rules roots in
+  print_string
+    (if !json then Psmr_analysis.Engine.render_json ~files diags
+     else Psmr_analysis.Engine.render_text ~files ~rules diags);
+  if diags <> [] then exit 1

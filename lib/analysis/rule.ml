@@ -1,0 +1,38 @@
+(* The rule interface: a rule is a pure function from one analyzed file
+   (path + AST + resolved facts) to diagnostics.  Scoping — which files a
+   rule runs on and which it is exempt from — lives here too, so it is
+   per-rule rather than the old lint's single global exemption list. *)
+
+type input = { path : string; ast : Scope.ast; info : Scope.info }
+
+type t = {
+  id : string;
+  doc : string;  (* one line, shown by --list-rules and in docs *)
+  applies : string -> bool;  (* normalized '/'-separated path *)
+  check : input -> Diagnostic.t list;
+}
+
+let diag (input : input) ~id (loc : Location.t) message =
+  let p = loc.loc_start in
+  {
+    Diagnostic.rule = id;
+    path = input.path;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    off = p.pos_cnum;
+    message;
+  }
+
+(* Path predicates over normalized paths.  [in_dir] matches the directory
+   component anywhere in the path so both "lib/cos/fine.ml" and
+   "/abs/repo/lib/cos/fine.ml" are in scope of "lib/cos/". *)
+let in_dir dir path =
+  let n = String.length path and d = String.length dir in
+  let rec scan i =
+    i + d <= n && (String.sub path i d = dir || scan (i + 1))
+  in
+  scan 0
+
+let has_suffix suffix path =
+  let n = String.length path and s = String.length suffix in
+  n >= s && String.sub path (n - s) s = suffix

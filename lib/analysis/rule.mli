@@ -1,0 +1,21 @@
+(** A static-analysis rule: id, documentation line, path scope and the
+    check itself. *)
+
+type input = { path : string; ast : Scope.ast; info : Scope.info }
+
+type t = {
+  id : string;
+  doc : string;
+  applies : string -> bool;
+      (** Called with the normalized path; [false] skips the file entirely —
+          per-rule scoping and per-rule exemptions in one place. *)
+  check : input -> Diagnostic.t list;
+}
+
+val diag : input -> id:string -> Location.t -> string -> Diagnostic.t
+(** Build a diagnostic at a location's start position. *)
+
+val in_dir : string -> string -> bool
+(** [in_dir "lib/cos/" path]: the directory appears in the path. *)
+
+val has_suffix : string -> string -> bool

@@ -1,0 +1,8 @@
+(* The rule registry: every shipped rule, in catalogue order.  Adding a
+   rule = writing its module and listing it here (and documenting it in
+   docs/ANALYSIS.md). *)
+
+let all : Rule.t list =
+  Rules_platform.rules @ Rules_facade.rules @ Rules_service.rules
+
+let find id = List.find_opt (fun (r : Rule.t) -> r.id = id) all

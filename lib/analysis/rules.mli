@@ -1,0 +1,4 @@
+(** The registry of shipped rules. *)
+
+val all : Rule.t list
+val find : string -> Rule.t option

@@ -1,0 +1,54 @@
+(* platform-primitives: everything in lib/ and bin/ is functorized over
+   [Platform_intf.S] precisely so the same algorithm code runs on real
+   threads, on the deterministic simulator and under the model checker.
+   Reaching for the real concurrency primitives or the wall clock directly
+   silently breaks that, so any resolved reference to them — value use,
+   module alias, functor argument, open, or type — is an error everywhere
+   except the one module whose job is to provide them,
+   lib/platform/real_platform.{ml,mli}.
+
+   Because facts arrive with aliasing already resolved, the evasions the
+   old string scanner missed ([module M = Mutex ... M.lock],
+   [let module T = Thread], a local [module Mutex] shadow undone by a later
+   [open Stdlib]) land here as plain [Mutex]/[Thread] references. *)
+
+let banned = [ "Mutex"; "Condition"; "Thread"; "Atomic"; "Semaphore" ]
+let wall_clock = [ [ "Unix"; "gettimeofday" ]; [ "Unix"; "sleepf" ] ]
+
+let id = "platform-primitives"
+
+let msg what =
+  Printf.sprintf
+    "direct use of %s — go through the Platform_intf.S functor parameter \
+     instead"
+    what
+
+let check (input : Rule.input) =
+  List.filter_map
+    (fun (f : Scope.fact) ->
+      let flag what = Some (Rule.diag input ~id f.loc (msg what)) in
+      match f.ev with
+      | Scope.Value (head :: _ :: _) when List.mem head banned -> flag head
+      | Scope.Value path when List.mem path wall_clock ->
+          flag (String.concat "." path)
+      | Scope.Module (head :: _) when List.mem head banned -> flag head
+      | Scope.Type (head :: _ :: _) when List.mem head banned -> flag head
+      | _ -> None)
+    input.info.facts
+
+let rules =
+  [
+    {
+      Rule.id;
+      doc =
+        "concurrency/timing primitives (Mutex, Condition, Thread, Atomic, \
+         Semaphore, wall clock) only via the Platform_intf.S functor \
+         parameter";
+      applies =
+        (fun path ->
+          not
+            (Rule.has_suffix "lib/platform/real_platform.ml" path
+            || Rule.has_suffix "lib/platform/real_platform.mli" path));
+      check;
+    };
+  ]

@@ -1,0 +1,198 @@
+(* Service-contract rules for lib/app — the two *declared* contracts every
+   correctness argument in the paper leans on but the runtime never checks.
+
+   service-determinism: [Service_intf.S.execute] must be deterministic
+   (equal states and commands yield equal responses and successor states) —
+   replicas diverge silently otherwise.  We approximate "the code execute
+   can run" as the file-level let-bindings reachable from [execute] by
+   unqualified reference, and flag sources of nondeterminism inside them:
+   Random, wall-clock time (Sys.time / anything in Unix), unordered Hashtbl
+   iteration, physical equality, Gc, Domain, Marshal and Obj.  Code that is
+   *not* reachable from execute (snapshot/restore legitimately use Marshal)
+   is left alone.
+
+   footprint-discipline: [conflict] and [footprint] are two views of one
+   relation, and the schedulers rely on their consistency ([conflict a b]
+   iff the footprints share a key at least one writes).  Hand-rolling both
+   lets them drift apart silently, so a module binding both must derive
+   [conflict] from [footprint] via the shared derivation
+   [Service_intf.conflict_of_footprint] (or re-export an already-derived
+   one, [let conflict = conflict]). *)
+
+open Parsetree
+
+module SSet = Set.Make (String)
+
+(* ---------- service-determinism ---------- *)
+
+let det_id = "service-determinism"
+
+let nondet = function
+  | "Random" :: _ -> Some "Random (nondeterministic PRNG)"
+  | [ "Sys"; "time" ] | [ "Sys"; "cpu_time" ] -> Some "wall-clock time"
+  | "Unix" :: _ -> Some "Unix (time/IO)"
+  | [ "Hashtbl"; ("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values") ]
+    ->
+      Some "unordered Hashtbl iteration"
+  | [ ("==" | "!=") ] -> Some "physical equality"
+  | "Gc" :: _ -> Some "Gc"
+  | "Domain" :: _ -> Some "Domain"
+  | "Marshal" :: _ -> Some "Marshal (closure/sharing-dependent)"
+  | "Obj" :: _ -> Some "Obj"
+  | _ -> None
+
+let is_lower_ident s =
+  String.length s > 0
+  &&
+  match s.[0] with
+  | 'a' .. 'z' | '_' -> true
+  | _ -> false
+
+(* File-level bindings reachable from [execute] through unqualified
+   references; the fixpoint is over the (binding, referenced-name) pairs
+   the walker already tagged the facts with. *)
+let reachable_from_execute (facts : Scope.fact list) =
+  let refs =
+    List.filter_map
+      (fun (f : Scope.fact) ->
+        match (f.bound, f.ev) with
+        | Some b, Scope.Value [ n ] when is_lower_ident n -> Some (b, n)
+        | _ -> None)
+      facts
+  in
+  let rec grow set =
+    let set' =
+      List.fold_left
+        (fun acc (b, n) -> if SSet.mem b acc then SSet.add n acc else acc)
+        set refs
+    in
+    if SSet.equal set' set then set else grow set'
+  in
+  grow (SSet.singleton "execute")
+
+let det_check (input : Rule.input) =
+  let facts = input.info.facts in
+  let has_execute =
+    List.exists
+      (fun (f : Scope.fact) -> f.bound = Some "execute")
+      facts
+  in
+  if not has_execute then []
+  else
+    let reach = reachable_from_execute facts in
+    List.filter_map
+      (fun (f : Scope.fact) ->
+        match (f.bound, f.ev) with
+        | Some b, Scope.Value path when SSet.mem b reach -> (
+            match nondet path with
+            | Some what ->
+                Some
+                  (Rule.diag input ~id:det_id f.loc
+                     (Printf.sprintf
+                        "%s in execute-reachable binding '%s' — services \
+                         must execute deterministically (%s)"
+                        (String.concat "." path) b what))
+            | None -> None)
+        | _ -> None)
+      facts
+
+(* ---------- footprint-discipline ---------- *)
+
+let fp_id = "footprint-discipline"
+
+let rec strip (e : expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> strip body
+  | Pexp_newtype (_, body) -> strip body
+  | Pexp_constraint (e, _) -> strip e
+  | _ -> e
+
+let last_of lid =
+  match Scope.flatten lid with
+  | Some parts -> ( match List.rev parts with x :: _ -> Some x | [] -> None)
+  | None -> None
+
+(* Accepted shapes for [conflict] when [footprint] is bound alongside it:
+   a re-export ([let conflict = conflict]) or an application of the shared
+   derivation to the footprint ([Service_intf.conflict_of_footprint
+   footprint], possibly eta-expanded). *)
+let derived (vb : value_binding) =
+  match (strip vb.pvb_expr).pexp_desc with
+  | Pexp_ident _ -> true
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident f; _ },
+        (Nolabel, { pexp_desc = Pexp_ident arg; _ }) :: _ ) ->
+      last_of f.txt = Some "conflict_of_footprint"
+      && last_of arg.txt = Some "footprint"
+  | _ -> false
+
+let rec binding_name (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var n -> Some n.txt
+  | Ppat_constraint (p, _) -> binding_name p
+  | _ -> None
+
+let rec scan_structure (input : Rule.input) (str : structure) =
+  let vbs =
+    List.concat_map
+      (fun si ->
+        match si.pstr_desc with Pstr_value (_, vbs) -> vbs | _ -> [])
+      str
+  in
+  let find name =
+    List.find_opt (fun vb -> binding_name vb.pvb_pat = Some name) vbs
+  in
+  let here =
+    match (find "conflict", find "footprint") with
+    | Some conflict, Some _ when not (derived conflict) ->
+        [
+          Rule.diag input ~id:fp_id conflict.pvb_loc
+            "conflict must be derived from footprint via \
+             Service_intf.conflict_of_footprint (or re-export a derived \
+             conflict) so the two views of the relation cannot diverge";
+        ]
+    | _ -> []
+  in
+  here
+  @ List.concat_map
+      (fun si ->
+        match si.pstr_desc with
+        | Pstr_module mb -> scan_module_expr input mb.pmb_expr
+        | Pstr_recmodule mbs ->
+            List.concat_map (fun mb -> scan_module_expr input mb.pmb_expr) mbs
+        | _ -> [])
+      str
+
+and scan_module_expr input (me : module_expr) =
+  match me.pmod_desc with
+  | Pmod_structure str -> scan_structure input str
+  | Pmod_functor (_, body) -> scan_module_expr input body
+  | Pmod_constraint (me, _) -> scan_module_expr input me
+  | _ -> []
+
+let fp_check (input : Rule.input) =
+  match input.ast with
+  | Scope.Impl str -> scan_structure input str
+  | Scope.Intf _ -> []
+
+let in_app path = Rule.in_dir "lib/app/" path && Rule.has_suffix ".ml" path
+
+let rules =
+  [
+    {
+      Rule.id = det_id;
+      doc =
+        "lib/app: no Random / time / unordered iteration / physical \
+         equality / Gc / Domain / Marshal in execute-reachable code";
+      applies = in_app;
+      check = det_check;
+    };
+    {
+      Rule.id = fp_id;
+      doc =
+        "lib/app: conflict must be the shared keyed derivation of \
+         footprint, not hand-rolled";
+      applies = in_app;
+      check = fp_check;
+    };
+  ]

@@ -63,13 +63,11 @@ let touches = function
 
 let is_write = function Balance _ -> false | Deposit _ | Transfer _ -> true
 
-let conflict a b =
-  (is_write a || is_write b)
-  && List.exists (fun x -> List.mem x (touches b)) (touches a)
-
 let footprint c =
   let w = is_write c in
   List.map (fun a -> (a, w)) (touches c)
+
+let conflict = Service_intf.conflict_of_footprint footprint
 
 let pp_command ppf = function
   | Balance a -> Format.fprintf ppf "balance(%d)" a

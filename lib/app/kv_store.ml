@@ -43,9 +43,9 @@ let key = function Get k -> k | Put (k, _) -> k
 
 let is_write = function Put _ -> true | Get _ -> false
 
-let conflict a b = key a = key b && (is_write a || is_write b)
-
 let footprint c = [ (key c, is_write c) ]
+
+let conflict = Service_intf.conflict_of_footprint footprint
 
 let pp_command ppf = function
   | Get k -> Format.fprintf ppf "get(%d)" k

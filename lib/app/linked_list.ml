@@ -80,10 +80,10 @@ let restore t data =
 
 let is_write = function Add _ -> true | Contains _ -> false
 
-let conflict a b = is_write a || is_write b
-
 (* The whole list is one shared variable: reads share it, writes own it. *)
 let footprint c = [ (0, is_write c) ]
+
+let conflict = Service_intf.conflict_of_footprint footprint
 
 let pp_command ppf = function
   | Contains i -> Format.fprintf ppf "contains(%d)" i

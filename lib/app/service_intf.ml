@@ -40,3 +40,16 @@ module type S = sig
   val pp_command : Format.formatter -> command -> unit
   val pp_response : Format.formatter -> response -> unit
 end
+
+(** The one shared derivation of {!S.conflict} from {!S.footprint}: two
+    commands conflict iff their footprints share a key that at least one
+    of the sharers writes.  Services must define
+    [let conflict = conflict_of_footprint footprint] rather than
+    hand-rolling the relation, so the two views cannot silently diverge —
+    the static analyzer's footprint-discipline rule enforces exactly this
+    shape (see docs/ANALYSIS.md). *)
+let conflict_of_footprint footprint a b =
+  let fb = footprint b in
+  List.exists
+    (fun (k, w) -> List.exists (fun (k', w') -> k = k' && (w || w')) fb)
+    (footprint a)

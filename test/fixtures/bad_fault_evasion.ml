@@ -1,0 +1,8 @@
+(* Fault-facade evasion in a runtime layer (analyzed as lib/sched/...):
+   arming plans from runtime code, hidden behind a let-module alias. *)
+
+let arm () =
+  let module F = Psmr_fault in
+  F.Plan.arm ()
+
+let ask () = Psmr_fault.Fault.should_crash ()

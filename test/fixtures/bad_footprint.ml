@@ -1,0 +1,13 @@
+(* A hand-rolled conflict next to a footprint (analyzed as lib/app/...):
+   the two encode the same relation twice and can silently diverge — the
+   rule demands the shared derivation. *)
+
+type command = Get of int | Put of int
+
+let footprint = function Get k -> [ (k, false) ] | Put k -> [ (k, true) ]
+
+let conflict a b =
+  match (a, b) with
+  | Put i, Put j -> i = j
+  | Put i, Get j | Get j, Put i -> i = j
+  | Get _, Get _ -> false

@@ -1,0 +1,11 @@
+(* Facade evasion in a scheduling layer (analyzed as lib/cos/...): direct
+   registry/trace access is flagged whether written out or reached through
+   a root alias; the Probe facade stays allowed. *)
+
+module O = Psmr_obs
+
+let count () = O.Metrics.counter "evil"
+
+let direct () = Psmr_obs.Trace.emit ()
+
+let ok () = Psmr_obs.Probe.lock_acquired ()

@@ -1,0 +1,7 @@
+(* Old-lint false negative #1: a module alias hides the banned head.  The
+   string scanner only matched "Mutex." with the trailing dot, so neither
+   the alias definition nor the use through it was flagged. *)
+
+module M = Mutex
+
+let lock_it h = M.lock h

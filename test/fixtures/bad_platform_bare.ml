@@ -1,0 +1,10 @@
+(* Parity with the old string scanner: plain qualified uses of platform
+   primitives, wall-clock access, and a type reference. *)
+
+let lock_it m = Mutex.lock m
+
+let now () = Unix.gettimeofday ()
+
+let nap () = Unix.sleepf 0.1
+
+let t : Thread.t option = None

@@ -1,0 +1,11 @@
+(* Passing a banned module as a functor argument references it just as
+   directly as calling into it (another no-trailing-dot evasion). *)
+
+module Make (M : sig
+  type t
+end) =
+struct
+  type nonrec t = M.t
+end
+
+module H = Make (Mutex)

@@ -1,0 +1,6 @@
+(* Old-lint false negative #2: a local [let module] rebinding.  "Thread"
+   without a trailing dot never matched the string scanner. *)
+
+let spawn f =
+  let module T = Thread in
+  T.create f ()

@@ -1,0 +1,5 @@
+(* Stdlib-qualified paths canonicalize to the same root as bare ones. *)
+
+let m = Stdlib.Mutex.create ()
+
+let signal c = Stdlib.Condition.signal c

@@ -1,0 +1,6 @@
+(* Interfaces are scanned too: a signature-level alias of a banned module,
+   and a type reference through it. *)
+
+module M = Mutex
+
+val lock_it : M.t -> unit

@@ -1,0 +1,17 @@
+(* Nondeterminism reached through a helper: [execute] calls [helper] and
+   [same], so the Hashtbl iteration and the physical equality are flagged;
+   [snapshot]'s Marshal is NOT execute-reachable and stays legal. *)
+
+type t = (int, int) Hashtbl.t
+
+type command = Sum
+
+type response = int
+
+let helper (t : t) = Hashtbl.fold (fun _ v acc -> acc + v) t 0
+
+let same x y = x == y
+
+let execute (t : t) (_ : command) = if same t t then helper t else 0
+
+let snapshot (t : t) = Marshal.to_string t []

@@ -1,0 +1,11 @@
+(* Nondeterminism directly inside execute (analyzed as lib/app/...). *)
+
+type t = int array
+
+type command = Spin of int
+
+type response = int
+
+let execute (t : t) (Spin k) =
+  let j = Random.int k in
+  t.(j)

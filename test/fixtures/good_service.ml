@@ -1,0 +1,27 @@
+(* A clean service (analyzed as lib/app/...): derived conflict, fully
+   deterministic execute, Marshal confined to snapshot/restore.  Expected
+   diagnostics: none. *)
+
+type t = int array
+
+type command = Bump of int
+
+type response = unit
+
+let footprint (Bump k) = [ (k, true) ]
+
+let conflict = Service_intf.conflict_of_footprint footprint
+
+let bump (t : t) k = t.(k) <- t.(k) + 1
+
+let execute (t : t) (Bump k) = bump t k
+
+let snapshot (t : t) = Marshal.to_string t []
+
+module Command = struct
+  type nonrec t = command
+
+  let conflict = conflict
+
+  let footprint = footprint
+end

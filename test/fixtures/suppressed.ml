@@ -1,0 +1,12 @@
+(* Every violation below carries a [@psmr.allow] for its rule (expression
+   attribute, binding attribute, and a floating file-level attribute), so
+   the expected diagnostic set is empty.  Analyzed as lib/cos/... so both
+   the platform and the obs-facade rules are in scope. *)
+
+[@@@psmr.allow "obs-facade"]
+
+let locked m = (Mutex.lock [@psmr.allow "platform-primitives"]) m
+
+let now () = Unix.gettimeofday () [@@psmr.allow "platform-primitives"]
+
+let count () = Psmr_obs.Metrics.counter "covered-by-floating-allow"

@@ -118,6 +118,62 @@ let prop_conflict_symmetric =
      QCheck.pair cmd cmd)
     (fun (a, b) -> Bank.conflict a b = Bank.conflict b a)
 
+(* --- footprint ⇔ conflict oracle ---
+
+   The documented law in service_intf.ml (and the contract the indexed COS
+   and the early class-map dispatch both lean on): two commands conflict
+   iff their footprints share a key that at least one of the sharers
+   writes.  Checked dynamically for random command pairs of all three
+   services, independently of how [conflict] is implemented. *)
+
+let footprints_share_written_key fa fb =
+  List.exists
+    (fun (k, w) -> List.exists (fun (k', w') -> k = k' && (w || w')) fb)
+    fa
+
+let prop_footprint_oracle name count gen conflict footprint =
+  QCheck.Test.make
+    ~name:(name ^ " conflict iff footprints share a written key")
+    ~count
+    (QCheck.pair gen gen)
+    (fun (a, b) ->
+      conflict a b = footprints_share_written_key (footprint a) (footprint b))
+
+let bank_cmd =
+  QCheck.oneof
+    [
+      QCheck.map (fun a -> Bank.Balance a) (QCheck.int_range 0 4);
+      QCheck.map (fun (a, v) -> Bank.Deposit (a, v))
+        QCheck.(pair (int_range 0 4) (int_range 0 9));
+      QCheck.map
+        (fun ((s, d), v) -> Bank.Transfer { src = s; dst = d; amount = v })
+        QCheck.(pair (pair (int_range 0 4) (int_range 0 4)) (int_range 0 9));
+    ]
+
+let kv_cmd =
+  QCheck.oneof
+    [
+      QCheck.map (fun k -> KV.Get k) (QCheck.int_range 0 7);
+      QCheck.map (fun (k, v) -> KV.Put (k, v))
+        QCheck.(pair (int_range 0 7) (int_range 0 9));
+    ]
+
+let ll_cmd =
+  QCheck.oneof
+    [
+      QCheck.map (fun i -> LL.Contains i) (QCheck.int_range 0 9);
+      QCheck.map (fun i -> LL.Add i) (QCheck.int_range 0 9);
+    ]
+
+let prop_bank_footprint_oracle =
+  prop_footprint_oracle "bank" 500 bank_cmd Bank.conflict Bank.footprint
+
+let prop_kv_footprint_oracle =
+  prop_footprint_oracle "kv" 500 kv_cmd KV.conflict KV.footprint
+
+let prop_ll_footprint_oracle =
+  prop_footprint_oracle "linked list" 200 ll_cmd LL.conflict LL.footprint
+
 (* --- snapshot / restore round trips (state transfer support) --- *)
 
 let test_ll_snapshot_roundtrip () =
@@ -259,12 +315,14 @@ let () =
           Alcotest.test_case "empty" `Quick test_ll_empty;
           Alcotest.test_case "conflicts" `Quick test_ll_conflicts;
           QCheck_alcotest.to_alcotest prop_ll_deterministic;
+          QCheck_alcotest.to_alcotest prop_ll_footprint_oracle;
         ] );
       ( "kv-store",
         [
           Alcotest.test_case "get/put" `Quick test_kv_get_put;
           Alcotest.test_case "bounds" `Quick test_kv_bounds;
           Alcotest.test_case "conflicts" `Quick test_kv_conflicts;
+          QCheck_alcotest.to_alcotest prop_kv_footprint_oracle;
         ] );
       ( "bank",
         [
@@ -273,6 +331,7 @@ let () =
           Alcotest.test_case "conflicts" `Quick test_bank_conflicts;
           QCheck_alcotest.to_alcotest prop_bank_conserves;
           QCheck_alcotest.to_alcotest prop_conflict_symmetric;
+          QCheck_alcotest.to_alcotest prop_bank_footprint_oracle;
         ] );
       ( "snapshots",
         [
