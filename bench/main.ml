@@ -205,92 +205,149 @@ type sim_row = {
 let fig2_spec =
   { Psmr_workload.Workload.write_pct = 0.0; cost = Psmr_workload.Workload.Light }
 
-let sim_point =
-  let memo : (string, sim_row) Hashtbl.t = Hashtbl.create 32 in
-  fun ~smoke ~impl ~workers ?(batch = 1) ?keyed () ->
-    let key =
-      Printf.sprintf "%s/w%d/b%d/%s/%b" impl workers batch
-        (match keyed with
-        | None -> "fig2"
-        | Some spec ->
-            Format.asprintf "%a" Psmr_workload.Workload.Keyed.pp spec)
-        smoke
-    in
-    match Hashtbl.find_opt memo key with
-    | Some r -> r
-    | None ->
-        let duration, warmup = if smoke then (0.02, 0.005) else (0.08, 0.02) in
-        let r =
-          match keyed with
-          | Some spec ->
-              let backend =
-                match Psmr_early.Registry.of_string impl with
-                | Some b -> b
-                | None -> invalid_arg ("sim_point: unknown backend " ^ impl)
-              in
-              let r =
-                Psmr_harness.Keyed_bench.run ~backend ~workers ~spec ~batch
-                  ~duration ~warmup ()
-              in
-              {
-                s_kops = r.Psmr_harness.Keyed_bench.kops;
-                s_direct = r.direct;
-                s_rendezvous = r.rendezvous;
-                s_repairs = r.repairs;
-                s_revoked = r.revoked;
-              }
-          | None ->
-              let ci =
-                match Psmr_cos.Registry.of_string impl with
-                | Some i -> i
-                | None -> invalid_arg ("sim_point: unknown COS impl " ^ impl)
-              in
-              let r =
-                Psmr_harness.Standalone.run ~impl:ci ~workers ~batch
-                  ~spec:fig2_spec ~duration ~warmup ()
-              in
-              {
-                s_kops = r.Psmr_harness.Standalone.kops;
-                s_direct = 0;
-                s_rendezvous = 0;
-                s_repairs = 0;
-                s_revoked = 0;
-              }
-        in
-        Hashtbl.add memo key r;
-        r
+type sim_config = {
+  c_impl : string;
+  c_workers : int;
+  c_batch : int;
+  c_keyed : Psmr_workload.Workload.Keyed.spec option;
+}
+
+let config_key ~smoke c =
+  Printf.sprintf "%s/w%d/b%d/%s/%b" c.c_impl c.c_workers c.c_batch
+    (match c.c_keyed with
+    | None -> "fig2"
+    | Some spec -> Format.asprintf "%a" Psmr_workload.Workload.Keyed.pp spec)
+    smoke
+
+(* One point, computed from its configuration alone: its own engine, RNG
+   and sinks, no facade state — safe to run on a parallel domain. *)
+let compute_point ~smoke c =
+  let duration, warmup = if smoke then (0.02, 0.005) else (0.08, 0.02) in
+  match c.c_keyed with
+  | Some spec ->
+      let backend =
+        match Psmr_early.Registry.of_string c.c_impl with
+        | Some b -> b
+        | None -> invalid_arg ("sim_point: unknown backend " ^ c.c_impl)
+      in
+      let r =
+        Psmr_harness.Keyed_bench.run ~backend ~workers:c.c_workers ~spec
+          ~batch:c.c_batch ~duration ~warmup ()
+      in
+      {
+        s_kops = r.Psmr_harness.Keyed_bench.kops;
+        s_direct = r.direct;
+        s_rendezvous = r.rendezvous;
+        s_repairs = r.repairs;
+        s_revoked = r.revoked;
+      }
+  | None ->
+      let ci =
+        match Psmr_cos.Registry.of_string c.c_impl with
+        | Some i -> i
+        | None -> invalid_arg ("sim_point: unknown COS impl " ^ c.c_impl)
+      in
+      let r =
+        Psmr_harness.Standalone.run ~impl:ci ~workers:c.c_workers
+          ~batch:c.c_batch ~spec:fig2_spec ~duration ~warmup ()
+      in
+      {
+        s_kops = r.Psmr_harness.Standalone.kops;
+        s_direct = 0;
+        s_rendezvous = 0;
+        s_repairs = 0;
+        s_revoked = 0;
+      }
+
+let sim_memo : (string, sim_row) Hashtbl.t = Hashtbl.create 32
+
+(* Compute a batch of configurations on [jobs] domains and fill the memo
+   (main domain only — the table is never touched from helpers).  Because
+   every point is independent and deterministic, the memo ends up with
+   exactly the values a sequential run would compute, so the JSON emitted
+   from it is byte-identical for any [jobs]. *)
+let prefill_points ~smoke ~jobs configs =
+  let todo =
+    List.filter
+      (fun c -> not (Hashtbl.mem sim_memo (config_key ~smoke c)))
+      configs
+    |> List.sort_uniq compare
+  in
+  let results =
+    Psmr_sim.Grid_runner.map ~jobs (compute_point ~smoke) (Array.of_list todo)
+  in
+  List.iteri
+    (fun i c -> Hashtbl.replace sim_memo (config_key ~smoke c) results.(i))
+    todo
+
+let sim_point ~smoke ~impl ~workers ?(batch = 1) ?keyed () =
+  let c = { c_impl = impl; c_workers = workers; c_batch = batch; c_keyed = keyed } in
+  let key = config_key ~smoke c in
+  match Hashtbl.find_opt sim_memo key with
+  | Some r -> r
+  | None ->
+      let r = compute_point ~smoke c in
+      Hashtbl.add sim_memo key r;
+      r
 
 (* Simulated Fig. 2 points for the JSON summary: standalone throughput at
    light cost, 0% writes, for the scan-based baseline, the indexed insert
    with and without delivery batching, and the early dispatcher (keyed
    low-conflict workload at 0% writes — footprints are needed for the
    class map, the cost profile matches). *)
-let sim_fig2 ~smoke () =
+let fig2_grid =
   let keyed0 =
     { Psmr_workload.Workload.Keyed.low_conflict with write_pct = 0.0 }
   in
-  let grid =
-    [
-      ("lockfree", "lockfree", 1, None);
-      ("indexed", "indexed", 1, None);
-      ("indexed_batch16", "indexed", 16, None);
-      ("early", "early", 1, Some keyed0);
-      ("early_opt", "early-opt", 1, Some keyed0);
-    ]
-  in
+  [
+    ("lockfree", "lockfree", 1, None);
+    ("indexed", "indexed", 1, None);
+    ("indexed_batch16", "indexed", 16, None);
+    ("early", "early", 1, Some keyed0);
+    ("early_opt", "early-opt", 1, Some keyed0);
+  ]
+
+let fig2_workers = [ 16; 32; 64 ]
+
+let fig2_configs =
+  List.concat_map
+    (fun w ->
+      List.map
+        (fun (_, impl, batch, keyed) ->
+          { c_impl = impl; c_workers = w; c_batch = batch; c_keyed = keyed })
+        fig2_grid)
+    fig2_workers
+
+let sim_fig2 ~smoke () =
   List.concat_map
     (fun w ->
       List.map
         (fun (label, impl, batch, keyed) ->
           (w, label, (sim_point ~smoke ~impl ~workers:w ~batch ?keyed ()).s_kops))
-        grid)
-    [ 16; 32; 64 ]
+        fig2_grid)
+    fig2_workers
 
 (* The acceptance comparison (docs/SCHEDULING.md): the keyed low-conflict
    workload at 32 workers — early scheduling, conservative and optimistic
    under a mis-speculation sweep, against the COS family fed the identical
    command stream.  Rows carry the dispatcher's class statistics so the
    fast-path share is visible next to the throughput. *)
+let keyed_configs =
+  let base = Psmr_workload.Workload.Keyed.low_conflict in
+  let pt ?(mis = 0.0) ?(batch = 1) impl =
+    {
+      c_impl = impl;
+      c_workers = 32;
+      c_batch = batch;
+      c_keyed = Some { base with mis_pct = mis };
+    }
+  in
+  [
+    pt "early"; pt "early-opt"; pt ~mis:1.0 "early-opt";
+    pt ~mis:10.0 "early-opt"; pt "indexed"; pt ~batch:16 "indexed";
+    pt "lockfree";
+  ]
+
 let sim_keyed ~smoke () =
   let base = Psmr_workload.Workload.Keyed.low_conflict in
   let pt ?(mis = 0.0) ?(batch = 1) impl =
@@ -392,7 +449,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~micro ~fig2 ~keyed ~faults ~metrics =
+let write_json ~path ~micro ~fig2 ~keyed ~faults ~metrics ~engine =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"metrics\": {\n";
   List.iteri
@@ -441,6 +498,17 @@ let write_json ~path ~micro ~fig2 ~keyed ~faults ~metrics =
            r.s_repairs r.s_revoked
            (if i = List.length keyed - 1 then "" else ",")))
     keyed;
+  Buffer.add_string buf "  ],\n  \"sim_events_per_wall_second\": [\n";
+  List.iteri
+    (fun i (r : Engine_churn.row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"events\": %d, \"wall_seconds\": %.6f, \
+            \"events_per_second\": %.0f }%s\n"
+           (json_escape r.name) r.events r.wall_seconds
+           (Engine_churn.events_per_second r)
+           (if i = List.length engine - 1 then "" else ",")))
+    engine;
   Buffer.add_string buf "  ]";
   let fig2_find impl =
     List.find_map
@@ -505,6 +573,15 @@ let validate_json ~path =
                 ])
             rows
       | None -> fail "member \"keyed_sim_kops\" is not a list");
+      (match J.as_arr (req "sim_events_per_wall_second" j) with
+      | Some (_ :: _ as rows) ->
+          List.iter
+            (fun row ->
+              List.iter (fun f -> req_num f row)
+                [ "events"; "wall_seconds"; "events_per_second" ])
+            rows
+      | Some [] -> fail "member \"sim_events_per_wall_second\" is empty"
+      | None -> fail "member \"sim_events_per_wall_second\" is not a list");
       req_num "speedup_w32_early_vs_indexed" j;
       (match J.as_arr (req "faults_sim_kops" j) with
       | Some rows ->
@@ -535,12 +612,25 @@ let validate_json ~path =
         [ "coarse_w32"; "lockfree_w32" ];
       Printf.printf "schema ok: %s\n%!" path
 
-let () =
-  let getenv_flag v =
-    match Sys.getenv_opt v with Some ("1" | "true") -> true | _ -> false
-  in
-  let smoke = getenv_flag "PSMR_BENCH_SMOKE" in
+let getenv_flag v =
+  match Sys.getenv_opt v with Some ("1" | "true") -> true | _ -> false
+
+let getenv_int v default =
+  match Sys.getenv_opt v with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let full_run ~smoke =
+  let jobs = getenv_int "PSMR_BENCH_JOBS" 1 in
+  (* Engine rows first, on the pristine process: the Bechamel section
+     leaves a populated major heap behind, and measured on a 10M-event
+     churn that costs the engine rows ~12% even after a compaction. *)
+  let engine_rows = Engine_churn.rows ~smoke () in
   let micro = run_micro ~smoke () in
+  (* Fan the distinct simulated configurations of the fig2 and keyed
+     sections out over domains before the (sequential, memo-served)
+     section builds below. *)
+  prefill_points ~smoke ~jobs (fig2_configs @ keyed_configs);
   let fig2 = sim_fig2 ~smoke () in
   let micro_for_json =
     List.filter
@@ -562,13 +652,27 @@ let () =
   write_json ~path:json_path ~micro:micro_for_json ~fig2
     ~keyed:(sim_keyed ~smoke ())
     ~faults:(sim_faults ~smoke ())
-    ~metrics:(sim_metrics ~smoke ());
+    ~metrics:(sim_metrics ~smoke ())
+    ~engine:engine_rows;
   validate_json ~path:json_path;
   if (not smoke) && not (getenv_flag "PSMR_BENCH_SKIP_FIGURES") then begin
     let opts =
       if getenv_flag "PSMR_BENCH_FAST" then Psmr_harness.Figures.fast_options
       else Psmr_harness.Figures.default_options
     in
-    let opts = { opts with progress = not (getenv_flag "PSMR_BENCH_QUIET") } in
+    let opts =
+      { opts with progress = not (getenv_flag "PSMR_BENCH_QUIET"); jobs }
+    in
     print_string (Psmr_harness.Figures.run_all ~opts ())
   end
+
+let () =
+  let smoke = getenv_flag "PSMR_BENCH_SMOKE" in
+  if getenv_flag "PSMR_BENCH_ENGINE_ONLY" then
+    (* Engine-core numbers only (the @bench-engine alias): no Bechamel
+       quotas, no simulation grids, no figures — just how fast the DES
+       itself turns events over. *)
+    List.iter
+      (fun r -> Format.printf "%a@." Engine_churn.pp_row r)
+      (Engine_churn.rows ~smoke ())
+  else full_run ~smoke

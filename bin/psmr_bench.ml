@@ -53,20 +53,29 @@ let csv_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress per-run progress logs.")
 
-let opts_of ~fast ~csv ~quiet =
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run independent grid points on $(docv) OCaml domains.  Each \
+           point keeps its own simulation engine and RNG, so the output is \
+           byte-identical to --jobs 1; only wall time changes.")
+
+let opts_of ~fast ~csv ~quiet ~jobs =
   let base =
     if fast then Psmr_harness.Figures.fast_options
     else Psmr_harness.Figures.default_options
   in
-  { base with csv_dir = csv; progress = not quiet }
+  { base with csv_dir = csv; progress = not quiet; jobs }
 
 let print_series ~title ~x_label ~y_label series =
   print_string
     (Psmr_harness.Figures.render_figure ~title ~x_label ~y_label series)
 
 let fig2_cmd =
-  let run cost fast csv quiet =
-    let opts = opts_of ~fast ~csv ~quiet in
+  let run cost fast csv quiet jobs =
+    let opts = opts_of ~fast ~csv ~quiet ~jobs in
     let s = Psmr_harness.Figures.fig2 opts cost in
     print_series
       ~title:
@@ -75,11 +84,11 @@ let fig2_cmd =
       ~x_label:"workers" ~y_label:"kops/s" s
   in
   Cmd.v (Cmd.info "fig2" ~doc:"Standalone COS: throughput vs workers.")
-    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg)
+    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg $ jobs_arg)
 
 let fig3_cmd =
-  let run cost fast csv quiet =
-    let opts = opts_of ~fast ~csv ~quiet in
+  let run cost fast csv quiet jobs =
+    let opts = opts_of ~fast ~csv ~quiet ~jobs in
     let s = Psmr_harness.Figures.fig3 opts cost in
     print_series
       ~title:
@@ -88,11 +97,11 @@ let fig3_cmd =
       ~x_label:"% writes" ~y_label:"kops/s" s
   in
   Cmd.v (Cmd.info "fig3" ~doc:"Standalone COS: throughput vs write percentage.")
-    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg)
+    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg $ jobs_arg)
 
 let fig4_cmd =
-  let run cost fast csv quiet =
-    let opts = opts_of ~fast ~csv ~quiet in
+  let run cost fast csv quiet jobs =
+    let opts = opts_of ~fast ~csv ~quiet ~jobs in
     let s = Psmr_harness.Figures.fig4 opts cost in
     print_series
       ~title:
@@ -101,11 +110,11 @@ let fig4_cmd =
       ~x_label:"workers" ~y_label:"kops/s" s
   in
   Cmd.v (Cmd.info "fig4" ~doc:"Replicated SMR: throughput vs workers.")
-    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg)
+    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg $ jobs_arg)
 
 let fig5_cmd =
-  let run cost fast csv quiet =
-    let opts = opts_of ~fast ~csv ~quiet in
+  let run cost fast csv quiet jobs =
+    let opts = opts_of ~fast ~csv ~quiet ~jobs in
     let s = Psmr_harness.Figures.fig5 opts cost in
     print_series
       ~title:
@@ -114,7 +123,7 @@ let fig5_cmd =
       ~x_label:"% writes" ~y_label:"kops/s" s
   in
   Cmd.v (Cmd.info "fig5" ~doc:"Replicated SMR: throughput vs write percentage.")
-    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg)
+    Term.(const run $ cost_arg $ fast_arg $ csv_arg $ quiet_arg $ jobs_arg)
 
 let writes_arg =
   Arg.(
@@ -122,8 +131,8 @@ let writes_arg =
     & info [ "writes" ] ~docv:"PCT" ~doc:"Write percentage (0-100).")
 
 let fig6_cmd =
-  let run writes fast csv quiet =
-    let opts = opts_of ~fast ~csv ~quiet in
+  let run writes fast csv quiet jobs =
+    let opts = opts_of ~fast ~csv ~quiet ~jobs in
     let s = Psmr_harness.Figures.fig6 opts ~write_pct:writes in
     Printf.printf
       "## Figure 6 (%g%% writes): latency vs throughput, moderate cost\n\n%s\n"
@@ -131,11 +140,11 @@ let fig6_cmd =
       (Psmr_harness.Figures.fig6_table s)
   in
   Cmd.v (Cmd.info "fig6" ~doc:"Replicated SMR: latency vs throughput.")
-    Term.(const run $ writes_arg $ fast_arg $ csv_arg $ quiet_arg)
+    Term.(const run $ writes_arg $ fast_arg $ csv_arg $ quiet_arg $ jobs_arg)
 
 let ablations_cmd =
-  let run fast csv quiet =
-    let opts = opts_of ~fast ~csv ~quiet in
+  let run fast csv quiet jobs =
+    let opts = opts_of ~fast ~csv ~quiet ~jobs in
     print_string (Psmr_harness.Figures.render_ablations opts)
   in
   Cmd.v
@@ -143,15 +152,15 @@ let ablations_cmd =
        ~doc:
          "Extension experiments: lock granularity spectrum, graph bound, \
           realistic conflict band, failover timeline.")
-    Term.(const run $ fast_arg $ csv_arg $ quiet_arg)
+    Term.(const run $ fast_arg $ csv_arg $ quiet_arg $ jobs_arg)
 
 let all_cmd =
-  let run fast csv quiet =
-    let opts = opts_of ~fast ~csv ~quiet in
+  let run fast csv quiet jobs =
+    let opts = opts_of ~fast ~csv ~quiet ~jobs in
     print_string (Psmr_harness.Figures.run_all ~opts ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure (2-6).")
-    Term.(const run $ fast_arg $ csv_arg $ quiet_arg)
+    Term.(const run $ fast_arg $ csv_arg $ quiet_arg $ jobs_arg)
 
 (* Single-point runs for exploration. *)
 
@@ -232,6 +241,10 @@ let standalone_cmd =
       workers writes
       (Psmr_workload.Workload.cost_label cost)
       r.kops r.mean_population;
+    if r.wall_seconds > 0.0 then
+      Printf.printf "engine: %d events in %.3fs wall (%.0f events/s)\n"
+        r.engine_events r.wall_seconds
+        (float_of_int r.engine_events /. r.wall_seconds);
     if not (Psmr_fault.Schedule.is_empty faults) then
       Printf.printf "faults: %s -> %d injected, %d workers crashed\n"
         (Psmr_fault.Schedule.to_string faults)
@@ -354,6 +367,10 @@ let keyed_cmd =
       workers
       (Format.asprintf "%a" Psmr_workload.Workload.Keyed.pp spec)
       r.kops r.mean_population;
+    if r.wall_seconds > 0.0 then
+      Printf.printf "engine: %d events in %.3fs wall (%.0f events/s)\n"
+        r.engine_events r.wall_seconds
+        (float_of_int r.engine_events /. r.wall_seconds);
     if r.direct + r.rendezvous > 0 then
       Printf.printf
         "classes: %d direct, %d rendezvous; repairs %d (revoked %d, dropped \

@@ -4,8 +4,17 @@
    Reaching for the real concurrency primitives or the wall clock directly
    silently breaks that, so any resolved reference to them — value use,
    module alias, functor argument, open, or type — is an error everywhere
-   except the one module whose job is to provide them,
-   lib/platform/real_platform.{ml,mli}.
+   except the modules whose job is to provide them:
+   lib/platform/real_platform.{ml,mli} (the OS-thread platform) and
+   lib/sim/grid_runner.{ml,mli} (the simulator's one sanctioned door to
+   domains and the wall clock).
+
+   Inside lib/sim the bar is higher still: the simulator is the
+   deterministic substrate everything else is verified against, so any
+   resolved [Domain] or [Unix] reference there — not just the wall-clock
+   entry points — is flagged.  A parallel grid goes through
+   [Psmr_sim.Grid_runner]; nothing else in the simulator may fork real
+   parallelism or reach the OS.
 
    Because facts arrive with aliasing already resolved, the evasions the
    old string scanner missed ([module M = Mutex ... M.lock],
@@ -15,6 +24,10 @@
 let banned = [ "Mutex"; "Condition"; "Thread"; "Atomic"; "Semaphore" ]
 let wall_clock = [ [ "Unix"; "gettimeofday" ]; [ "Unix"; "sleepf" ] ]
 
+(* Banned wholesale inside lib/sim (outside grid_runner): real parallelism
+   and any OS call, not just the wall clock. *)
+let sim_banned = [ "Domain"; "Unix" ]
+
 let id = "platform-primitives"
 
 let msg what =
@@ -23,16 +36,32 @@ let msg what =
      instead"
     what
 
+let sim_msg what =
+  Printf.sprintf
+    "direct use of %s inside lib/sim — real parallelism and OS calls are \
+     confined to the sanctioned grid-runner module (Psmr_sim.Grid_runner)"
+    what
+
 let check (input : Rule.input) =
+  let in_sim = Rule.in_dir "lib/sim/" input.path in
   List.filter_map
     (fun (f : Scope.fact) ->
-      let flag what = Some (Rule.diag input ~id f.loc (msg what)) in
+      let flag ~m what = Some (Rule.diag input ~id f.loc (m what)) in
+      let flag_head head =
+        if in_sim && List.mem head sim_banned then flag ~m:sim_msg head
+        else None
+      in
       match f.ev with
-      | Scope.Value (head :: _ :: _) when List.mem head banned -> flag head
+      | Scope.Value (head :: _ :: _) when List.mem head banned ->
+          flag ~m:msg head
       | Scope.Value path when List.mem path wall_clock ->
-          flag (String.concat "." path)
-      | Scope.Module (head :: _) when List.mem head banned -> flag head
-      | Scope.Type (head :: _ :: _) when List.mem head banned -> flag head
+          flag ~m:msg (String.concat "." path)
+      | Scope.Value (head :: _ :: _) -> flag_head head
+      | Scope.Module (head :: _) when List.mem head banned -> flag ~m:msg head
+      | Scope.Module (head :: _) -> flag_head head
+      | Scope.Type (head :: _ :: _) when List.mem head banned ->
+          flag ~m:msg head
+      | Scope.Type (head :: _ :: _) -> flag_head head
       | _ -> None)
     input.info.facts
 
@@ -43,12 +72,14 @@ let rules =
       doc =
         "concurrency/timing primitives (Mutex, Condition, Thread, Atomic, \
          Semaphore, wall clock) only via the Platform_intf.S functor \
-         parameter";
+         parameter; Domain/Unix confined to Grid_runner inside lib/sim";
       applies =
         (fun path ->
           not
             (Rule.has_suffix "lib/platform/real_platform.ml" path
-            || Rule.has_suffix "lib/platform/real_platform.mli" path));
+            || Rule.has_suffix "lib/platform/real_platform.mli" path
+            || Rule.has_suffix "lib/sim/grid_runner.ml" path
+            || Rule.has_suffix "lib/sim/grid_runner.mli" path));
       check;
     };
   ]

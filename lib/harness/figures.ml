@@ -28,6 +28,7 @@ type options = {
   client_sweep : int list;  (** load points for Figure 6 *)
   csv_dir : string option;  (** write CSV files here when set *)
   progress : bool;  (** log each run to stderr *)
+  jobs : int;  (** domains for independent grid points (1 = sequential) *)
 }
 
 let default_options =
@@ -42,6 +43,7 @@ let default_options =
     client_sweep = [ 2; 5; 10; 20; 40; 80; 120; 160; 200 ];
     csv_dir = None;
     progress = true;
+    jobs = 1;
   }
 
 (** Subsampled axes for quick smoke runs. *)
@@ -63,24 +65,46 @@ let note opts fmt =
   if opts.progress then Printf.eprintf (fmt ^^ "\n%!")
   else Printf.ifprintf stderr fmt
 
+(* Every figure below is a flattened grid of independent simulation
+   points, fanned out over [opts.jobs] domains.  Each point builds its own
+   engine, RNG and sinks and never installs facade state (the fault plan
+   and the metrics registry stay untouched on these paths), so the grid
+   meets {!Psmr_sim.Grid_runner}'s discipline: results come back in input
+   order and the rendered output is byte-identical for any [jobs].  With
+   [jobs = 1] the map degenerates to a plain sequential [Array.map] in
+   this domain. *)
+let par_map opts f xs =
+  Array.to_list (Psmr_sim.Grid_runner.map ~jobs:opts.jobs f (Array.of_list xs))
+
 (* --- Figure 2: standalone, throughput vs workers, 0% writes --- *)
 
 let fig2 opts cost =
+  let grid =
+    List.concat_map
+      (fun impl -> List.map (fun w -> (impl, w)) opts.workers)
+      impls
+  in
+  let kops =
+    par_map opts
+      (fun (impl, w) ->
+        let r =
+          Standalone.run ~impl ~workers:w
+            ~spec:{ write_pct = 0.0; cost }
+            ~duration:opts.duration ~warmup:opts.warmup ()
+        in
+        note opts "fig2 %s %s w=%d: %.1f kops"
+          (Workload.cost_label cost)
+          (Psmr_cos.Registry.to_string impl)
+          w r.kops;
+        r.kops)
+      grid
+  in
+  let tbl = List.combine grid kops in
   List.map
     (fun impl ->
       let points =
         List.map
-          (fun w ->
-            let r =
-              Standalone.run ~impl ~workers:w
-                ~spec:{ write_pct = 0.0; cost }
-                ~duration:opts.duration ~warmup:opts.warmup ()
-            in
-            note opts "fig2 %s %s w=%d: %.1f kops"
-              (Workload.cost_label cost)
-              (Psmr_cos.Registry.to_string impl)
-              w r.kops;
-            (float_of_int w, r.kops))
+          (fun w -> (float_of_int w, List.assoc (impl, w) tbl))
           opts.workers
       in
       { Psmr_util.Table.name = Psmr_cos.Registry.to_string impl; points })
@@ -89,22 +113,35 @@ let fig2 opts cost =
 (* --- Figure 3: standalone, throughput vs write percentage --- *)
 
 let fig3 opts cost =
+  let grid =
+    List.concat_map
+      (fun impl ->
+        let workers = Model.fig3_best_workers cost impl in
+        List.map (fun pct -> (impl, workers, pct)) opts.write_pcts)
+      impls
+  in
+  let kops =
+    par_map opts
+      (fun (impl, workers, pct) ->
+        let r =
+          Standalone.run ~impl ~workers
+            ~spec:{ write_pct = pct; cost }
+            ~duration:opts.duration ~warmup:opts.warmup ()
+        in
+        note opts "fig3 %s %s %g%%w: %.1f kops"
+          (Workload.cost_label cost)
+          (Psmr_cos.Registry.to_string impl)
+          pct r.kops;
+        r.kops)
+      grid
+  in
+  let tbl = List.combine grid kops in
   List.map
     (fun impl ->
       let workers = Model.fig3_best_workers cost impl in
       let points =
         List.map
-          (fun pct ->
-            let r =
-              Standalone.run ~impl ~workers
-                ~spec:{ write_pct = pct; cost }
-                ~duration:opts.duration ~warmup:opts.warmup ()
-            in
-            note opts "fig3 %s %s %g%%w: %.1f kops"
-              (Workload.cost_label cost)
-              (Psmr_cos.Registry.to_string impl)
-              pct r.kops;
-            (pct, r.kops))
+          (fun pct -> (pct, List.assoc (impl, workers, pct) tbl))
           opts.write_pcts
       in
       {
@@ -130,36 +167,55 @@ let smr_point opts ~mode ~spec ~clients () =
 
 let fig4 opts cost =
   let spec = { Workload.write_pct = 0.0; cost } in
+  let grid =
+    List.concat_map
+      (fun impl -> List.map (fun w -> Some (impl, w)) opts.workers)
+      impls
+    @ [ None ]
+  in
+  let kops =
+    par_map opts
+      (fun point ->
+        match point with
+        | Some (impl, w) ->
+            let r =
+              smr_point opts
+                ~mode:(Psmr_replica.Replica.Parallel { impl; workers = w })
+                ~spec ~clients:opts.clients ()
+            in
+            note opts "fig4 %s %s w=%d: %.1f kops"
+              (Workload.cost_label cost)
+              (Psmr_cos.Registry.to_string impl)
+              w r.kops;
+            r.kops
+        | None ->
+            let r =
+              smr_point opts ~mode:Psmr_replica.Replica.Sequential ~spec
+                ~clients:opts.clients ()
+            in
+            note opts "fig4 %s sequential: %.1f kops"
+              (Workload.cost_label cost)
+              r.kops;
+            r.kops)
+      grid
+  in
+  let tbl = List.combine grid kops in
   let parallel_series =
     List.map
       (fun impl ->
         let points =
           List.map
-            (fun w ->
-              let r =
-                smr_point opts
-                  ~mode:(Psmr_replica.Replica.Parallel { impl; workers = w })
-                  ~spec ~clients:opts.clients ()
-              in
-              note opts "fig4 %s %s w=%d: %.1f kops"
-                (Workload.cost_label cost)
-                (Psmr_cos.Registry.to_string impl)
-                w r.kops;
-              (float_of_int w, r.kops))
+            (fun w -> (float_of_int w, List.assoc (Some (impl, w)) tbl))
             opts.workers
         in
         { Psmr_util.Table.name = Psmr_cos.Registry.to_string impl; points })
       impls
   in
-  let seq =
-    smr_point opts ~mode:Psmr_replica.Replica.Sequential ~spec
-      ~clients:opts.clients ()
-  in
-  note opts "fig4 %s sequential: %.1f kops" (Workload.cost_label cost) seq.kops;
+  let seq_kops = List.assoc None tbl in
   let seq_series =
     {
       Psmr_util.Table.name = "sequential SMR";
-      points = List.map (fun w -> (float_of_int w, seq.kops)) opts.workers;
+      points = List.map (fun w -> (float_of_int w, seq_kops)) opts.workers;
     }
   in
   parallel_series @ [ seq_series ]
@@ -167,34 +223,45 @@ let fig4 opts cost =
 (* --- Figure 5: replicated, throughput vs write percentage --- *)
 
 let fig5 opts cost =
-  let series_for_mode name mode =
-    let points =
-      List.map
-        (fun pct ->
-          let r =
-            smr_point opts ~mode
-              ~spec:{ Workload.write_pct = pct; cost }
-              ~clients:opts.clients ()
-          in
-          note opts "fig5 %s %s %g%%w: %.1f kops" (Workload.cost_label cost)
-            name pct r.kops;
-          (pct, r.kops))
-        opts.write_pcts
-    in
-    { Psmr_util.Table.name = name; points }
-  in
-  let parallel =
+  let modes =
     List.map
       (fun impl ->
         let workers = Model.fig5_best_workers cost impl in
-        series_for_mode
-          (Printf.sprintf "%s, %d workers"
-             (Psmr_cos.Registry.to_string impl)
-             workers)
-          (Psmr_replica.Replica.Parallel { impl; workers }))
+        ( Printf.sprintf "%s, %d workers"
+            (Psmr_cos.Registry.to_string impl)
+            workers,
+          Psmr_replica.Replica.Parallel { impl; workers } ))
       impls
+    @ [ ("sequential SMR", Psmr_replica.Replica.Sequential) ]
   in
-  parallel @ [ series_for_mode "sequential SMR" Psmr_replica.Replica.Sequential ]
+  let grid =
+    List.concat_map
+      (fun (name, mode) -> List.map (fun pct -> (name, mode, pct)) opts.write_pcts)
+      modes
+  in
+  let kops =
+    par_map opts
+      (fun (name, mode, pct) ->
+        let r =
+          smr_point opts ~mode
+            ~spec:{ Workload.write_pct = pct; cost }
+            ~clients:opts.clients ()
+        in
+        note opts "fig5 %s %s %g%%w: %.1f kops" (Workload.cost_label cost)
+          name pct r.kops;
+        r.kops)
+      grid
+  in
+  let tbl =
+    List.combine (List.map (fun (name, _, pct) -> (name, pct)) grid) kops
+  in
+  List.map
+    (fun (name, _) ->
+      let points =
+        List.map (fun pct -> (pct, List.assoc (name, pct) tbl)) opts.write_pcts
+      in
+      { Psmr_util.Table.name = name; points })
+    modes
 
 (* --- Figure 6: latency versus throughput, moderate cost --- *)
 
@@ -220,15 +287,31 @@ let fig6_modes =
 (** For each mode: (throughput kops, mean latency ms) per client count. *)
 let fig6 opts ~write_pct =
   let spec = { Workload.write_pct; cost = Workload.Moderate } in
+  let grid =
+    List.concat_map
+      (fun { label; mode } ->
+        List.map (fun clients -> (label, mode, clients)) opts.client_sweep)
+      fig6_modes
+  in
+  let results =
+    par_map opts
+      (fun (label, mode, clients) ->
+        let r = smr_point opts ~mode ~spec ~clients () in
+        note opts "fig6 %g%%w %s c=%d: %.1f kops %.2f ms" write_pct label
+          clients r.kops r.mean_latency_ms;
+        (r.kops, r.mean_latency_ms))
+      grid
+  in
+  let tbl =
+    List.combine
+      (List.map (fun (label, _, clients) -> (label, clients)) grid)
+      results
+  in
   List.map
-    (fun { label; mode } ->
+    (fun { label; mode = _ } ->
       let points =
         List.map
-          (fun clients ->
-            let r = smr_point opts ~mode ~spec ~clients () in
-            note opts "fig6 %g%%w %s c=%d: %.1f kops %.2f ms" write_pct label
-              clients r.kops r.mean_latency_ms;
-            (r.kops, r.mean_latency_ms))
+          (fun clients -> List.assoc (label, clients) tbl)
           opts.client_sweep
       in
       { Psmr_util.Table.name = label; points })

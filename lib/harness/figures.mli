@@ -13,6 +13,12 @@ type options = {
   client_sweep : int list;  (** load points for Figure 6 *)
   csv_dir : string option;  (** write CSV files here when set *)
   progress : bool;  (** log each run to stderr *)
+  jobs : int;
+      (** OCaml domains for independent grid points (default [1],
+          sequential).  Every figure grid meets
+          {!Psmr_sim.Grid_runner.map}'s discipline — each point owns its
+          engine, RNG and sinks — so the rendered output is byte-identical
+          for any [jobs]; only wall time changes. *)
 }
 
 val default_options : options

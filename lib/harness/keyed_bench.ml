@@ -37,6 +37,8 @@ type result = {
   kops : float;  (** completed commands per second, in thousands *)
   executed : int;
   mean_population : float;  (** mean in-flight commands during the window *)
+  engine_events : int;  (** DES events the run executed *)
+  wall_seconds : float;  (** wall-clock cost of the simulation loop *)
   faults_injected : int;
   crashed_workers : int;
   direct : int;  (** fast-path dispatches (early backends; 0 for COS) *)
@@ -57,14 +59,22 @@ let run ~backend ~workers ~(spec : Psmr_workload.Workload.Keyed.spec)
     ?max_size ?(batch = 1) ?(costs = Model.sim_costs)
     ?(duration = Standalone.default_duration)
     ?(warmup = Standalone.default_warmup) ?(seed = 42L)
-    ?(faults = Psmr_fault.Schedule.empty) ?(metrics = false) () =
+    ?(faults = Psmr_fault.Schedule.empty) ?(metrics = false)
+    ?(probe_engine = fun (_ : Psmr_sim.Engine.t) -> ()) () =
   if batch < 1 then invalid_arg "Keyed_bench.run: batch must be >= 1";
   let engine = Psmr_sim.Engine.create () in
+  probe_engine engine;
   let (module SP) = Psmr_sim.Sim_platform.make engine costs in
   let plan =
     Psmr_fault.Plan.make ~now:(fun () -> Psmr_sim.Engine.now engine) faults
   in
-  Psmr_fault.Plan.with_plan plan @@ fun () ->
+  (* As in Standalone.run: only install the global fault plan when the
+     schedule can fire, so fault-free grid points stay domain-safe. *)
+  let with_plan f =
+    if Psmr_fault.Schedule.is_empty faults then f ()
+    else Psmr_fault.Plan.with_plan plan f
+  in
+  with_plan @@ fun () ->
   let registry =
     if metrics then
       Some
@@ -179,15 +189,20 @@ let run ~backend ~workers ~(spec : Psmr_workload.Workload.Keyed.spec)
   Psmr_sim.Engine.spawn engine ~delay:warmup ~name:"warmup-gate" (fun () ->
       measuring := true);
   (match registry with Some r -> Psmr_obs.Metrics.enable r | None -> ());
+  let wall0 = Psmr_sim.Grid_runner.wall_now () in
   Fun.protect
-    ~finally:(fun () -> Psmr_obs.Metrics.disable ())
+    ~finally:(fun () ->
+      if Option.is_some registry then Psmr_obs.Metrics.disable ())
     (fun () -> Psmr_sim.Engine.run ~until:(warmup +. duration) engine);
+  let wall_seconds = Psmr_sim.Grid_runner.wall_now () -. wall0 in
   let direct, rendezvous, repairs, revoked, dropped = stats () in
   {
     kops = float_of_int !completed /. duration /. 1000.0;
     executed = !completed;
     mean_population =
       (if !pop_n = 0 then 0.0 else float_of_int !pop_sum /. float_of_int !pop_n);
+    engine_events = Psmr_sim.Engine.events_executed engine;
+    wall_seconds;
     faults_injected = Psmr_fault.Plan.injected plan;
     crashed_workers = crashed ();
     direct;

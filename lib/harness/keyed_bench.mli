@@ -21,6 +21,8 @@ type result = {
   kops : float;  (** completed commands per second, in thousands *)
   executed : int;
   mean_population : float;  (** mean in-flight commands during the window *)
+  engine_events : int;  (** DES events the run executed *)
+  wall_seconds : float;  (** wall-clock cost of the simulation loop *)
   faults_injected : int;
   crashed_workers : int;
   direct : int;  (** fast-path dispatches (early backends; 0 for COS) *)
@@ -49,5 +51,8 @@ val run :
   ?seed:int64 ->
   ?faults:Psmr_fault.Schedule.t ->
   ?metrics:bool ->
+  ?probe_engine:(Psmr_sim.Engine.t -> unit) ->
+  (* called with the fresh engine before any process is spawned; the hook
+     tests use to install an event-order tracer *)
   unit ->
   result

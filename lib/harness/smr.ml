@@ -32,7 +32,14 @@ let run ~(mode : Psmr_replica.Replica.mode) ~(spec : Psmr_workload.Workload.spec
   let plan =
     Psmr_fault.Plan.make ~now:(fun () -> Psmr_sim.Engine.now engine) faults
   in
-  Psmr_fault.Plan.with_plan plan @@ fun () ->
+  (* Fault-free runs skip the plan installation entirely: [with_plan] sets
+     process-global state, and not touching it is what lets fault-free grid
+     points run on parallel domains (Grid_runner). *)
+  let with_plan f =
+    if Psmr_fault.Schedule.is_empty faults then f ()
+    else Psmr_fault.Plan.with_plan plan f
+  in
+  with_plan @@ fun () ->
   let module SMR = Psmr_replica.Replica.Make (SP) (Costed_list) in
   let measuring = ref false in
   (* One simulated CPU bank per replica. *)

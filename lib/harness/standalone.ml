@@ -20,6 +20,8 @@ type result = {
   kops : float;  (** completed commands per second, in thousands *)
   mean_population : float;  (** mean number of commands in the graph *)
   executed : int;
+  engine_events : int;  (** DES events the run executed *)
+  wall_seconds : float;  (** wall-clock cost of the simulation loop *)
   faults_injected : int;  (** fault decisions that fired during the run *)
   crashed_workers : int;  (** workers lost to injected crashes *)
   metrics : Psmr_obs.Metrics.t option;  (** when run with [~metrics:true] *)
@@ -33,14 +35,22 @@ let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
     ?(batch = 1) ?(costs = Model.sim_costs) ?(duration = default_duration)
     ?(warmup = default_warmup) ?(seed = 42L)
     ?(faults = Psmr_fault.Schedule.empty) ?(metrics = false) ?(trace = false)
-    () =
+    ?(probe_engine = fun (_ : Psmr_sim.Engine.t) -> ()) () =
   if batch <= 0 then invalid_arg "Standalone.run: batch must be positive";
   let engine = Psmr_sim.Engine.create () in
+  probe_engine engine;
   let (module SP) = Psmr_sim.Sim_platform.make engine costs in
   let plan =
     Psmr_fault.Plan.make ~now:(fun () -> Psmr_sim.Engine.now engine) faults
   in
-  Psmr_fault.Plan.with_plan plan @@ fun () ->
+  (* Installing the (global) plan only when the schedule can fire anything
+     keeps fault-free runs free of shared facade state, which is what lets
+     Grid_runner fan grid points out over domains. *)
+  let with_plan f =
+    if Psmr_fault.Schedule.is_empty faults then f ()
+    else Psmr_fault.Plan.with_plan plan f
+  in
+  with_plan @@ fun () ->
   (* Observability registry: recording is pure mutation driven by probe
      hooks, so the run computes exactly the same virtual-time history with
      metrics on or off (test/test_obs.ml holds us to that). *)
@@ -104,9 +114,12 @@ let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
   Psmr_sim.Engine.spawn engine ~delay:warmup ~name:"warmup-gate" (fun () ->
       measuring := true);
   (match registry with Some r -> Psmr_obs.Metrics.enable r | None -> ());
+  let wall0 = Psmr_sim.Grid_runner.wall_now () in
   Fun.protect
-    ~finally:(fun () -> Psmr_obs.Metrics.disable ())
+    ~finally:(fun () ->
+      if Option.is_some registry then Psmr_obs.Metrics.disable ())
     (fun () -> Psmr_sim.Engine.run ~until:(warmup +. duration) engine);
+  let wall_seconds = Psmr_sim.Grid_runner.wall_now () -. wall0 in
   (match trace_buf with
   | None -> ()
   | Some tr ->
@@ -128,6 +141,8 @@ let run ~impl ~workers ~(spec : Psmr_workload.Workload.spec) ?max_size
     mean_population =
       (if !pop_n = 0 then 0.0 else float_of_int !pop_sum /. float_of_int !pop_n);
     executed = !completed;
+    engine_events = Psmr_sim.Engine.events_executed engine;
+    wall_seconds;
     faults_injected = Psmr_fault.Plan.injected plan;
     crashed_workers = Sched.crashed_workers sched;
     metrics = registry;

@@ -6,6 +6,8 @@ type result = {
   kops : float;  (** completed commands per second, in thousands *)
   mean_population : float;  (** mean number of commands in the graph *)
   executed : int;
+  engine_events : int;  (** DES events the run executed *)
+  wall_seconds : float;  (** wall-clock cost of the simulation loop *)
   faults_injected : int;  (** fault decisions that fired during the run *)
   crashed_workers : int;  (** workers lost to injected crashes *)
   metrics : Psmr_obs.Metrics.t option;  (** when run with [~metrics:true] *)
@@ -28,6 +30,7 @@ val run :
   ?faults:Psmr_fault.Schedule.t ->
   ?metrics:bool ->
   ?trace:bool ->
+  ?probe_engine:(Psmr_sim.Engine.t -> unit) ->
   unit ->
   result
 (** Deterministic for fixed arguments (virtual time). [max_size] bounds the
@@ -47,4 +50,11 @@ val run :
     Chrome-trace buffer (one track per simulated core plus one per named
     process) in [result.trace].  Neither changes the simulation: virtual
     time, throughput and event order are identical with observability on or
-    off. *)
+    off.
+
+    [probe_engine] (default no-op) is called with the freshly created engine
+    before any process is spawned — the hook tests use to install an
+    {!Psmr_sim.Engine.set_tracer} event-order tracer.  [result.engine_events]
+    and [result.wall_seconds] report how many DES events the run executed and
+    how long the simulation loop took in wall-clock seconds (the simulator's
+    own speed; virtual-time results never depend on it). *)

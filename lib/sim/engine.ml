@@ -1,148 +1,247 @@
 open Effect
 open Effect.Deep
-
-type event = { time : float; seq : int; tag : int; thunk : unit -> unit }
+module Q = Event_queue
 
 type t = {
-  mutable clock : float;
+  clock : float array;
+      (* 1 slot — a bare mutable float field would box every store (the
+         record is not all-float), and the clock is stored once per
+         event *)
   mutable seq : int;
   mutable next_pid : int;
   mutable running : int;
   mutable picker : (int array -> int) option;
-  events : event Psmr_util.Heap.t;
+  mutable tracer : (float -> int -> unit) option;
+  q : Q.t;
   mutable failure : exn option;
   mutable executed : int;
   names : (int, string) Hashtbl.t;
+  mutable handler : (unit, unit) handler option;
+      (* one effect-handler record per engine, built on first use — not
+         one per process run *)
+  (* Reusable scratch for the picker's tie collection: parallel arrays of
+     the fields of the tied events. *)
+  mutable sc_seq : int array;
+  mutable sc_tag : int array;
+  mutable sc_pay : Q.payload array;
 }
 
 type _ Effect.t +=
   | Delay : float -> unit Effect.t
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
-let compare_event a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
-
 let create () =
   {
-    clock = 0.0;
+    clock = Array.make 1 0.0;
     seq = 0;
     next_pid = 0;
     running = 0;
     picker = None;
-    events = Psmr_util.Heap.create ~cmp:compare_event;
+    tracer = None;
+    q = Q.create ();
     failure = None;
     executed = 0;
     names = Hashtbl.create 64;
+    handler = None;
+    sc_seq = Array.make 16 0;
+    sc_tag = Array.make 16 0;
+    sc_pay = Array.make 16 Q.Noop;
   }
 
-let now t = t.clock
+let now t = t.clock.(0)
 let set_picker t pick = t.picker <- pick
+let set_tracer t tr = t.tracer <- tr
 let running_tag t = t.running
 
+(* The scheduling fast path.  The routing test and the time arithmetic
+   stay in this module so the event time only crosses into the queue
+   through [lane_push]/[heap_push] — and, hot above all, a zero delay
+   reaches the lane without ever touching the heap. *)
+let[@inline] push_event t ~delay ~tag payload =
+  let seq = t.seq + 1 in
+  t.seq <- seq;
+  let now = t.clock.(0) in
+  if delay <= 0.0 then Q.lane_push t.q ~time:now ~seq ~tag payload
+  else
+    let time = now +. delay in
+    (* A positive delay below half an ulp of the clock rounds the sum back
+       to [now]; such an event is a same-time event and must keep lane
+       (seq) order. *)
+    if time <= now then Q.lane_push t.q ~time:now ~seq ~tag payload
+    else Q.heap_push t.q ~time ~seq ~tag payload
+
 let schedule_tagged t ?(delay = 0.0) ~tag thunk =
-  let delay = if delay < 0.0 then 0.0 else delay in
-  t.seq <- t.seq + 1;
-  Psmr_util.Heap.add t.events
-    { time = t.clock +. delay; seq = t.seq; tag; thunk }
+  push_event t ~delay ~tag (Q.Thunk thunk)
 
 let schedule t ?delay thunk = schedule_tagged t ?delay ~tag:0 thunk
 let delay d = if d > 0.0 then perform (Delay d) else ()
 let yield () = perform (Delay 0.0)
 let suspend register = perform (Suspend register)
 
-(* Run [f] as a process: every [Delay]/[Suspend] it performs is handled by
-   scheduling its continuation on this engine.  The handler is deep, so the
-   whole dynamic extent of [f] — including code resumed later from the event
-   loop — stays covered.  Every rescheduled continuation carries the
-   process's [pid] tag, so a picker (see {!set_picker}) can attribute
-   pending events to processes. *)
-let run_process t ~pid ?name:_ f =
-  match_with f ()
-    {
-      retc = (fun () -> ());
-      exnc = (fun e -> if t.failure = None then t.failure <- Some e);
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Delay d ->
-              Some
-                (fun (k : (a, _) continuation) ->
-                  schedule_tagged t ~delay:d ~tag:pid (fun () -> continue k ()))
-          | Suspend register ->
-              Some
-                (fun (k : (a, _) continuation) ->
-                  register (fun () ->
-                      schedule_tagged t ~tag:pid (fun () -> continue k ())))
-          | _ -> None);
-    }
+(* The handler every process runs under.  It is deep, so the whole dynamic
+   extent of a process — including code resumed later from the event loop —
+   stays covered.  [t.running] equals the performing process's pid whenever
+   an effect is performed (the event loop sets it before dispatching), so
+   the one shared record replaces the per-process closure over [pid]; the
+   continuation is stored directly as the event payload, with no wrapper
+   closure per delay. *)
+let handler_of t =
+  match t.handler with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          retc = (fun () -> ());
+          exnc = (fun e -> if t.failure = None then t.failure <- Some e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Delay d ->
+                  Some
+                    (fun (k : (a, _) continuation) ->
+                      push_event t ~delay:d ~tag:t.running (Q.Cont k))
+              | Suspend register ->
+                  Some
+                    (fun (k : (a, _) continuation) ->
+                      let pid = t.running in
+                      register (fun () ->
+                          push_event t ~delay:0.0 ~tag:pid (Q.Cont k)))
+              | _ -> None);
+        }
+      in
+      t.handler <- Some h;
+      h
+
+let run_process t f = match_with f () (handler_of t)
 
 let spawn_tagged t ?(delay = 0.0) ?name f =
   t.next_pid <- t.next_pid + 1;
   let pid = t.next_pid in
   (match name with Some n -> Hashtbl.replace t.names pid n | None -> ());
-  schedule_tagged t ~delay ~tag:pid (fun () -> run_process t ~pid ?name f);
+  schedule_tagged t ~delay ~tag:pid (fun () -> run_process t f);
   pid
 
 let spawn t ?delay ?name f = ignore (spawn_tagged t ?delay ?name f : int)
 
-let execute t ev =
-  t.clock <- ev.time;
-  t.executed <- t.executed + 1;
-  t.running <- ev.tag;
-  ev.thunk ();
+let[@inline] run_payload (p : Q.payload) =
+  match p with Q.Noop -> () | Q.Thunk f -> f () | Q.Cont k -> continue k ()
+
+let[@inline] check_failure t =
   match t.failure with
   | Some e ->
       t.failure <- None;
       raise e
   | None -> ()
 
-(* With a picker installed, every event tied at the earliest pending time is
-   a candidate and the picker chooses which one runs next; the rest go back
-   on the heap with their sequence numbers (and hence their FIFO rank)
-   unchanged. *)
-let pick_and_execute t pick first =
-  let rec collect acc =
-    match Psmr_util.Heap.peek t.events with
-    | Some e when e.time = first.time ->
-        ignore (Psmr_util.Heap.pop t.events : event option);
-        collect (e :: acc)
-    | Some _ | None -> List.rev acc
-  in
-  let candidates = Array.of_list (collect [ first ]) in
+(* Dispatch one event whose fields have already been copied out of the
+   queue. *)
+let[@inline] execute t ~time ~tag payload =
+  t.clock.(0) <- time;
+  t.executed <- t.executed + 1;
+  t.running <- tag;
+  (match t.tracer with None -> () | Some f -> f time tag);
+  run_payload payload;
+  check_failure t
+
+(* --- the picker path (model checker) --- *)
+
+let ensure_scratch t n =
+  if n > Array.length t.sc_seq then begin
+    let cap = ref (2 * Array.length t.sc_seq) in
+    while !cap < n do
+      cap := 2 * !cap
+    done;
+    let grow a fill =
+      let b = Array.make !cap fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    t.sc_seq <- grow t.sc_seq 0;
+    t.sc_tag <- grow t.sc_tag 0;
+    t.sc_pay <- grow t.sc_pay Q.Noop
+  end
+
+(* With a picker installed, every event tied at the earliest pending time
+   is a candidate and the picker chooses which one runs next; the rest are
+   re-enqueued with their sequence numbers (and hence their FIFO rank)
+   unchanged.  The candidates are drained into the reusable scratch in
+   ascending seq order, so re-enqueuing the losers in index order restores
+   them exactly — no sift-ups through the heap for same-time traffic, and
+   when only one event is runnable no candidate array is built at all. *)
+let pick_and_execute t pick time =
+  let n = ref 0 in
+  while (not (Q.is_empty t.q)) && Q.min_time t.q = time do
+    Q.pop t.q;
+    ensure_scratch t (!n + 1);
+    t.sc_seq.(!n) <- t.q.Q.out_seq;
+    t.sc_tag.(!n) <- t.q.Q.out_tag;
+    t.sc_pay.(!n) <- Q.take_payload t.q;
+    incr n
+  done;
+  let n = !n in
   let idx =
-    if Array.length candidates = 1 then 0
+    if n = 1 then 0
     else
-      let i = pick (Array.map (fun e -> e.tag) candidates) in
-      if i < 0 || i >= Array.length candidates then 0 else i
+      let i = pick (Array.init n (fun i -> t.sc_tag.(i))) in
+      if i < 0 || i >= n then 0 else i
   in
-  Array.iteri
-    (fun i e -> if i <> idx then Psmr_util.Heap.add t.events e)
-    candidates;
-  execute t candidates.(idx)
+  (* Losers first, then the winner runs: the winner's own pushes must land
+     after the re-enqueued ties, which their larger seqs guarantee. *)
+  for i = 0 to n - 1 do
+    if i <> idx then
+      Q.push t.q ~now:t.clock.(0) ~time ~seq:t.sc_seq.(i) ~tag:t.sc_tag.(i)
+        t.sc_pay.(i)
+  done;
+  let tag = t.sc_tag.(idx) and payload = t.sc_pay.(idx) in
+  for i = 0 to n - 1 do
+    t.sc_pay.(i) <- Q.Noop
+  done;
+  execute t ~time ~tag payload
 
 let run ?until t =
-  let stop = ref false in
-  while not !stop do
-    match Psmr_util.Heap.peek t.events with
-    | None -> stop := true
-    | Some ev -> (
-        match until with
-        | Some limit when ev.time > limit ->
-            t.clock <- limit;
+  (match t.picker with
+  | Some pick ->
+      let stop = ref false in
+      while not !stop do
+        if Q.is_empty t.q then stop := true
+        else
+          let time = Q.min_time t.q in
+          match until with
+          | Some limit when time > limit ->
+              t.clock.(0) <- limit;
+              stop := true
+          | _ -> pick_and_execute t pick time
+      done
+  | None ->
+      (* The hot loop.  The next-event time is read straight out of the
+         queue arrays (the lane, when occupied, is never later than the
+         heap root), so no float is boxed deciding whether to continue;
+         [Q.pop] moves only immediates and one pointer into its
+         out-fields. *)
+      let q = t.q in
+      let limit = match until with Some l -> l | None -> infinity in
+      let stop = ref false in
+      while not !stop do
+        if q.Q.heap_n = 0 && q.Q.lane_n = 0 then stop := true
+        else begin
+          let time =
+            if q.Q.lane_n > 0 then q.Q.lane_time.(0) else q.Q.heap_time.(0)
+          in
+          if time > limit then begin
+            t.clock.(0) <- limit;
             stop := true
-        | _ -> (
-            match t.picker with
-            | Some pick ->
-                ignore (Psmr_util.Heap.pop t.events : event option);
-                pick_and_execute t pick ev
-            | None ->
-                ignore (Psmr_util.Heap.pop t.events : event option);
-                execute t ev))
-  done;
+          end
+          else begin
+            Q.pop q;
+            let tag = q.Q.out_tag in
+            let payload = Q.take_payload q in
+            execute t ~time ~tag payload
+          end
+        end
+      done);
   match until with
-  | Some limit when t.clock < limit && Psmr_util.Heap.is_empty t.events ->
-      t.clock <- limit
+  | Some limit when t.clock.(0) < limit && Q.is_empty t.q ->
+      t.clock.(0) <- limit
   | _ -> ()
 
 let events_executed t = t.executed

@@ -75,6 +75,13 @@ val set_picker : t -> (int array -> int) option -> unit
 val running_tag : t -> int
 (** Tag of the event currently executing ([0] before the first event). *)
 
+val set_tracer : t -> (float -> int -> unit) option -> unit
+(** [set_tracer t (Some f)] installs an event tracer: [f time tag] is called
+    for every executed event, immediately before its thunk runs.  The tracer
+    must not perform engine effects and must not mutate simulation state —
+    it exists for golden-trace tests and debugging.  Zero events are skipped
+    and the disabled path costs one branch per event. *)
+
 (** {2 Process operations}
 
     These may only be called from inside a process spawned on some engine;

@@ -1,0 +1,297 @@
+(* The engine's monomorphic event queue, laid out for the hot loop: a
+   binary heap in parallel arrays (times unboxed in a [float array] — no
+   per-event cell, no boxed-float indirection in the sift comparisons),
+   a FIFO ring (the "lane") for events at the current virtual time, and
+   out-fields the pop writes into so nothing is allocated handing an
+   event to the caller.
+
+   Routing ([push]): an event at [time <= now] goes to the lane, a future
+   event to the heap.  Popping takes the (time, seq)-least of the two
+   fronts.  Three facts make the split sound, all consequences of how the
+   engine drives the queue (the clock only ever advances to the time of
+   the event being executed, which is always the global minimum):
+
+   - every lane entry's time equals the clock at which it was pushed, and
+     the clock cannot advance past a pending lane entry, so the whole
+     lane sits at one timestamp ([lane_time]), in seq (push) order;
+   - a heap entry never has time below the clock (pushes at or below the
+     clock are routed to the lane; the clock never overtakes a pending
+     event);
+   - at equal time, heap entries beat lane entries: a heap entry at time
+     T was pushed while the clock was still below T, a lane entry at T
+     only after the clock reached T, and [seq] grows with every push.
+
+   So [pop] needs no seq comparison across the two fronts: heap first
+   when its root ties the lane front, lane otherwise.
+
+   The representation is deliberately exposed: [Engine]'s event loop and
+   scheduling path hand-inline these operations so event times never
+   cross a function boundary (every float argument or result of a
+   non-inlined OCaml call is boxed, and at millions of events per second
+   those boxes are the dominant cost).  The functions below are the
+   reference implementation — the picker path and the qcheck oracle in
+   test/test_sim.ml drive the queue through them, and the golden traces
+   hold the engine's inlined copies to the same behavior. *)
+
+open Effect.Deep
+
+type payload =
+  | Noop
+  | Thunk of (unit -> unit)
+  | Cont of (unit, unit) continuation
+
+type t = {
+  (* Binary heap, 0-based, first [heap_n] slots live, ordered by
+     ascending (time, seq).  Four parallel arrays, always the same
+     length. *)
+  mutable heap_time : float array;
+  mutable heap_seq : int array;
+  mutable heap_tag : int array;
+  mutable heap_slot : int array;
+  mutable heap_n : int;
+  (* Heap payloads live out-of-line in [pool_pay], addressed by the int
+     slots the heap orders alongside time/seq/tag.  The sift loops then
+     move only unboxed floats and immediates — a payload pointer is
+     written exactly twice per event (in at push, out at pop), not once
+     per sift level, which keeps the GC write barrier off the hot path. *)
+  mutable pool_pay : payload array;
+  mutable pool_free : int array;  (* stack of free pool slots *)
+  mutable pool_free_n : int;
+  (* Same-time lane: a ring buffer, capacity a power of two.  Every entry
+     shares the one timestamp [lane_time.(0)] (a 1-slot float array keeps
+     the store unboxed). *)
+  lane_time : float array;
+  mutable lane_seq : int array;
+  mutable lane_tag : int array;
+  mutable lane_pay : payload array;
+  mutable lane_head : int;
+  mutable lane_n : int;
+  (* Out-fields of the most recent [pop]: immediates and one pointer, so
+     handing an event over allocates nothing.  The popped time is not
+     surfaced — it is always the [min_time] the caller just read. *)
+  mutable out_seq : int;
+  mutable out_tag : int;
+  mutable out_pay : payload;
+}
+
+let initial_capacity = 256
+
+let create () =
+  {
+    heap_time = Array.make initial_capacity 0.0;
+    heap_seq = Array.make initial_capacity 0;
+    heap_tag = Array.make initial_capacity 0;
+    heap_slot = Array.make initial_capacity 0;
+    heap_n = 0;
+    pool_pay = Array.make initial_capacity Noop;
+    pool_free = Array.init initial_capacity (fun i -> initial_capacity - 1 - i);
+    pool_free_n = initial_capacity;
+    lane_time = Array.make 1 0.0;
+    lane_seq = Array.make initial_capacity 0;
+    lane_tag = Array.make initial_capacity 0;
+    lane_pay = Array.make initial_capacity Noop;
+    lane_head = 0;
+    lane_n = 0;
+    out_seq = 0;
+    out_tag = 0;
+    out_pay = Noop;
+  }
+
+let size q = q.heap_n + q.lane_n
+let is_empty q = q.heap_n = 0 && q.lane_n = 0
+
+let heap_grow q =
+  let n = q.heap_n in
+  let cap = 2 * Array.length q.heap_time in
+  let gt = Array.make cap 0.0
+  and gs = Array.make cap 0
+  and gg = Array.make cap 0
+  and gl = Array.make cap 0 in
+  Array.blit q.heap_time 0 gt 0 n;
+  Array.blit q.heap_seq 0 gs 0 n;
+  Array.blit q.heap_tag 0 gg 0 n;
+  Array.blit q.heap_slot 0 gl 0 n;
+  q.heap_time <- gt;
+  q.heap_seq <- gs;
+  q.heap_tag <- gg;
+  q.heap_slot <- gl
+
+let pool_grow q =
+  let cap = Array.length q.pool_pay in
+  let bigger = 2 * cap in
+  let gp = Array.make bigger Noop in
+  Array.blit q.pool_pay 0 gp 0 cap;
+  q.pool_pay <- gp;
+  let gf = Array.make bigger 0 in
+  Array.blit q.pool_free 0 gf 0 q.pool_free_n;
+  q.pool_free <- gf;
+  (* The new slots join the free stack. *)
+  for slot = cap to bigger - 1 do
+    gf.(q.pool_free_n) <- slot;
+    q.pool_free_n <- q.pool_free_n + 1
+  done
+
+let pool_put q payload =
+  if q.pool_free_n = 0 then pool_grow q;
+  let n = q.pool_free_n - 1 in
+  q.pool_free_n <- n;
+  let slot = Array.unsafe_get q.pool_free n in
+  Array.unsafe_set q.pool_pay slot payload;
+  slot
+
+let pool_take q slot =
+  let p = Array.unsafe_get q.pool_pay slot in
+  Array.unsafe_set q.pool_pay slot Noop;
+  let n = q.pool_free_n in
+  Array.unsafe_set q.pool_free n slot;
+  q.pool_free_n <- n + 1;
+  p
+
+(* The sift loops below use unsafe array access: every index is either a
+   live slot below [heap_n] (arrays are grown before the push) or a
+   masked ring position below the lane capacity, so the bounds are
+   established by construction — and at tens of checked accesses per
+   sift, the redundant checks were the single largest cost in the
+   engine's profile. *)
+
+let heap_push q ~time ~seq ~tag payload =
+  let n = q.heap_n in
+  if n = Array.length q.heap_time then heap_grow q;
+  let slot = pool_put q payload in
+  q.heap_n <- n + 1;
+  let ht = q.heap_time and hs = q.heap_seq in
+  let hg = q.heap_tag and hl = q.heap_slot in
+  (* Hole-based sift-up: walk parents down into the hole, store once. *)
+  let i = ref n in
+  let walking = ref true in
+  while !walking && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pt = Array.unsafe_get ht p in
+    if time < pt || (time = pt && seq < Array.unsafe_get hs p) then begin
+      Array.unsafe_set ht !i pt;
+      Array.unsafe_set hs !i (Array.unsafe_get hs p);
+      Array.unsafe_set hg !i (Array.unsafe_get hg p);
+      Array.unsafe_set hl !i (Array.unsafe_get hl p);
+      i := p
+    end
+    else walking := false
+  done;
+  Array.unsafe_set ht !i time;
+  Array.unsafe_set hs !i seq;
+  Array.unsafe_set hg !i tag;
+  Array.unsafe_set hl !i slot
+
+(* Remove the heap root into the out-fields, then sift the last entry
+   down from the vacated root — hole-based again.  The vacated slot's
+   payload is cleared so the array never pins a dead closure. *)
+let heap_pop q =
+  let ht = q.heap_time and hs = q.heap_seq in
+  let hg = q.heap_tag and hl = q.heap_slot in
+  q.out_seq <- hs.(0);
+  q.out_tag <- hg.(0);
+  q.out_pay <- pool_take q hl.(0);
+  let n = q.heap_n - 1 in
+  q.heap_n <- n;
+  let lt = ht.(n) and ls = hs.(n) in
+  let lg = hg.(n) and lp = hl.(n) in
+  if n > 0 then begin
+    let i = ref 0 in
+    let walking = ref true in
+    while !walking do
+      let l = (2 * !i) + 1 in
+      if l >= n then walking := false
+      else begin
+        let c =
+          if
+            l + 1 < n
+            &&
+            let tl1 = Array.unsafe_get ht (l + 1)
+            and tl = Array.unsafe_get ht l in
+            tl1 < tl
+            || (tl1 = tl && Array.unsafe_get hs (l + 1) < Array.unsafe_get hs l)
+          then l + 1
+          else l
+        in
+        let ct = Array.unsafe_get ht c in
+        if ct < lt || (ct = lt && Array.unsafe_get hs c < ls) then begin
+          Array.unsafe_set ht !i ct;
+          Array.unsafe_set hs !i (Array.unsafe_get hs c);
+          Array.unsafe_set hg !i (Array.unsafe_get hg c);
+          Array.unsafe_set hl !i (Array.unsafe_get hl c);
+          i := c
+        end
+        else walking := false
+      end
+    done;
+    Array.unsafe_set ht !i lt;
+    Array.unsafe_set hs !i ls;
+    Array.unsafe_set hg !i lg;
+    Array.unsafe_set hl !i lp
+  end
+
+let lane_grow q =
+  let cap = Array.length q.lane_seq in
+  let bigger = 2 * cap in
+  let gs = Array.make bigger 0
+  and gg = Array.make bigger 0
+  and gp = Array.make bigger Noop in
+  for i = 0 to q.lane_n - 1 do
+    let j = (q.lane_head + i) land (cap - 1) in
+    gs.(i) <- q.lane_seq.(j);
+    gg.(i) <- q.lane_tag.(j);
+    gp.(i) <- q.lane_pay.(j)
+  done;
+  q.lane_seq <- gs;
+  q.lane_tag <- gg;
+  q.lane_pay <- gp;
+  q.lane_head <- 0
+
+let lane_push q ~time ~seq ~tag payload =
+  if q.lane_n = Array.length q.lane_seq then lane_grow q;
+  let mask = Array.length q.lane_seq - 1 in
+  let j = (q.lane_head + q.lane_n) land mask in
+  Array.unsafe_set q.lane_time 0 time;
+  Array.unsafe_set q.lane_seq j seq;
+  Array.unsafe_set q.lane_tag j tag;
+  Array.unsafe_set q.lane_pay j payload;
+  q.lane_n <- q.lane_n + 1
+
+let lane_pop q =
+  let h = q.lane_head in
+  q.out_seq <- Array.unsafe_get q.lane_seq h;
+  q.out_tag <- Array.unsafe_get q.lane_tag h;
+  q.out_pay <- Array.unsafe_get q.lane_pay h;
+  Array.unsafe_set q.lane_pay h Noop;
+  q.lane_head <- (h + 1) land (Array.length q.lane_seq - 1);
+  q.lane_n <- q.lane_n - 1
+
+let push q ~now ~time ~seq ~tag payload =
+  if time <= now then lane_push q ~time ~seq ~tag payload
+  else heap_push q ~time ~seq ~tag payload
+
+let min_time q =
+  if q.lane_n = 0 then
+    if q.heap_n = 0 then invalid_arg "Event_queue.min_time: empty"
+    else q.heap_time.(0)
+  else if q.heap_n > 0 && q.heap_time.(0) < q.lane_time.(0) then
+    (* Unreachable under the engine's discipline (the lane sits at the
+       clock, which no heap entry is below), but the reference
+       implementation stays correctly ordered for arbitrary drivers. *)
+    q.heap_time.(0)
+  else q.lane_time.(0)
+
+let pop q =
+  if q.lane_n = 0 then begin
+    if q.heap_n = 0 then invalid_arg "Event_queue.pop: empty";
+    heap_pop q
+  end
+  else if q.heap_n > 0 && q.heap_time.(0) <= q.lane_time.(0) then
+    (* Tie: the heap entry was pushed before the clock reached this time,
+       so its seq is the smaller one. *)
+    heap_pop q
+  else lane_pop q
+
+let take_payload q =
+  let p = q.out_pay in
+  q.out_pay <- Noop;
+  p

@@ -1,0 +1,87 @@
+(** The engine's event priority queue, monomorphic and laid out for
+    speed: a binary heap in parallel arrays (event times unboxed in a
+    [float array]), a FIFO ring (the "lane") for events at the current
+    virtual time, and out-fields so popping hands an event over without
+    allocating.
+
+    Total order: ascending [(time, seq)].  The queue relies on the
+    engine's scheduling discipline — [seq] strictly increases across
+    pushes, [now] never decreases, and the clock only advances to the
+    time of the event being executed (the global minimum).  Under that
+    discipline the lane holds exactly the events at the current clock, in
+    seq order, so zero-delay traffic bypasses the heap entirely.  The
+    qcheck oracle in test/test_sim.ml checks the pop order against a
+    sorted list under exactly that discipline.
+
+    The representation is exposed on purpose: {!Engine}'s event loop and
+    scheduling path hand-inline these operations, because a float crossing
+    any non-inlined OCaml function boundary is boxed, and at millions of
+    events per second those boxes dominate.  Treat the fields as owned by
+    the queue: outside [lib/sim], go through the functions. *)
+
+type payload =
+  | Noop  (** a vacated slot; executing it is a no-op *)
+  | Thunk of (unit -> unit)  (** process start, external schedule *)
+  | Cont of (unit, unit) Effect.Deep.continuation
+      (** a parked process: resumed directly, no wrapper closure *)
+
+type t = {
+  mutable heap_time : float array;
+  mutable heap_seq : int array;
+  mutable heap_tag : int array;
+  mutable heap_slot : int array;
+  mutable heap_n : int;
+      (** heap: 0-based, first [heap_n] slots of the four parallel arrays
+          live, ordered by ascending (time, seq); [heap_slot] holds the
+          pool index of each entry's payload *)
+  mutable pool_pay : payload array;
+  mutable pool_free : int array;
+  mutable pool_free_n : int;
+      (** heap payloads, out-of-line so the sift loops move only unboxed
+          floats and immediates (one write-barrier store per event at
+          push, one at pop — not one per sift level); [pool_free] is a
+          stack of the vacant [pool_pay] slots *)
+  lane_time : float array;
+      (** 1 slot — the one timestamp every lane entry shares *)
+  mutable lane_seq : int array;
+  mutable lane_tag : int array;
+  mutable lane_pay : payload array;
+  mutable lane_head : int;
+  mutable lane_n : int;
+      (** lane: ring buffer over the three parallel arrays, capacity a
+          power of two *)
+  mutable out_seq : int;
+  mutable out_tag : int;
+  mutable out_pay : payload;  (** out-fields of the most recent {!pop} *)
+}
+
+val create : unit -> t
+val size : t -> int
+val is_empty : t -> bool
+
+val push : t -> now:float -> time:float -> seq:int -> tag:int -> payload -> unit
+(** Enqueue an event.  [time <= now] routes to the same-time lane (FIFO,
+    no heap sift); [time > now] to the heap.  [seq] must be strictly
+    greater than every previously pushed seq {e except} when re-enqueuing
+    a popped-but-unexecuted event (the checker's tie losers), which keeps
+    its original seq — sound because ties are re-pushed in ascending seq
+    order onto an empty lane, or into the heap which orders by seq. *)
+
+val min_time : t -> float
+(** Time of the next event out.  @raise Invalid_argument when empty. *)
+
+val pop : t -> unit
+(** Remove the [(time, seq)]-least event into [out_seq]/[out_tag]/
+    [out_pay] (its time is the [min_time] just read).  Read [out_pay]
+    via {!take_payload} so the queue does not pin it.
+    @raise Invalid_argument when empty. *)
+
+val take_payload : t -> payload
+(** [out_pay] of the last {!pop}, clearing it so no dead closure or
+    continuation stays reachable from the queue. *)
+
+val heap_push : t -> time:float -> seq:int -> tag:int -> payload -> unit
+(** The two halves of {!push}, exposed for the engine's inlined
+    scheduling path. *)
+
+val lane_push : t -> time:float -> seq:int -> tag:int -> payload -> unit

@@ -1,6 +1,13 @@
+(* Backing store is an ['a option array] so a vacated slot can be
+   dropped to [None]: with a bare ['a array] there is no dummy element,
+   and [pop] would leave the popped value reachable from [data.(size)]
+   until some later [add] overwrote it — a space leak that pins
+   arbitrarily large values (see the Weak-based regression test in
+   test/test_util.ml). *)
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : 'a option array;
   mutable size : int;
 }
 
@@ -10,11 +17,14 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
-let grow t x =
+(* Only called on live slots (< size). *)
+let live t i = match t.data.(i) with Some x -> x | None -> assert false
+
+let grow t =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let ndata = Array.make ncap x in
+    let ndata = Array.make ncap None in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
   end
@@ -22,7 +32,7 @@ let grow t x =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+    if t.cmp (live t i) (live t parent) < 0 then begin
       let tmp = t.data.(i) in
       t.data.(i) <- t.data.(parent);
       t.data.(parent) <- tmp;
@@ -31,16 +41,16 @@ let rec sift_up t i =
   end
 
 let add t x =
-  grow t x;
-  t.data.(t.size) <- x;
+  grow t;
+  t.data.(t.size) <- Some x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if l < t.size && t.cmp (live t l) (live t !smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp (live t r) (live t !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
     let tmp = t.data.(i) in
     t.data.(i) <- t.data.(!smallest);
@@ -48,17 +58,19 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let peek t = if t.size = 0 then None else Some t.data.(0)
+let peek t = if t.size = 0 then None else Some (live t 0)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
+    let top = live t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- None;
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- None;
     Some top
   end
 

@@ -181,6 +181,41 @@ let test_rule_scoping () =
     (hits {|lib\platform\real_platform.ml|});
   Alcotest.(check bool) "other files not exempt" true (hits "lib/sim/y.ml" > 0)
 
+(* the lib/sim extension of the platform rule: any resolved Domain or Unix
+   reference inside the simulator is flagged, except in the sanctioned
+   grid-runner module; outside lib/sim, Domain and non-wall-clock Unix
+   calls remain in scope for the other rules only *)
+let test_sim_domain_scoping () =
+  let flagged p src =
+    List.exists
+      (fun (d : A.Diagnostic.t) -> d.rule = "platform-primitives")
+      (A.Engine.analyze_source ~path:p src)
+  in
+  let domain_src = "let f () = Domain.spawn (fun () -> ())\n" in
+  let unix_src = "let f () = Unix.getpid ()\n" in
+  let wall_src = "let f () = Unix.gettimeofday ()\n" in
+  Alcotest.(check bool)
+    "Domain flagged in lib/sim" true
+    (flagged "lib/sim/engine2.ml" domain_src);
+  Alcotest.(check bool)
+    "Unix (non-wall-clock) flagged in lib/sim" true
+    (flagged "lib/sim/engine2.ml" unix_src);
+  Alcotest.(check bool)
+    "grid_runner.ml exempt from the sim ban" false
+    (flagged "lib/sim/grid_runner.ml" domain_src);
+  Alcotest.(check bool)
+    "grid_runner.mli exempt from the sim ban" false
+    (flagged "lib/sim/grid_runner.mli" domain_src);
+  Alcotest.(check bool)
+    "Domain not flagged outside lib/sim" false
+    (flagged "lib/harness/x.ml" domain_src);
+  Alcotest.(check bool)
+    "non-wall-clock Unix not flagged outside lib/sim" false
+    (flagged "lib/harness/x.ml" unix_src);
+  Alcotest.(check bool)
+    "wall clock still flagged everywhere" true
+    (flagged "lib/harness/x.ml" wall_src)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -200,5 +235,7 @@ let () =
           Alcotest.test_case "rule ids unique" `Quick test_rule_ids_unique;
           Alcotest.test_case "rule scoping + exemptions" `Quick
             test_rule_scoping;
+          Alcotest.test_case "lib/sim Domain/Unix ban" `Quick
+            test_sim_domain_scoping;
         ] );
     ]

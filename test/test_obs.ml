@@ -265,6 +265,62 @@ let test_check_platform_metrics () =
     "every dispatch measured" 6.0
     (get "ready_dispatch_count")
 
+(* The committed benchmark report must carry the engine microbenchmark
+   section (bench/engine_churn.ml): a non-empty [sim_events_per_wall_second]
+   array whose rows each have a name and positive, mutually consistent
+   [events] / [wall_seconds] / [events_per_second] fields, including the
+   [churn_10m] row the fast-path acceptance criterion is read from.  The
+   file is a declared dune dep, so the path resolves inside the sandbox. *)
+let test_bench_engine_schema () =
+  (* dune runtest runs from test/ in the sandbox; dune exec from the
+     project root. *)
+  let path =
+    if Sys.file_exists "../BENCH_cos.json" then "../BENCH_cos.json"
+    else "BENCH_cos.json"
+  in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let doc =
+    match J.parse s with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "BENCH_cos.json does not parse: %s" e
+  in
+  let rows =
+    match J.member "sim_events_per_wall_second" doc with
+    | Some (J.Arr rows) -> rows
+    | _ -> Alcotest.fail "missing sim_events_per_wall_second array"
+  in
+  Alcotest.(check bool) "at least one engine row" true (rows <> []);
+  let names =
+    List.map
+      (fun row ->
+        let name =
+          match Option.bind (J.member "name" row) J.as_str with
+          | Some n -> n
+          | None -> Alcotest.fail "engine row missing string \"name\""
+        in
+        let num field =
+          match Option.bind (J.member field row) J.as_num with
+          | Some v when v > 0.0 -> v
+          | Some _ -> Alcotest.failf "row %s: %S not positive" name field
+          | None -> Alcotest.failf "row %s: missing numeric %S" name field
+        in
+        let events = num "events" in
+        let wall = num "wall_seconds" in
+        let eps = num "events_per_second" in
+        let derived = events /. wall in
+        if abs_float (eps -. derived) /. derived > 0.05 then
+          Alcotest.failf
+            "row %s: events_per_second %.0f inconsistent with events/wall %.0f"
+            name eps derived;
+        name)
+      rows
+  in
+  Alcotest.(check bool)
+    "churn_10m row present" true
+    (List.mem "churn_10m" names)
+
 let per_impl name f =
   List.map
     (fun (impl, label) ->
@@ -287,6 +343,8 @@ let () =
         [
           Alcotest.test_case "metrics JSON block" `Quick test_metrics_schema;
           Alcotest.test_case "chrome trace file" `Quick test_trace_schema;
+          Alcotest.test_case "bench report engine rows" `Quick
+            test_bench_engine_schema;
         ] );
       ( "check-platform",
         [

@@ -80,6 +80,37 @@ let test_heap_pop_exn_empty () =
   Alcotest.check_raises "raises" (Invalid_argument "Heap.pop_exn: empty heap")
     (fun () -> ignore (Heap.pop_exn h : int))
 
+(* Regression: [pop] used to leave the popped element (and the relocated
+   last element's old slot) reachable from the backing array, pinning
+   arbitrarily large values until a later [add] happened to overwrite the
+   slot.  A weak pointer to the popped value must go dead once the value
+   is popped and dropped, even though the heap itself stays alive. *)
+let test_heap_pop_releases () =
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  let w = Weak.create 1 in
+  (* Fill, then register a weak pointer to the minimum's payload and pop
+     it.  The payload is boxed (a bytes blob) so it is weak-trackable. *)
+  for i = 9 downto 0 do
+    Heap.add h (i, Bytes.create 64)
+  done;
+  (match Heap.peek h with
+  | Some (_, payload) -> Weak.set w 0 (Some payload)
+  | None -> Alcotest.fail "heap unexpectedly empty");
+  (match Heap.pop h with
+  | Some (0, _) -> ()
+  | _ -> Alcotest.fail "expected minimum (0, _)");
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check w 0);
+  (* Draining to empty must release the last element too. *)
+  let h2 = Heap.create ~cmp:compare in
+  Heap.add h2 (Bytes.create 64);
+  (match Heap.peek h2 with
+  | Some payload -> Weak.set w 0 (Some payload)
+  | None -> Alcotest.fail "heap unexpectedly empty");
+  ignore (Heap.pop h2 : bytes option);
+  Gc.full_major ();
+  Alcotest.(check bool) "drained payload collected" false (Weak.check w 0)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
     QCheck.(list int)
@@ -222,6 +253,8 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_heap_basic;
           Alcotest.test_case "pop_exn empty" `Quick test_heap_pop_exn_empty;
+          Alcotest.test_case "pop releases elements" `Quick
+            test_heap_pop_releases;
         ] );
       qsuite "heap-props" [ prop_heap_sorts; prop_heap_interleaved ];
       ( "vec",
