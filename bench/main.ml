@@ -200,6 +200,9 @@ type sim_row = {
   s_rendezvous : int;
   s_repairs : int;
   s_revoked : int;
+  s_spec_execs : int;
+  s_rollbacks : int;
+  s_redos : int;
 }
 
 let fig2_spec =
@@ -240,6 +243,9 @@ let compute_point ~smoke c =
         s_rendezvous = r.rendezvous;
         s_repairs = r.repairs;
         s_revoked = r.revoked;
+        s_spec_execs = r.spec_execs;
+        s_rollbacks = r.rollbacks;
+        s_redos = r.redos;
       }
   | None ->
       let ci =
@@ -257,6 +263,9 @@ let compute_point ~smoke c =
         s_rendezvous = 0;
         s_repairs = 0;
         s_revoked = 0;
+        s_spec_execs = 0;
+        s_rollbacks = 0;
+        s_redos = 0;
       }
 
 let sim_memo : (string, sim_row) Hashtbl.t = Hashtbl.create 32
@@ -343,7 +352,8 @@ let keyed_configs =
     }
   in
   [
-    pt "early"; pt "early-opt"; pt ~mis:1.0 "early-opt";
+    pt "early"; pt "early-opt"; pt ~mis:0.1 "early-opt";
+    pt ~mis:1.0 "early-opt"; pt ~mis:5.0 "early-opt";
     pt ~mis:10.0 "early-opt"; pt "indexed"; pt ~batch:16 "indexed";
     pt "lockfree";
   ]
@@ -358,7 +368,9 @@ let sim_keyed ~smoke () =
   [
     ("early", 0.0, pt "early");
     ("early_opt_mis0", 0.0, pt "early-opt");
+    ("early_opt_mis0_1", 0.1, pt ~mis:0.1 "early-opt");
     ("early_opt_mis1", 1.0, pt ~mis:1.0 "early-opt");
+    ("early_opt_mis5", 5.0, pt ~mis:5.0 "early-opt");
     ("early_opt_mis10", 10.0, pt ~mis:10.0 "early-opt");
     ("indexed", 0.0, pt "indexed");
     ("indexed_batch16", 0.0, pt ~batch:16 "indexed");
@@ -493,9 +505,10 @@ let write_json ~path ~micro ~fig2 ~keyed ~faults ~metrics ~engine =
         (Printf.sprintf
            "    { \"name\": \"%s\", \"workers\": 32, \"mis_pct\": %.1f, \
             \"kops\": %.1f, \"direct\": %d, \"rendezvous\": %d, \"repairs\": \
-            %d, \"revoked\": %d }%s\n"
+            %d, \"revoked\": %d, \"spec_execs\": %d, \"rollbacks\": %d, \
+            \"redos\": %d }%s\n"
            (json_escape name) mis r.s_kops r.s_direct r.s_rendezvous
-           r.s_repairs r.s_revoked
+           r.s_repairs r.s_revoked r.s_spec_execs r.s_rollbacks r.s_redos
            (if i = List.length keyed - 1 then "" else ",")))
     keyed;
   Buffer.add_string buf "  ],\n  \"sim_events_per_wall_second\": [\n";
@@ -569,7 +582,7 @@ let validate_json ~path =
               List.iter (fun f -> req_num f row)
                 [
                   "workers"; "mis_pct"; "kops"; "direct"; "rendezvous";
-                  "repairs"; "revoked";
+                  "repairs"; "revoked"; "spec_execs"; "rollbacks"; "redos";
                 ])
             rows
       | None -> fail "member \"keyed_sim_kops\" is not a list");

@@ -19,8 +19,11 @@ open Cmdliner
 module Check = Psmr_checker
 
 (* A check target is either a COS scenario (possibly a planted-bug
-   variant) or an early-scheduling scenario; [repair = false] is the early
-   family's planted bug (the mis-speculation repair scan disabled). *)
+   variant) or an early-scheduling scenario.  The early family has two
+   planted bugs: [repair = false] (mis-speculation repair disabled — the
+   conflict-order oracle's target) and [undo = false] under speculation
+   (rollbacks skip the state restore — the rollback-consistency oracle's
+   target). *)
 type target =
   | Cos_target of Check.Cos_check.target
   | Early_target of {
@@ -28,6 +31,8 @@ type target =
       classes : int option;
       optimistic : bool;
       repair : bool;
+      speculate : bool;
+      undo : bool;
     }
 
 let target_name = function
@@ -60,6 +65,19 @@ let target_conv =
                classes = None;
                optimistic = true;
                repair = false;
+               speculate = false;
+               undo = true;
+             })
+    | "broken-early-noundo" | "early-noundo" ->
+        Ok
+          (Early_target
+             {
+               name = "broken-early-noundo";
+               classes = None;
+               optimistic = true;
+               repair = true;
+               speculate = true;
+               undo = false;
              })
     | s -> (
         match Psmr_early.Registry.of_string s with
@@ -72,6 +90,8 @@ let target_conv =
                    classes = Psmr_early.Registry.classes b;
                    optimistic = Psmr_early.Registry.is_optimistic b;
                    repair = true;
+                   speculate = false;
+                   undo = true;
                  })
         | None -> Error (`Msg (Printf.sprintf "unknown implementation %S" s)))
   in
@@ -87,7 +107,8 @@ let impl_arg =
           "Implementation to check: coarse, fine, lockfree, striped[-K], \
            fifo, indexed, early[-K], early-opt[-K], or a planted-bug \
            variant (broken-wtg-start, broken-lost-signal, \
-           broken-no-sentinel, broken-early-norepair).")
+           broken-no-sentinel, broken-early-norepair, \
+           broken-early-noundo).")
 
 let workers_arg =
   Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N" ~doc:"Worker processes.")
@@ -123,6 +144,17 @@ let mis_arg =
         ~doc:
           "Mis-speculation rate of the optimistic early scenarios: adjacent \
            delivery swaps per position in the speculative stream.")
+
+let spec_arg =
+  Arg.(
+    value & flag
+    & info [ "spec" ]
+        ~doc:
+          "Execution-time speculation for the optimistic early targets: \
+           pending single-queue commands execute against the keyed \
+           register file before their confirmation, and mis-speculations \
+           are repaired by undo + re-execute (checked by the \
+           rollback-consistency oracle).")
 
 let max_size_arg =
   Arg.(
@@ -295,9 +327,9 @@ let print_failure ~replay_cmd (f : Check.Explore.failure) =
   | Some s -> Printf.printf "    replay: %s\n" (replay_cmd s)
   | None -> ()
 
-let run target workers commands writes keys cross mis max_size no_drain crashes
-    no_respawn workload_seed seed schedules dfs bound max_schedules max_steps
-    time_box stop_on_first expect_violation replay trace_out =
+let run target workers commands writes keys cross mis spec max_size no_drain
+    crashes no_respawn workload_seed seed schedules dfs bound max_schedules
+    max_steps time_box stop_on_first expect_violation replay trace_out =
   let name = target_name target in
   (* One runner closure per target family; both produce the shared
      [Cos_check.outcome], so the exploration drivers below don't care which
@@ -315,9 +347,9 @@ let run target workers commands writes keys cross mis max_size no_drain crashes
         let sc =
           Check.Early_check.scenario ~workers ?classes:e.classes ~commands
             ~keys ~write_pct:writes ~cross_pct:cross ~optimistic:e.optimistic
-            ~mis_pct:mis ~repair:e.repair ~max_size
-            ~drain_before_close:(not no_drain) ~crashes
-            ~respawn:(not no_respawn) ~workload_seed ()
+            ~mis_pct:mis ~repair:e.repair ~speculate:(e.speculate || spec)
+            ~undo:e.undo ~max_size ~drain_before_close:(not no_drain)
+            ~crashes ~respawn:(not no_respawn) ~workload_seed ()
         in
         Check.Early_check.run_schedule ~max_steps ~trace sc ~pick
   in
@@ -334,6 +366,7 @@ let run target workers commands writes keys cross mis max_size no_drain crashes
         (if is_early then
            Printf.sprintf " --keys %d --cross %g --mis %g" keys cross mis
          else "");
+        (if spec then " --spec" else "");
         (if no_drain then " --no-drain" else "");
         (match crashes with
         | [] -> ""
@@ -425,8 +458,9 @@ let () =
        (Cmd.v info
           Term.(
             const run $ impl_arg $ workers_arg $ commands_arg $ writes_arg
-            $ keys_arg $ cross_arg $ mis_arg $ max_size_arg $ no_drain_arg
-            $ faults_arg $ no_respawn_arg $ workload_seed_arg $ seed_arg
+            $ keys_arg $ cross_arg $ mis_arg $ spec_arg $ max_size_arg
+            $ no_drain_arg $ faults_arg $ no_respawn_arg $ workload_seed_arg
+            $ seed_arg
             $ schedules_arg $ dfs_arg $ bound_arg $ max_schedules_arg
             $ max_steps_arg $ time_box_arg $ stop_on_first_arg
             $ expect_violation_arg $ replay_arg $ trace_out_arg)))

@@ -48,9 +48,14 @@ let is_lower_ident s =
   | 'a' .. 'z' | '_' -> true
   | _ -> false
 
-(* File-level bindings reachable from [execute] through unqualified
-   references; the fixpoint is over the (binding, referenced-name) pairs
-   the walker already tagged the facts with. *)
+(* File-level bindings reachable from the execution entry points through
+   unqualified references; the fixpoint is over the (binding,
+   referenced-name) pairs the walker already tagged the facts with.  The
+   roots cover the undoable surface too — [execute_undoable] and [undo]
+   replay on every replica during optimistic rollback, so their closure
+   must be exactly as deterministic as [execute]'s. *)
+let execute_roots = [ "execute"; "execute_undoable"; "undo" ]
+
 let reachable_from_execute (facts : Scope.fact list) =
   let refs =
     List.filter_map
@@ -68,13 +73,16 @@ let reachable_from_execute (facts : Scope.fact list) =
     in
     if SSet.equal set' set then set else grow set'
   in
-  grow (SSet.singleton "execute")
+  grow (SSet.of_list execute_roots)
 
 let det_check (input : Rule.input) =
   let facts = input.info.facts in
   let has_execute =
     List.exists
-      (fun (f : Scope.fact) -> f.bound = Some "execute")
+      (fun (f : Scope.fact) ->
+        match f.bound with
+        | Some b -> List.mem b execute_roots
+        | None -> false)
       facts
   in
   if not has_execute then []

@@ -69,6 +69,21 @@ let footprint c =
 
 let conflict = Service_intf.conflict_of_footprint footprint
 
+type undo = (int * int) list
+(* (account, prior balance) for every account a write command touches, in
+   touch order; [] for reads.  Absolute values, so restoring is a plain
+   store — no arithmetic to get wrong on rejected transfers. *)
+
+let execute_undoable t c =
+  let saved =
+    if is_write c then List.map (fun a -> (a, t.balances.(a))) (touches c)
+    else []
+  in
+  let r = execute t c in
+  (r, saved)
+
+let undo t saved = List.iter (fun (a, v) -> t.balances.(a) <- v) saved
+
 let pp_command ppf = function
   | Balance a -> Format.fprintf ppf "balance(%d)" a
   | Deposit (a, v) -> Format.fprintf ppf "deposit(%d,%d)" a v

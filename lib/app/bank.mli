@@ -39,6 +39,17 @@ val conflict : command -> command -> bool
 val footprint : command -> (int * bool) list
 (** The touched accounts, each tagged with {!is_write}. *)
 
+type undo
+(** Inverse of one executed command: the touched accounts' prior
+    balances (see {!Service_intf.UNDOABLE}). *)
+
+val execute_undoable : t -> command -> response * undo
+(** {!execute} plus the inverse record for optimistic rollback. *)
+
+val undo : t -> undo -> unit
+(** Revert one executed command; apply in reverse execution order,
+    exactly once each. *)
+
 val pp_command : Format.formatter -> command -> unit
 val pp_response : Format.formatter -> response -> unit
 

@@ -47,6 +47,19 @@ let footprint c = [ (key c, is_write c) ]
 
 let conflict = Service_intf.conflict_of_footprint footprint
 
+type undo = (int * int option) option
+(* [Some (key, prior slot)] for a Put; [None] for a Get. *)
+
+let execute_undoable t c =
+  match c with
+  | Get _ -> (execute t c, None)
+  | Put (k, _) ->
+      check_key t k;
+      let prior = t.slots.(k) in
+      (execute t c, Some (k, prior))
+
+let undo t = function None -> () | Some (k, prior) -> t.slots.(k) <- prior
+
 let pp_command ppf = function
   | Get k -> Format.fprintf ppf "get(%d)" k
   | Put (k, v) -> Format.fprintf ppf "put(%d,%d)" k v

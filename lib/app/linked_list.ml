@@ -85,6 +85,28 @@ let footprint c = [ (0, is_write c) ]
 
 let conflict = Service_intf.conflict_of_footprint footprint
 
+type undo = Nothing | Unappend of { prev_last : cell option }
+(* A successful [Add] appends one fresh cell at the tail; its inverse
+   truncates the tail and restores the previous last pointer.  Reads and
+   rejected adds leave no trace, so their inverse is [Nothing]. *)
+
+let execute_undoable t c =
+  match c with
+  | Contains _ -> (execute t c, Nothing)
+  | Add _ ->
+      let prev_last = t.last in
+      let r = execute t c in
+      if r then (r, Unappend { prev_last }) else (r, Nothing)
+
+let undo t = function
+  | Nothing -> ()
+  | Unappend { prev_last } ->
+      (match prev_last with
+      | None -> t.first <- None
+      | Some l -> l.next <- None);
+      t.last <- prev_last;
+      t.size <- t.size - 1
+
 let pp_command ppf = function
   | Contains i -> Format.fprintf ppf "contains(%d)" i
   | Add i -> Format.fprintf ppf "add(%d)" i

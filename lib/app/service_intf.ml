@@ -41,6 +41,41 @@ module type S = sig
   val pp_response : Format.formatter -> response -> unit
 end
 
+(** Services that can revert an executed command.
+
+    Optimistic execution (lib/early) runs commands before their final
+    order is known; when the order turns out different, the scheduler
+    must unwind the mis-ordered suffix and re-execute it.  An undoable
+    service captures, at execution time, a per-command inverse record
+    sufficient to restore the pre-execution state exactly.
+
+    All three bundled services implement this with a bounded undo log —
+    the touched variables' prior values — rather than copy-on-write
+    snapshots: footprints are tiny (1–2 keys) so saving prior values is
+    O(|footprint|) and allocation-light, whereas a snapshot would copy
+    the whole state per speculative command (see docs/SCHEDULING.md,
+    "Undo logs, not snapshots"). *)
+module type UNDOABLE = sig
+  include S
+
+  type undo
+  (** The inverse of one executed command: everything needed to restore
+      the state that {!execute_undoable} observed. *)
+
+  val execute_undoable : t -> command -> response * undo
+  (** Execute [command] exactly as {!S.execute} would (same response,
+      same successor state) and additionally capture its inverse.
+      Determinism and the conflict-serialization contract of
+      {!S.execute} apply unchanged. *)
+
+  val undo : t -> undo -> unit
+  (** Revert one executed command: [let _, u = execute_undoable t c in
+      undo t u] leaves [t] equal to its state before the call.  Undo
+      records must be applied in reverse execution order and only to
+      the state they were captured against.  Idempotence is NOT
+      required — apply each record exactly once. *)
+end
+
 (** The one shared derivation of {!S.conflict} from {!S.footprint}: two
     commands conflict iff their footprints share a key that at least one
     of the sharers writes.  Services must define

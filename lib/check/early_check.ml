@@ -5,17 +5,26 @@
     feeding a fixed keyed-footprint command sequence to the class-map
     dispatcher (conservatively in final order, or optimistically in a
     disordered stream confirmed in final order), and the dispatcher's own
-    worker processes looping over their per-class token FIFOs.
-    [run_schedule] executes it once under a given picker and applies the
-    oracles:
+    worker processes looping over their per-class token FIFOs.  With
+    [speculate] on, the commands run against a real keyed register file
+    through the dispatcher's undo capability, so optimistic executions
+    happen before their confirmations and mis-speculations are repaired
+    by undo + re-execute.  [run_schedule] executes the program once under
+    a given picker and applies the oracles:
 
     - {b conflict order}: for every conflicting pair [a] before [b] in
-      final delivery order, [a]'s execution must finish strictly before
-      [b]'s begins — on optimistic runs this is exactly what the repair
-      path must restore, and the deliberately broken [repair = false]
-      variant is caught here;
-    - {b exactly-once}: no command executes twice (revocation must not
-      duplicate work) and, on completed runs, none is lost;
+      final delivery order, [a]'s committed execution must finish
+      strictly before [b]'s begins — on optimistic runs this is exactly
+      what the repair path must restore, and the deliberately broken
+      [repair = false] variant is caught here;
+    - {b rollback consistency}: at quiescence the register file, and the
+      values each committed execution observed, must equal a sequential
+      replay of the commands in final delivery order — a rolled-back
+      write that survives (the [undo = false] planted bug) or a command
+      committed against rolled-back state is caught here;
+    - {b exactly-once}: effects are applied at most once between
+      rollbacks, never after commit, and on completed runs every command
+      commits exactly once with its effects in place;
     - {b class-barrier deadlock}: when the run halts with work left, a
       partially-arrived rendezvous is reported via
       [Dispatch.stalled_barriers] — the signature failure of a worker
@@ -57,8 +66,14 @@ type scenario = {
   mis_pct : float;
   opt_seed : int64;  (* seeds the optimistic disorder, per scenario *)
   repair : bool;
-      (* [false] disables the mis-speculation repair scan — the planted
-         bug the conflict-order oracle must catch under optimism *)
+      (* [false] disables the mis-speculation repair — the planted bug the
+         conflict-order oracle must catch under optimism *)
+  speculate : bool;
+      (* [true]: install the undo-capable execution hook, so pending
+         single-queue tokens execute before confirmation *)
+  undo : bool;
+      (* [false] with [speculate]: rollbacks skip the state restore — the
+         planted bug the rollback-consistency oracle must catch *)
   drain_before_close : bool;
   crashes : (int * int) list;
       (* [(w, k)]: worker [w] crashes at its [k]-th token fetch (1-based),
@@ -70,9 +85,9 @@ type scenario = {
 
 let scenario ?(workers = 3) ?classes ?(commands = 10) ?(keys = 4)
     ?(write_pct = 40.0) ?(cross_pct = 20.0) ?(optimistic = false)
-    ?(mis_pct = 30.0) ?(repair = true) ?(max_size = 8)
-    ?(drain_before_close = true) ?(crashes = []) ?(respawn = true)
-    ~workload_seed () =
+    ?(mis_pct = 30.0) ?(repair = true) ?(speculate = false) ?(undo = true)
+    ?(max_size = 8) ?(drain_before_close = true) ?(crashes = [])
+    ?(respawn = true) ~workload_seed () =
   if workers <= 0 then
     invalid_arg "Early_check.scenario: workers must be positive";
   if commands < 0 then invalid_arg "Early_check.scenario: negative command count";
@@ -107,10 +122,18 @@ let scenario ?(workers = 3) ?classes ?(commands = 10) ?(keys = 4)
     mis_pct;
     opt_seed = Psmr_util.Rng.int64 rng;
     repair;
+    speculate;
+    undo;
     drain_before_close;
     crashes;
     respawn;
   }
+
+(* The register-file effect of command [i] writing over value [v]: an
+   injective-enough mixing step keyed by the command index, so a write
+   applied in the wrong order, applied twice, or surviving a rollback
+   leaves a value no correct history can produce. *)
+let mix v i = (v * 1_000_003) + i + 1
 
 let run_schedule ?(max_steps = 50_000) ?(trace = false) ?(metrics = false) sc
     ~(pick : last:int -> int array -> int) : Cos_check.outcome =
@@ -131,20 +154,77 @@ let run_schedule ?(max_steps = 50_000) ?(trace = false) ?(metrics = false) sc
   let n = Array.length sc.footprints in
   let violations = ref [] in
   let viol fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let keys =
+    Array.fold_left
+      (fun acc fp -> List.fold_left (fun acc (k, _) -> max acc (k + 1)) acc fp)
+      1 sc.footprints
+  in
+  (* The service under test: one integer register per key.  Execution
+     reads every footprint key and mixes written ones; the undo closure
+     restores the written registers.  All bookkeeping is plain mutation —
+     the engine serializes fibers, so these cells are ghost state. *)
+  let state = Array.make keys 0 in
   let started_at = Array.make n (-1) in
   let ended_at = Array.make n (-1) in
-  let exec_count = Array.make n 0 in
+  let execs = Array.make n 0 in
+  let undone = Array.make n 0 in
+  let live = Array.make n false in
+  let committed = Array.make n false in
+  let obs = Array.make n [] in
   let done_sem = P.Semaphore.create 0 in
-  let execute (c : Cmd.t) =
+  (* Shared execution body; [started_at]/[ended_at]/[obs] keep the *last*
+     execution — the committed one on completed runs — so the conflict
+     order and replay oracles judge what actually took effect. *)
+  let apply (c : Cmd.t) =
     let i = c.Cmd.idx in
-    exec_count.(i) <- exec_count.(i) + 1;
-    if exec_count.(i) > 1 then viol "double execution: command %d" i
-    else started_at.(i) <- Check_platform.ticket ctx;
+    execs.(i) <- execs.(i) + 1;
+    if live.(i) then
+      viol "double execution: command %d re-executed without rollback" i;
+    if committed.(i) then viol "command %d re-executed after commit" i;
+    live.(i) <- true;
+    started_at.(i) <- Check_platform.ticket ctx;
+    let saved = ref [] in
+    let seen = ref [] in
+    List.iter
+      (fun (k, w) ->
+        let v = state.(k) in
+        seen := v :: !seen;
+        if w then begin
+          saved := (k, v) :: !saved;
+          state.(k) <- mix v i
+        end)
+      c.Cmd.fp;
+    obs.(i) <- List.rev !seen;
     (* A decision point inside the execution window, so schedules exist in
        which a conflicting command's execution could overlap this one —
        without it the window would be atomic and an overlap unobservable. *)
     P.yield ();
-    if ended_at.(i) < 0 then ended_at.(i) <- Check_platform.ticket ctx;
+    ended_at.(i) <- Check_platform.ticket ctx;
+    !saved
+  in
+  let execute (c : Cmd.t) = ignore (apply c : (int * int) list) in
+  let speculate =
+    if not sc.speculate then None
+    else
+      Some
+        (fun (c : Cmd.t) ->
+          let saved = apply c in
+          fun () ->
+            let i = c.Cmd.idx in
+            undone.(i) <- undone.(i) + 1;
+            if not live.(i) then
+              viol "rollback of command %d whose effects were not applied" i;
+            if committed.(i) then viol "rollback of committed command %d" i;
+            live.(i) <- false;
+            if sc.undo then
+              List.iter (fun (k, v) -> state.(k) <- v) saved)
+  in
+  let on_commit (c : Cmd.t) =
+    let i = c.Cmd.idx in
+    if committed.(i) then viol "double commit: command %d" i;
+    if not live.(i) then
+      viol "commit of command %d whose effects were rolled back" i;
+    committed.(i) <- true;
     P.Semaphore.release done_sem
   in
   let fault ~id ~nth =
@@ -155,7 +235,7 @@ let run_schedule ?(max_steps = 50_000) ?(trace = false) ?(metrics = false) sc
   in
   let d =
     ED.start_full ~max_size:sc.max_size ?classes:sc.classes ~repair:sc.repair
-      ~fault ~workers:sc.workers ~execute ()
+      ?speculate ~on_commit ~fault ~workers:sc.workers ~execute ()
   in
   let inv ~strict () =
     Check_platform.with_ghost ctx (fun () ->
@@ -248,32 +328,71 @@ let run_schedule ?(max_steps = 50_000) ?(trace = false) ?(metrics = false) sc
     end;
     if completed then begin
       Array.iteri
-        (fun i c -> if c = 0 then viol "lost command: %d was never executed" i)
-        exec_count;
+        (fun i c ->
+          if c = 0 then viol "lost command: %d was never executed" i
+          else if not committed.(i) then
+            viol "lost command: %d executed but never committed" i
+          else if not live.(i) then
+            viol "lost command: %d committed with its effects rolled back" i)
+        execs;
+      (* Rollback consistency: the register file and each committed
+         execution's observations must match a sequential replay in final
+         delivery order.  A rolled-back write that survived (no-undo bug)
+         diverges here even when every structural oracle is clean. *)
+      let seq = Array.make keys 0 in
+      Array.iteri
+        (fun i fp ->
+          let seen =
+            List.map
+              (fun (k, w) ->
+                let v = seq.(k) in
+                if w then seq.(k) <- mix v i;
+                v)
+              fp
+          in
+          if committed.(i) && obs.(i) <> seen then
+            viol
+              "rollback consistency: command %d observed [%s], sequential \
+               replay gives [%s]"
+              i
+              (String.concat ";" (List.map string_of_int obs.(i)))
+              (String.concat ";" (List.map string_of_int seen)))
+        sc.footprints;
+      Array.iteri
+        (fun k v ->
+          if state.(k) <> v then
+            viol
+              "rollback consistency: key %d ends at %d, sequential replay \
+               gives %d"
+              k state.(k) v)
+        seq;
       inv ~strict:true ()
     end;
-    (* Conflict order over whatever executed — also meaningful on
-       deadlocked runs. *)
-    for b = 0 to n - 1 do
-      if started_at.(b) >= 0 then
-        for a = 0 to b - 1 do
-          if
-            Cmd.conflict
-              { Cmd.idx = a; fp = sc.footprints.(a) }
-              { Cmd.idx = b; fp = sc.footprints.(b) }
-          then
-            if exec_count.(a) = 0 then
-              viol
-                "conflict order violated: %d executed while conflicting older \
-                 %d was still pending"
-                b a
-            else if ended_at.(a) < 0 || ended_at.(a) >= started_at.(b) then
-              viol
-                "conflict order violated: %d (ended@%d) must precede %d \
-                 (started@%d)"
-                a ended_at.(a) b started_at.(b)
-        done
-    done
+    (* Conflict order over the committed executions — also meaningful on
+       deadlocked runs without execution-time optimism; with it, partial
+       runs may legitimately hold un-repaired speculation, so the oracle
+       only applies at completion. *)
+    if completed || not sc.speculate then
+      for b = 0 to n - 1 do
+        if started_at.(b) >= 0 then
+          for a = 0 to b - 1 do
+            if
+              Cmd.conflict
+                { Cmd.idx = a; fp = sc.footprints.(a) }
+                { Cmd.idx = b; fp = sc.footprints.(b) }
+            then
+              if execs.(a) = 0 then
+                viol
+                  "conflict order violated: %d executed while conflicting \
+                   older %d was still pending"
+                  b a
+              else if ended_at.(a) < 0 || ended_at.(a) >= started_at.(b) then
+                viol
+                  "conflict order violated: %d (ended@%d) must precede %d \
+                   (started@%d)"
+                  a ended_at.(a) b started_at.(b)
+          done
+      done
   end;
   List.iter
     (fun r -> viol "%s" (Format.asprintf "%a" Check_platform.pp_race r))

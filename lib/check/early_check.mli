@@ -1,10 +1,12 @@
 (** Early-scheduling scenario runner and oracles for the controlled
-    scheduler: executes one class-map-dispatch scenario (conservative or
-    optimistic) under a chosen schedule and checks final-order conflict
-    ordering, exactly-once execution, class-barrier deadlock-freedom,
-    data-race freedom and the dispatcher's structural invariants.
-    Outcomes are {!Cos_check.outcome}s, so the [Explore] drivers work
-    unchanged through their [_with] variants. *)
+    scheduler: executes one class-map-dispatch scenario (conservative,
+    optimistic, or optimistic with execution-time speculation over a
+    keyed register file) under a chosen schedule and checks final-order
+    conflict ordering, rollback consistency against a sequential replay,
+    exactly-once commit, class-barrier deadlock-freedom, data-race
+    freedom and the dispatcher's structural invariants.  Outcomes are
+    {!Cos_check.outcome}s, so the [Explore] drivers work unchanged
+    through their [_with] variants. *)
 
 (** Keyed-footprint commands: an index in final delivery order plus the
     [(key, is_write)] footprint; conflict iff a shared key with a
@@ -31,8 +33,15 @@ type scenario = {
   mis_pct : float;
   opt_seed : int64;  (** seeds the optimistic disorder *)
   repair : bool;
-      (** [false] disables the mis-speculation repair scan — the planted
-          bug the conflict-order oracle must catch under optimism *)
+      (** [false] disables the mis-speculation repair — the planted bug
+          the conflict-order oracle must catch under optimism *)
+  speculate : bool;
+      (** [true]: install the dispatcher's undo-capable execution hook, so
+          pending single-queue tokens execute before their confirmation
+          and repairs roll the register file back *)
+  undo : bool;
+      (** [false] with [speculate]: rollbacks skip the register restore —
+          the planted bug the rollback-consistency oracle must catch *)
   drain_before_close : bool;
   crashes : (int * int) list;
       (** [(w, k)]: worker [w] crashes at its [k]-th token fetch (1-based),
@@ -54,6 +63,8 @@ val scenario :
   ?optimistic:bool ->
   ?mis_pct:float ->
   ?repair:bool ->
+  ?speculate:bool ->
+  ?undo:bool ->
   ?max_size:int ->
   ?drain_before_close:bool ->
   ?crashes:(int * int) list ->
@@ -65,8 +76,9 @@ val scenario :
     ([Psmr_workload.Workload.Keyed]); fully determined by [workload_seed]
     and independent of the schedule-exploration seed.  Defaults: 3
     workers, per-worker classes, 10 commands over 4 keys, 40% writes, 20%
-    cross-key, conservative feed, repair on, [max_size] 8, drain before
-    close, no crashes, respawn on. *)
+    cross-key, conservative feed, repair on, no speculation (dispatch-time
+    optimism only), undo on, [max_size] 8, drain before close, no crashes,
+    respawn on. *)
 
 val run_schedule :
   ?max_steps:int ->

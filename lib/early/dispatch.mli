@@ -1,6 +1,9 @@
 (** The early-scheduling execution runtime: per-worker token FIFOs driven
     by a static {!Class_map}, a {!Barrier} rendezvous for cross-class
-    commands, and an optimistic mode with a revoke/re-enqueue repair path.
+    commands, and an optimistic mode that — when the service provides an
+    undo capability — executes speculatively on optimistic delivery and
+    rolls back (undo, then re-execute in committed order) on a
+    confirmation mismatch.
 
     Implements {!Psmr_sched.Sched_intf.BACKEND} (via {!Make.start} with
     default configuration) plus the early-specific surface: configured
@@ -24,6 +27,8 @@ module Make (P : Platform_intf.S) (C : Psmr_cos.Cos_intf.KEYED_COMMAND) : sig
     ?max_size:int ->
     ?classes:int ->
     ?repair:bool ->
+    ?speculate:(cmd -> unit -> unit) ->
+    ?on_commit:(cmd -> unit) ->
     ?fault:(id:int -> nth:int -> Psmr_fault.Fault.worker_action) ->
     workers:int ->
     execute:(cmd -> unit) ->
@@ -32,11 +37,22 @@ module Make (P : Platform_intf.S) (C : Psmr_cos.Cos_intf.KEYED_COMMAND) : sig
   (** Spawn the worker pool.  [max_size] bounds the in-flight window
       (default {!Psmr_cos.Cos_intf.default_max_size}); [classes] sizes the
       class map (default one class per worker); [repair = false] disables
-      the mis-speculation repair scan — a deliberately broken variant the
-      checker's conflict-order oracle must catch; [fault] overrides the
-      per-fetch fault consultation (default: the {!Psmr_fault.Fault}
-      facade, keyed by worker id) — the checker passes logical
-      [(worker, nth-fetch)] crash points here. *)
+      the mis-speculation rollback — a deliberately broken variant the
+      checker's oracles must catch; [speculate cmd] executes [cmd] through
+      the service's undo capability and returns the closure that reverts
+      it — installing it turns pending single-queue tokens into
+      speculative executions (see {!confirm}); [on_commit cmd] runs on the
+      committing thread once [cmd]'s effects are final (never for
+      rolled-back executions) — the replica releases client replies here;
+      [fault] overrides the per-fetch fault consultation (default: the
+      {!Psmr_fault.Fault} facade, keyed by worker id) — the checker passes
+      logical [(worker, nth-fetch)] crash points here.
+
+      Without [speculate], optimistic submissions only position tokens
+      early (dispatch-time optimism): execution still waits for the
+      confirmation, and a repair merely revokes and re-appends.  With
+      [speculate], execution itself is optimistic and a repair becomes
+      undo + re-execute. *)
 
   val start : ?max_size:int -> workers:int -> execute:(cmd -> unit) -> unit -> t
   (** [start_full] with default configuration — the
@@ -59,11 +75,16 @@ module Make (P : Platform_intf.S) (C : Psmr_cos.Cos_intf.KEYED_COMMAND) : sig
 
   val confirm : t -> spec -> unit
   (** Final delivery of an optimistically submitted command.  If its
-      speculated position is consistent with final order (no pending token
-      ahead of it), this is the fast path; otherwise the commands still
-      pending ahead of it are revoked from all their queues and re-appended
-      behind it.  @raise Invalid_argument on double confirmation or on a
-      handle not from {!submit_optimistic}. *)
+      speculated position is consistent with final order (no unconfirmed
+      speculation with a smaller position sharing one of its queues), this
+      is the fast path: already-speculated work is committed in place,
+      queued tokens flip to confirmed.  Otherwise the mis-speculated
+      commands ahead of it are repaired — any speculative executions among
+      them (and the collateral executions stacked above them in the undo
+      logs) are undone in reverse order, the collaterals re-execute
+      against the repaired state, and the victims are revoked and
+      re-appended behind this command.  @raise Invalid_argument on double
+      confirmation or on a handle not from {!submit_optimistic}. *)
 
   val submitted : t -> int
   (** Final-order submissions so far ([submit] calls + confirmations). *)
@@ -73,16 +94,19 @@ module Make (P : Platform_intf.S) (C : Psmr_cos.Cos_intf.KEYED_COMMAND) : sig
   val crashed_workers : t -> int
 
   val dropped : t -> int
-  (** Optimistic submissions never confirmed and discarded at close. *)
+  (** Optimistic submissions never confirmed and discarded at close —
+      including speculative executions undone by {!close} because their
+      confirmation never arrived. *)
 
   val drain : ?poll:float -> t -> unit
 
   val close : t -> unit
   (** Close every worker queue: workers finish the confirmed backlog and
-      exit; pending (unconfirmed) speculations are discarded and counted
-      in {!dropped}.  {!shutdown} is [drain] then [close]; the model
-      checker calls [close] directly because [drain]'s polling loop would
-      spin under a controlled scheduler. *)
+      exit; pending (unconfirmed) speculations are discarded — executed
+      ones undone newest-first — and counted in {!dropped}.  {!shutdown}
+      is [drain] then [close]; the model checker calls [close] directly
+      because [drain]'s polling loop would spin under a controlled
+      scheduler. *)
 
   val shutdown : ?poll:float -> t -> unit
 
@@ -101,6 +125,18 @@ module Make (P : Platform_intf.S) (C : Psmr_cos.Cos_intf.KEYED_COMMAND) : sig
 
   val revoked_count : t -> int
   (** Commands revoked and re-enqueued by those repairs. *)
+
+  val spec_exec_count : t -> int
+  (** Speculative executions performed by workers (commits + rollbacks). *)
+
+  val rollback_count : t -> int
+  (** Executed commands whose effects were undone by repairs. *)
+
+  val redo_count : t -> int
+  (** Re-executions of previously undone commands. *)
+
+  val redo_depth_max : t -> int
+  (** Maximum number of times any single command was executed. *)
 
   (** {2 Ghost diagnostics}
 

@@ -7,7 +7,11 @@
     is driven through the optimistic protocol: commands are generated in
     blocks, optimistically submitted in an order disordered by the
     workload's [mis_pct] (adjacent transpositions, see
-    {!Psmr_early.Spec_stream}), then confirmed in final order. *)
+    {!Psmr_early.Spec_stream}), then confirmed in final order.  The
+    optimistic runs install the dispatcher's speculation hook, so
+    execution happens at optimistic delivery and a mis-speculation costs
+    undo + re-execution; completions are therefore counted at commit
+    time, never for work that is later rolled back. *)
 
 (* Commands as the dispatchers see them: just a footprint; the conflict
    relation is derived from it (shared key with at least one writer). *)
@@ -46,6 +50,10 @@ type result = {
   repairs : int;  (** confirmations that found a mis-speculation *)
   revoked : int;  (** commands revoked and re-enqueued by repairs *)
   dropped : int;  (** speculations never confirmed (0 in steady state) *)
+  spec_execs : int;  (** speculative executions (early-opt; 0 otherwise) *)
+  rollbacks : int;  (** executed commands undone by repairs *)
+  redos : int;  (** re-executions of rolled-back commands *)
+  redo_depth : int;  (** max executions of any single command *)
   metrics : Psmr_obs.Metrics.t option;
 }
 
@@ -100,7 +108,26 @@ let run ~backend ~workers ~(spec : Psmr_workload.Workload.Keyed.spec)
     match (backend : Psmr_early.Registry.backend) with
     | Early cfg ->
         let module D = Psmr_early.Dispatch.Make (SP) (Cmd) in
-        let d = D.start_full ?max_size ?classes:cfg.classes ~workers ~execute () in
+        (* Execution-time optimism: execution charges its CPU cost whether
+           speculative or committed, the undo itself is a store-back
+           (negligible next to execution, and the rollback sweep already
+           charges dispatcher work), and only commits count as completed —
+           work that is rolled back must not inflate throughput. *)
+        let exec_cost c =
+          Psmr_sim.Sim_sync.Cpu.use cpu
+            (Model.exec_cost spec.cost ~is_write:(Cmd.is_write c))
+        in
+        let speculate, on_commit, execute =
+          if cfg.optimistic then
+            ( Some (fun c -> exec_cost c; fun () -> ()),
+              Some (fun (_ : Cmd.t) -> if !measuring then incr completed),
+              exec_cost )
+          else (None, None, execute)
+        in
+        let d =
+          D.start_full ?max_size ?classes:cfg.classes ?speculate ?on_commit
+            ~workers ~execute ()
+        in
         let feed =
           if not cfg.optimistic then
             if batch <= 1 then
@@ -115,31 +142,53 @@ let run ~backend ~workers ~(spec : Psmr_workload.Workload.Keyed.spec)
                 loop ()
               in
               loop
-          else
-            (* Optimistic protocol: per block, submit in disordered
-               (optimistic) order, confirm in final order. *)
+          else begin
+            (* Optimistic protocol, pipelined like the replica's two
+               delivery streams: optimistic delivery (submission in the
+               disordered order) and final delivery (confirmation in
+               final order) are separate simulated processes coupled by
+               a block channel, with the dispatcher window as the only
+               backpressure.  Serializing confirm behind submit in one
+               feeder thread is exactly the 2x hot-path regression this
+               layout fixes: both streams cost ~1us of feeder time per
+               command, so interleaving them halves the submission rate
+               even at 0% mis-speculation. *)
             let order = Array.init opt_block Fun.id in
-            let specs = Array.make opt_block None in
-            let finals = Array.make opt_block None in
+            let ch = Queue.create () in
+            let ch_m = SP.Mutex.create () in
+            let ch_cv = SP.Condition.create () in
+            Psmr_sim.Engine.spawn engine ~name:"confirmer" (fun () ->
+                let rec loop () =
+                  SP.Mutex.lock ch_m;
+                  while Queue.is_empty ch do
+                    SP.Condition.wait ch_cv ch_m
+                  done;
+                  let block = Queue.pop ch in
+                  SP.Mutex.unlock ch_m;
+                  Array.iter (fun e -> D.confirm d e) block;
+                  loop ()
+                in
+                loop ());
             let rec loop () =
-              for i = 0 to opt_block - 1 do
-                finals.(i) <- Some (gen spec rng)
-              done;
+              let finals = Array.init opt_block (fun _ -> gen spec rng) in
               let opt_order =
                 Psmr_early.Spec_stream.disorder ~swap_pct:spec.mis_pct
                   ~rng:srng order
               in
+              let entries = Array.make opt_block None in
               Array.iter
                 (fun i ->
-                  specs.(i) <-
-                    Some (D.submit_optimistic d (Option.get finals.(i))))
+                  entries.(i) <- Some (D.submit_optimistic d finals.(i)))
                 opt_order;
-              for i = 0 to opt_block - 1 do
-                D.confirm d (Option.get specs.(i))
-              done;
+              let block = Array.map Option.get entries in
+              SP.Mutex.lock ch_m;
+              Queue.push block ch;
+              SP.Condition.signal ch_cv;
+              SP.Mutex.unlock ch_m;
               loop ()
             in
             loop
+          end
         in
         ( feed,
           (fun () -> D.in_flight d),
@@ -149,7 +198,11 @@ let run ~backend ~workers ~(spec : Psmr_workload.Workload.Keyed.spec)
               D.rendezvous_count d,
               D.repair_count d,
               D.revoked_count d,
-              D.dropped d ) )
+              D.dropped d,
+              D.spec_exec_count d,
+              D.rollback_count d,
+              D.redo_count d,
+              D.redo_depth_max d ) )
     | Cos _ ->
         let (module Bk) =
           Psmr_early.Registry.instantiate backend (module SP) (module Cmd)
@@ -172,7 +225,7 @@ let run ~backend ~workers ~(spec : Psmr_workload.Workload.Keyed.spec)
         ( loop,
           (fun () -> Bk.in_flight b),
           (fun () -> Bk.crashed_workers b),
-          fun () -> (0, 0, 0, 0, 0) )
+          fun () -> (0, 0, 0, 0, 0, 0, 0, 0, 0) )
   in
   Psmr_sim.Engine.spawn engine ~name:"feeder" feed;
   let pop_sum = ref 0 and pop_n = ref 0 in
@@ -195,7 +248,17 @@ let run ~backend ~workers ~(spec : Psmr_workload.Workload.Keyed.spec)
       if Option.is_some registry then Psmr_obs.Metrics.disable ())
     (fun () -> Psmr_sim.Engine.run ~until:(warmup +. duration) engine);
   let wall_seconds = Psmr_sim.Grid_runner.wall_now () -. wall0 in
-  let direct, rendezvous, repairs, revoked, dropped = stats () in
+  let ( direct,
+        rendezvous,
+        repairs,
+        revoked,
+        dropped,
+        spec_execs,
+        rollbacks,
+        redos,
+        redo_depth ) =
+    stats ()
+  in
   {
     kops = float_of_int !completed /. duration /. 1000.0;
     executed = !completed;
@@ -210,5 +273,9 @@ let run ~backend ~workers ~(spec : Psmr_workload.Workload.Keyed.spec)
     repairs;
     revoked;
     dropped;
+    spec_execs;
+    rollbacks;
+    redos;
+    redo_depth;
     metrics = registry;
   }

@@ -3,7 +3,10 @@
     early-scheduling family is raced against the COS family on identical
     workloads and costs.  The [early-opt] backend is driven through the
     optimistic submit/confirm protocol with the workload's mis-speculation
-    rate; everything else through the generic conservative path. *)
+    rate — with the speculation hook installed, so commands execute at
+    optimistic delivery, mis-speculations cost undo + re-execution, and
+    only commits count as completed; everything else through the generic
+    conservative path. *)
 
 (** Footprint-only commands: conflict iff a shared key with a writer. *)
 module Cmd : sig
@@ -30,6 +33,10 @@ type result = {
   repairs : int;  (** confirmations that found a mis-speculation *)
   revoked : int;  (** commands revoked and re-enqueued by repairs *)
   dropped : int;  (** speculations never confirmed (0 in steady state) *)
+  spec_execs : int;  (** speculative executions (early-opt; 0 otherwise) *)
+  rollbacks : int;  (** executed commands undone by repairs *)
+  redos : int;  (** re-executions of rolled-back commands *)
+  redo_depth : int;  (** max executions of any single command *)
   metrics : Psmr_obs.Metrics.t option;
 }
 

@@ -72,6 +72,11 @@ type counters = {
   mutable spec_confirms : int;  (* optimistic deliveries confirmed in place *)
   mutable spec_repairs : int;  (* confirmations that found a mis-speculation *)
   mutable spec_revoked : int;  (* commands revoked and re-enqueued by repair *)
+  mutable spec_execs : int;  (* commands executed speculatively *)
+  mutable spec_rollbacks : int;  (* rollback events (repairs that undid work) *)
+  mutable spec_undone : int;  (* executed commands undone by those rollbacks *)
+  mutable spec_redos : int;  (* re-executions after a rollback *)
+  mutable spec_redo_depth : int;  (* max executions of any single command *)
 }
 
 let fresh_counters () =
@@ -121,6 +126,11 @@ let fresh_counters () =
     spec_confirms = 0;
     spec_repairs = 0;
     spec_revoked = 0;
+    spec_execs = 0;
+    spec_rollbacks = 0;
+    spec_undone = 0;
+    spec_redos = 0;
+    spec_redo_depth = 0;
   }
 
 type t = {
@@ -221,6 +231,11 @@ let assoc t =
     i "spec_confirms" c.spec_confirms;
     i "spec_repairs" c.spec_repairs;
     i "spec_revoked" c.spec_revoked;
+    i "spec_execs" c.spec_execs;
+    i "spec_rollbacks" c.spec_rollbacks;
+    i "spec_undone" c.spec_undone;
+    i "spec_redos" c.spec_redos;
+    i "spec_redo_depth" c.spec_redo_depth;
   ]
   @ List.concat_map
       (fun (name, h) ->

@@ -53,6 +53,11 @@ type counters = {
   mutable spec_confirms : int;
   mutable spec_repairs : int;
   mutable spec_revoked : int;
+  mutable spec_execs : int;
+  mutable spec_rollbacks : int;
+  mutable spec_undone : int;
+  mutable spec_redos : int;
+  mutable spec_redo_depth : int;
 }
 
 type t

@@ -239,6 +239,29 @@ let spec_repair ~revoked =
       c.spec_repairs <- c.spec_repairs + 1;
       c.spec_revoked <- c.spec_revoked + revoked
 
+let spec_exec () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.spec_execs <- c.spec_execs + 1
+
+let spec_rollback ~undone =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.spec_rollbacks <- c.spec_rollbacks + 1;
+      c.spec_undone <- c.spec_undone + undone
+
+let spec_redo ~depth =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.spec_redos <- c.spec_redos + 1;
+      if depth > c.spec_redo_depth then c.spec_redo_depth <- depth
+
 (* ------------------------------------------------------------------ *)
 (* Per-command latency pipeline.                                       *)
 

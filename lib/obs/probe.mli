@@ -93,6 +93,19 @@ val spec_repair : revoked:int -> unit
 (** One confirmation that detected a mis-speculation; [revoked] commands
     were pulled out of their queues and re-enqueued behind it. *)
 
+val spec_exec : unit -> unit
+(** One command executed speculatively (before its order was confirmed). *)
+
+val spec_rollback : undone:int -> unit
+(** One rollback event: a confirmation arrived below outstanding
+    speculations, and [undone] already-executed commands had their effects
+    reverted via the service undo log. *)
+
+val spec_redo : depth:int -> unit
+(** One re-execution of a previously rolled-back command; [depth] is the
+    total number of times that command has now been executed (2 for the
+    first redo).  The registry keeps the maximum observed depth. *)
+
 (** {1 Per-command latency pipeline} *)
 
 val ready_latency : float -> unit

@@ -28,6 +28,11 @@ type mode =
   | Parallel_early of { workers : int; classes : int option }
       (** class-map dispatcher (conservative early scheduling);
           [classes = None] means one class per worker *)
+  | Parallel_early_opt of { workers : int; classes : int option }
+      (** class-map dispatcher driven through the optimistic protocol
+          with execution-time speculation: commands execute as soon as
+          they are dispatched and replies are withheld until the commit
+          (requires [Deployment.config.opt_execute]) *)
 
 let mode_label = function
   | Sequential -> "sequential SMR"
@@ -37,6 +42,11 @@ let mode_label = function
       Printf.sprintf "%s, %d workers"
         (Psmr_early.Registry.to_string
            (Psmr_early.Registry.Early { classes; optimistic = false }))
+        workers
+  | Parallel_early_opt { workers; classes } ->
+      Printf.sprintf "%s, %d workers"
+        (Psmr_early.Registry.to_string
+           (Psmr_early.Registry.Early { classes; optimistic = true }))
         workers
 
 module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
@@ -168,6 +178,78 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
       exec_executed = (fun () -> B.executed b);
     }
 
+  (* The optimistic early dispatcher: execution starts at submission
+     through the service's undo capability, mis-speculations roll back,
+     and the reply to the client is withheld until the command commits at
+     its confirmed final-order position — a speculative response must
+     never escape the replica.  Responses are stashed per (client, rid)
+     between execution and commit; a re-execution after a rollback simply
+     overwrites the stale stash entry.
+
+     The replica delivers in final order only, so the parallelizer feeds
+     each delivered batch through [submit_optimistic] and confirms it in
+     the same order: ordering mis-speculation cannot arise at this layer,
+     but execution overlaps the remaining submissions and confirmations
+     exactly as in the standalone optimistic harness. *)
+  let early_opt_executor ~workers ~classes ~max_size ~service ~opt_execute
+      ~replica_id ~net ~cache ~cache_mutex =
+    let (module B : Psmr_sched.Sched_intf.OPT_BACKEND with type cmd = envelope)
+        =
+      Psmr_early.Registry.instantiate_opt
+        (Psmr_early.Registry.Early { classes; optimistic = true })
+        (module P) (module Env_cmd)
+    in
+    let stash : (int * int, S.response) Hashtbl.t = Hashtbl.create 64 in
+    let stash_m = P.Mutex.create () in
+    let stash_put (e : envelope) resp =
+      P.Mutex.lock stash_m;
+      Hashtbl.replace stash (e.client, e.rid) resp;
+      P.Mutex.unlock stash_m
+    in
+    let run (e : envelope) =
+      let resp, undo = opt_execute service e.cmd in
+      stash_put e resp;
+      undo
+    in
+    let on_commit (e : envelope) =
+      P.Mutex.lock stash_m;
+      let resp = Hashtbl.find_opt stash (e.client, e.rid) in
+      Hashtbl.remove stash (e.client, e.rid);
+      P.Mutex.unlock stash_m;
+      match resp with
+      | None ->
+          (* Commit fires after the execution that stashed the response,
+             on the same worker (or after a handoff that orders them). *)
+          assert false
+      | Some resp ->
+          P.Mutex.lock cache_mutex;
+          cache_store cache e.client e.rid resp;
+          P.Mutex.unlock cache_mutex;
+          Net.send net ~src:replica_id ~dst:e.client
+            (Reply { rid = e.rid; resp; replica = replica_id })
+    in
+    let b =
+      B.start_opt ?max_size ~speculate:run
+        ~on_commit ~workers
+        ~execute:(fun e -> ignore (run e : unit -> unit))
+        ()
+    in
+    {
+      exec_submit =
+        (fun e ->
+          let sp = B.submit_optimistic b e in
+          B.confirm b sp);
+      exec_submit_batch =
+        (fun es ->
+          (* The whole batch is optimistically in flight before its first
+             confirmation. *)
+          let sps = Array.map (fun e -> B.submit_optimistic b e) es in
+          Array.iter (fun sp -> B.confirm b sp) sps);
+      exec_drain = (fun () -> B.drain b);
+      exec_shutdown = (fun () -> B.shutdown b);
+      exec_executed = (fun () -> B.executed b);
+    }
+
   (* --- replica --- *)
 
   (* Work items for the parallelizer thread.  Snapshot operations ride the
@@ -289,6 +371,12 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
       client_timeout : float;
       latency : src:int -> dst:int -> float;
       make_service : int -> S.t;  (** fresh service state for replica [i] *)
+      opt_execute :
+        (S.t -> S.command -> S.response * (unit -> unit)) option;
+          (** execute-with-undo for {!Parallel_early_opt}: run the command
+              and return its response plus the closure that reverts it
+              (wrap an {!Psmr_app.Service_intf.UNDOABLE} service's
+              [execute_undoable]/[undo] pair) *)
     }
 
     let default_config ~make_service () =
@@ -302,6 +390,7 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
         client_timeout = 0.5;
         latency = (fun ~src:_ ~dst:_ -> 0.0);
         make_service;
+        opt_execute = None;
       }
 
     type t = {
@@ -343,6 +432,17 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
               | Parallel_early { workers; classes } ->
                   early_executor ~workers ~classes ~max_size:cfg.cos_max_size
                     ~apply
+              | Parallel_early_opt { workers; classes } ->
+                  let opt_execute =
+                    match cfg.opt_execute with
+                    | Some f -> f
+                    | None ->
+                        invalid_arg
+                          "Deployment: Parallel_early_opt requires opt_execute"
+                  in
+                  early_opt_executor ~workers ~classes
+                    ~max_size:cfg.cos_max_size ~service ~opt_execute
+                    ~replica_id:id ~net ~cache ~cache_mutex
             in
             let delivered_commands = P.Atomic.make 0 in
             (* The parallelizer stage (Figure 1b) is its own thread: the

@@ -17,6 +17,12 @@ type mode =
   | Parallel_early of { workers : int; classes : int option }
       (** early-scheduling class-map dispatcher, conservative feed;
           [classes = None] means one class per worker *)
+  | Parallel_early_opt of { workers : int; classes : int option }
+      (** class-map dispatcher driven through the optimistic protocol with
+          execution-time speculation: commands execute as soon as they are
+          dispatched, mis-speculations roll back through the service's
+          undo capability, and replies are withheld until commit.
+          Requires {!Make.Deployment.config.opt_execute}. *)
 
 val mode_label : mode -> string
 
@@ -64,10 +70,19 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) : sig
       client_timeout : float;
       latency : src:int -> dst:int -> float;
       make_service : int -> S.t;  (** fresh service state for replica [i] *)
+      opt_execute :
+        (S.t -> S.command -> S.response * (unit -> unit)) option;
+          (** execute-with-undo for {!Parallel_early_opt}: run the command
+              and return its response plus the closure that reverts it —
+              wrap an {!Psmr_app.Service_intf.UNDOABLE} service's
+              [execute_undoable]/[undo] pair.  Ignored by other modes;
+              [create] rejects a [Parallel_early_opt] deployment without
+              it. *)
     }
 
     val default_config : make_service:(int -> S.t) -> unit -> config
-    (** 3 replicas, 1 client, sequential mode, zero latency. *)
+    (** 3 replicas, 1 client, sequential mode, zero latency;
+        [opt_execute = None]. *)
 
     type t
 

@@ -75,7 +75,9 @@ module Keyed = struct
     { keys = 4096; write_pct = 10.0; cross_pct = 2.0; cost = Light; mis_pct = 0.0 }
 
   let pp ppf s =
-    Format.fprintf ppf "%dk/%s/%.0f%%w/%.0f%%x/%.0f%%mis" s.keys
+    (* %g: fractional rates (e.g. the 0.1% mis sweep point) must not
+       round into a neighbour — this string keys the bench memo. *)
+    Format.fprintf ppf "%dk/%s/%g%%w/%g%%x/%g%%mis" s.keys
       (cost_label s.cost) s.write_pct s.cross_pct s.mis_pct
 
   (** Draw the next command footprint. *)

@@ -1,0 +1,27 @@
+(* Nondeterminism hiding in the undo path: [execute] itself is clean, but
+   the rollback surface ([execute_undoable]/[undo]) replays on every
+   replica, so the Random in [undo_helper] and the wall-clock in
+   [execute_undoable] are flagged exactly like execute-reachable code. *)
+
+type t = int array
+
+type command = Bump of int
+
+type response = int
+
+type undo = int * int
+
+let execute (t : t) (Bump i) =
+  t.(i) <- t.(i) + 1;
+  t.(i)
+
+let execute_undoable (t : t) (Bump i as c) =
+  let prev = t.(i) in
+  ignore (Sys.time () : float);
+  (execute t c, (i, prev))
+
+let undo_helper () = Random.int 2
+
+let undo (t : t) ((i, prev) : undo) =
+  ignore (undo_helper () : int);
+  t.(i) <- prev

@@ -305,6 +305,172 @@ let test_fifo_scheduler_end_to_end () =
   Alcotest.(check (list int)) "sequential order despite 4 workers"
     (List.init 100 Fun.id) (List.rev !order)
 
+(* --- the undo capability (optimistic rollback support) --- *)
+
+(* Seeded random command streams per service, shared by the undo tests. *)
+let gen_kv_cmds rng n =
+  Array.init n (fun i ->
+      let k = Psmr_util.Rng.int rng 8 in
+      if Psmr_util.Rng.below_percent rng 50.0 then KV.Put (k, i) else KV.Get k)
+
+let gen_bank_cmds rng n =
+  Array.init n (fun _ ->
+      let a = Psmr_util.Rng.int rng 6 and b = Psmr_util.Rng.int rng 6 in
+      let amount = Psmr_util.Rng.int rng 30 in
+      match Psmr_util.Rng.int rng 3 with
+      | 0 -> Bank.Balance a
+      | 1 -> Bank.Deposit (a, amount)
+      | _ -> Bank.Transfer { src = a; dst = b; amount })
+
+let gen_ll_cmds rng n =
+  Array.init n (fun _ ->
+      let t = Psmr_util.Rng.int rng 40 in
+      if Psmr_util.Rng.bool rng then LL.Add t else LL.Contains t)
+
+(* undo . do = id: execute a whole random stream through the undoable
+   path, unwind it in reverse execution order, and require the snapshot
+   back byte-identical — for every service.  Responses along the way must
+   match the plain [execute] on a twin state (the undoable path may not
+   change semantics). *)
+let undo_do_id (type st cmd resp u) ~name ~fresh ~snapshot
+    ~(execute : st -> cmd -> resp)
+    ~(execute_undoable : st -> cmd -> resp * u) ~(undo : st -> u -> unit)
+    (cmds : cmd array) =
+  let s : st = fresh () and twin : st = fresh () in
+  let s0 = snapshot s in
+  let undos =
+    Array.map
+      (fun c ->
+        let resp, u = execute_undoable s c in
+        if resp <> execute twin c then
+          Alcotest.failf "%s: undoable response diverged" name;
+        u)
+      cmds
+  in
+  for i = Array.length undos - 1 downto 0 do
+    undo s undos.(i)
+  done;
+  Alcotest.(check string)
+    (name ^ ": snapshot restored by full unwind")
+    s0 (snapshot s)
+
+let test_kv_undo_do_id () =
+  let rng = Psmr_util.Rng.create ~seed:81L in
+  undo_do_id ~name:"kv"
+    ~fresh:(fun () -> KV.create ~capacity:8)
+    ~snapshot:KV.snapshot ~execute:KV.execute
+    ~execute_undoable:KV.execute_undoable ~undo:KV.undo (gen_kv_cmds rng 200)
+
+let test_bank_undo_do_id () =
+  let rng = Psmr_util.Rng.create ~seed:82L in
+  undo_do_id ~name:"bank"
+    ~fresh:(fun () -> Bank.create ~accounts:6 ~initial_balance:50)
+    ~snapshot:Bank.snapshot ~execute:Bank.execute
+    ~execute_undoable:Bank.execute_undoable ~undo:Bank.undo
+    (gen_bank_cmds rng 200)
+
+let test_ll_undo_do_id () =
+  let rng = Psmr_util.Rng.create ~seed:83L in
+  undo_do_id ~name:"linked list"
+    ~fresh:(fun () -> LL.create ~initial_size:20)
+    ~snapshot:LL.snapshot ~execute:LL.execute
+    ~execute_undoable:LL.execute_undoable ~undo:LL.undo (gen_ll_cmds rng 200)
+
+(* Redo idempotence: do / undo / redo any number of times lands on the
+   same response and the same state as the first execution — re-execution
+   after a rollback must be invisible. *)
+let redo_idempotent (type st cmd resp u) ~name ~fresh ~snapshot
+    ~(execute_undoable : st -> cmd -> resp * u) ~(undo : st -> u -> unit)
+    (cmds : cmd array) =
+  let s : st = fresh () in
+  Array.iter
+    (fun c ->
+      let r1, u1 = execute_undoable s c in
+      let after = snapshot s in
+      undo s u1;
+      let last_u = ref None in
+      for _ = 1 to 3 do
+        (match !last_u with None -> () | Some u -> undo s u);
+        let r, u = execute_undoable s c in
+        if r <> r1 then Alcotest.failf "%s: redo changed the response" name;
+        if snapshot s <> after then
+          Alcotest.failf "%s: redo changed the state" name;
+        last_u := Some u
+      done)
+    cmds;
+  ignore (snapshot s : string)
+
+let test_kv_redo_idempotent () =
+  let rng = Psmr_util.Rng.create ~seed:84L in
+  redo_idempotent ~name:"kv"
+    ~fresh:(fun () -> KV.create ~capacity:8)
+    ~snapshot:KV.snapshot ~execute_undoable:KV.execute_undoable ~undo:KV.undo
+    (gen_kv_cmds rng 120)
+
+let test_bank_redo_idempotent () =
+  let rng = Psmr_util.Rng.create ~seed:85L in
+  redo_idempotent ~name:"bank"
+    ~fresh:(fun () -> Bank.create ~accounts:6 ~initial_balance:50)
+    ~snapshot:Bank.snapshot ~execute_undoable:Bank.execute_undoable
+    ~undo:Bank.undo (gen_bank_cmds rng 120)
+
+let test_ll_redo_idempotent () =
+  let rng = Psmr_util.Rng.create ~seed:86L in
+  redo_idempotent ~name:"linked list"
+    ~fresh:(fun () -> LL.create ~initial_size:20)
+    ~snapshot:LL.snapshot ~execute_undoable:LL.execute_undoable ~undo:LL.undo
+    (gen_ll_cmds rng 120)
+
+(* Snapshot / undo interaction, the way the recovery path composes them: a
+   checkpoint is cut at a command boundary, speculative execution runs
+   past it, and a rollback must land exactly back on the checkpoint — so
+   that a replica recovering from that checkpoint and replaying the suffix
+   reaches the same state the optimistic run reaches after repair. *)
+let test_kv_undo_back_to_checkpoint () =
+  let rng = Psmr_util.Rng.create ~seed:87L in
+  let prefix = gen_kv_cmds rng 60 and suffix = gen_kv_cmds rng 40 in
+  let s = KV.create ~capacity:8 in
+  Array.iter (fun c -> ignore (KV.execute s c : KV.response)) prefix;
+  let checkpoint = KV.snapshot s in
+  let undos = Array.map (fun c -> snd (KV.execute_undoable s c)) suffix in
+  let speculative = KV.snapshot s in
+  for i = Array.length undos - 1 downto 0 do
+    KV.undo s undos.(i)
+  done;
+  Alcotest.(check string) "rollback lands on the checkpoint" checkpoint
+    (KV.snapshot s);
+  (* Recover a fresh replica from the checkpoint and replay the suffix:
+     same state as the speculative execution it replaces. *)
+  let r = KV.create ~capacity:8 in
+  KV.restore r checkpoint;
+  Array.iter (fun c -> ignore (KV.execute r c : KV.response)) suffix;
+  Alcotest.(check string) "checkpoint + replay = speculative execution"
+    speculative (KV.snapshot r);
+  (* And the rolled-back replica re-executing the suffix converges too —
+     the undo log left no residue behind the snapshot. *)
+  Array.iter (fun c -> ignore (KV.execute s c : KV.response)) suffix;
+  Alcotest.(check string) "rollback + re-execution converges" speculative
+    (KV.snapshot s)
+
+let test_bank_undo_back_to_checkpoint () =
+  let rng = Psmr_util.Rng.create ~seed:88L in
+  let prefix = gen_bank_cmds rng 60 and suffix = gen_bank_cmds rng 40 in
+  let s = Bank.create ~accounts:6 ~initial_balance:50 in
+  Array.iter (fun c -> ignore (Bank.execute s c : Bank.response)) prefix;
+  let checkpoint = Bank.snapshot s in
+  let undos = Array.map (fun c -> snd (Bank.execute_undoable s c)) suffix in
+  let speculative = Bank.snapshot s in
+  for i = Array.length undos - 1 downto 0 do
+    Bank.undo s undos.(i)
+  done;
+  Alcotest.(check string) "rollback lands on the checkpoint" checkpoint
+    (Bank.snapshot s);
+  let r = Bank.create ~accounts:6 ~initial_balance:0 in
+  Bank.restore r checkpoint;
+  Array.iter (fun c -> ignore (Bank.execute r c : Bank.response)) suffix;
+  Alcotest.(check string) "checkpoint + replay = speculative execution"
+    speculative (Bank.snapshot r)
+
 let () =
   Alcotest.run "app"
     [
@@ -344,6 +510,23 @@ let () =
           Alcotest.test_case "bank roundtrip" `Quick test_bank_snapshot_roundtrip;
           Alcotest.test_case "costed list roundtrip" `Quick
             test_costed_list_snapshot_roundtrip;
+        ] );
+      ( "undo",
+        [
+          Alcotest.test_case "kv: undo . do = id" `Quick test_kv_undo_do_id;
+          Alcotest.test_case "bank: undo . do = id" `Quick test_bank_undo_do_id;
+          Alcotest.test_case "linked list: undo . do = id" `Quick
+            test_ll_undo_do_id;
+          Alcotest.test_case "kv: redo idempotent" `Quick
+            test_kv_redo_idempotent;
+          Alcotest.test_case "bank: redo idempotent" `Quick
+            test_bank_redo_idempotent;
+          Alcotest.test_case "linked list: redo idempotent" `Quick
+            test_ll_redo_idempotent;
+          Alcotest.test_case "kv: rollback lands on checkpoint" `Quick
+            test_kv_undo_back_to_checkpoint;
+          Alcotest.test_case "bank: rollback lands on checkpoint" `Quick
+            test_bank_undo_back_to_checkpoint;
         ] );
       ( "fifo",
         [

@@ -216,11 +216,11 @@ let test_fifo_close_race_regression () =
 module Early_check = Check.Early_check
 
 let esc ?(workers = 3) ?classes ?(commands = 8) ?(keys = 3) ?(write_pct = 50.0)
-    ?(cross_pct = 30.0) ?optimistic ?mis_pct ?repair ?(drain = true) ?crashes
-    ?respawn ?(workload_seed = 1L) () =
+    ?(cross_pct = 30.0) ?optimistic ?mis_pct ?repair ?speculate ?undo
+    ?(drain = true) ?crashes ?respawn ?(workload_seed = 1L) () =
   Early_check.scenario ~workers ?classes ~commands ~keys ~write_pct ~cross_pct
-    ?optimistic ?mis_pct ?repair ~drain_before_close:drain ?crashes ?respawn
-    ~workload_seed ()
+    ?optimistic ?mis_pct ?repair ?speculate ?undo ~drain_before_close:drain
+    ?crashes ?respawn ~workload_seed ()
 
 let early_walk ?stop_on_first s ~seed ~schedules =
   Explore.random_walk_with ?stop_on_first
@@ -334,6 +334,51 @@ let test_early_repair_clean () =
   Alcotest.(check int) "no failures" 0 (List.length r.Explore.failures);
   Alcotest.(check int) "all complete" 0 r.Explore.incomplete
 
+(* Execution-time optimism over the keyed register file: the same pinned
+   all-write scenario, now executing speculatively at optimistic delivery
+   with undo-based rollback at confirm mismatch.  The rollback-consistency
+   oracle replays the final order sequentially and compares every
+   command's observations and the final key values. *)
+let spec_sc ?undo ?crashes ?respawn () =
+  esc ~workers:2 ~commands:8 ~keys:2 ~write_pct:100.0 ~cross_pct:0.0
+    ~optimistic:true ~mis_pct:40.0 ~speculate:true ?undo ?crashes ?respawn
+    ~workload_seed:2L ()
+
+let test_early_spec_clean () =
+  let s = spec_sc () in
+  let r = early_walk s ~seed:100L ~schedules:300 in
+  Alcotest.(check int) "no failures" 0 (List.length r.Explore.failures);
+  Alcotest.(check int) "all complete" 0 r.Explore.incomplete
+
+(* The planted rollback bug: with [undo = false] the repair revokes and
+   re-executes, but skips the register restore, so redone commands observe
+   the mis-speculated writes.  Caught by rollback consistency on the very
+   scenario that stays clean with undo on — the deliberately broken
+   variant is otherwise schedule-for-schedule identical (the picker only
+   sees tags). *)
+let test_early_noundo_caught () =
+  let s = spec_sc ~undo:false () in
+  let r = early_walk ~stop_on_first:true s ~seed:100L ~schedules:200 in
+  match r.Explore.failures with
+  | [] -> Alcotest.fail "disabled undo not caught within 200 schedules"
+  | f :: _ ->
+      Alcotest.(check bool) "rollback-consistency oracle fired" true
+        (List.exists
+           (fun v ->
+             String.length v >= 20
+             && String.sub v 0 20 = "rollback consistency")
+           f.Explore.violations)
+
+(* Worker crashes landing inside the speculation/rollback window: the
+   crashed worker requeues its reservation (a speculative pop restores the
+   token to pending), respawns, and the drain still commits every command
+   exactly once with consistent state. *)
+let test_early_spec_crash_clean () =
+  let s = spec_sc ~crashes:[ (1, 2); (2, 1) ] ~respawn:true () in
+  let r = early_walk s ~seed:100L ~schedules:300 in
+  Alcotest.(check int) "no failures" 0 (List.length r.Explore.failures);
+  Alcotest.(check int) "all complete" 0 r.Explore.incomplete
+
 let per_impl name f =
   List.map
     (fun (impl, label) ->
@@ -385,5 +430,11 @@ let () =
             test_early_norepair_caught;
           Alcotest.test_case "repair keeps identical scenario clean" `Quick
             test_early_repair_clean;
+          Alcotest.test_case "clean, speculative execution + rollback" `Quick
+            test_early_spec_clean;
+          Alcotest.test_case "disabled undo caught (rollback consistency)"
+            `Quick test_early_noundo_caught;
+          Alcotest.test_case "crashes inside the repair window drain clean"
+            `Quick test_early_spec_crash_clean;
         ] );
     ]

@@ -653,6 +653,332 @@ let list_equivalence =
         expected early
       && Array.for_all2 (fun a b -> a = b) early coarse)
 
+(* --- qcheck: optimistic execution with rollback = conservative early --- *)
+
+(* Feed indices [0..n) through an optimistic dispatcher: the optimistic
+   stream is a seeded disorder of each block, with a full-shuffle
+   adversarial burst every fourth block when [burst] is set; confirmations
+   always arrive in final (index) order. *)
+let opt_feed ~n ~seed ~burst ~submit ~confirm =
+  let srng = Psmr_util.Rng.create ~seed in
+  let block = 16 in
+  let specs = Array.make n None in
+  let base = ref 0 and bi = ref 0 in
+  while !base < n do
+    let len = min block (n - !base) in
+    let idxs = Array.init len (fun j -> !base + j) in
+    let swap_pct = if burst && !bi mod 4 = 3 then 100.0 else 30.0 in
+    let opt = Psmr_early.Spec_stream.disorder ~swap_pct ~rng:srng idxs in
+    Array.iter (fun i -> specs.(i) <- Some (submit i)) opt;
+    Array.iter (fun i -> confirm (Option.get specs.(i))) idxs;
+    incr bi;
+    base := !base + len
+  done
+
+let kv_opt_equivalence =
+  QCheck.Test.make
+    ~name:"early-opt rollback = early = sequential (kv)" ~count:20
+    QCheck.(
+      triple (int_range 1 6) bool
+        (list_of_size
+           Gen.(int_range 1 120)
+           (pair (int_range 0 7) (option (int_range 0 100)))))
+    (fun (workers, burst, ops) ->
+      let module KC = struct
+        type t = int * Psmr_app.Kv_store.command
+
+        let conflict (_, a) (_, b) = Psmr_app.Kv_store.conflict a b
+        let footprint (_, c) = Psmr_app.Kv_store.footprint c
+
+        let pp ppf (i, c) =
+          Format.fprintf ppf "%d:%a" i Psmr_app.Kv_store.pp_command c
+      end in
+      let cmds =
+        Array.of_list
+          (List.mapi
+             (fun i (k, v) ->
+               ( i,
+                 match v with
+                 | None -> Psmr_app.Kv_store.Get k
+                 | Some v -> Psmr_app.Kv_store.Put (k, v) ))
+             ops)
+      in
+      let n = Array.length cmds in
+      let ref_store = Psmr_app.Kv_store.create ~capacity:8 in
+      let expected =
+        Array.map (fun (_, c) -> Psmr_app.Kv_store.execute ref_store c) cmds
+      in
+      let dump s = List.init 8 (fun k -> Psmr_app.Kv_store.execute s (Get k)) in
+      let run_opt () =
+        let module ED = Psmr_early.Dispatch.Make (RP) (KC) in
+        let store = Psmr_app.Kv_store.create ~capacity:8 in
+        let responses = Array.make n None in
+        let speculate ((i, c) : KC.t) =
+          let resp, u = Psmr_app.Kv_store.execute_undoable store c in
+          responses.(i) <- Some resp;
+          fun () -> Psmr_app.Kv_store.undo store u
+        in
+        let d =
+          ED.start_full ~workers ~speculate
+            ~execute:(fun (i, c) ->
+              responses.(i) <- Some (Psmr_app.Kv_store.execute store c))
+            ()
+        in
+        opt_feed ~n
+          ~seed:(Int64.of_int ((workers * 1009) + n))
+          ~burst
+          ~submit:(fun i -> ED.submit_optimistic d cmds.(i))
+          ~confirm:(fun sp -> ED.confirm d sp);
+        ED.shutdown d;
+        (responses, dump store)
+      in
+      let run_early () =
+        let module ED = Psmr_early.Dispatch.Make (RP) (KC) in
+        let store = Psmr_app.Kv_store.create ~capacity:8 in
+        let responses = Array.make n None in
+        let d =
+          ED.start ~workers
+            ~execute:(fun (i, c) ->
+              responses.(i) <- Some (Psmr_app.Kv_store.execute store c))
+            ()
+        in
+        Array.iter (ED.submit d) cmds;
+        ED.shutdown d;
+        responses
+      in
+      let opt, opt_state = run_opt () in
+      let early = run_early () in
+      opt_state = dump ref_store
+      && Array.for_all2
+           (fun e r -> match r with Some r -> r = e | None -> false)
+           expected opt
+      && Array.for_all2 (fun a b -> a = b) opt early)
+
+let bank_opt_equivalence =
+  QCheck.Test.make
+    ~name:"early-opt rollback = early = sequential (bank)" ~count:20
+    QCheck.(
+      triple (int_range 1 6) bool
+        (list_of_size
+           Gen.(int_range 1 120)
+           (triple (int_range 0 2) (pair (int_range 0 5) (int_range 0 5))
+              (int_range 0 30))))
+    (fun (workers, burst, ops) ->
+      let module KC = struct
+        type t = int * Psmr_app.Bank.command
+
+        let conflict (_, a) (_, b) = Psmr_app.Bank.conflict a b
+        let footprint (_, c) = Psmr_app.Bank.footprint c
+
+        let pp ppf (i, c) =
+          Format.fprintf ppf "%d:%a" i Psmr_app.Bank.pp_command c
+      end in
+      let cmds =
+        Array.of_list
+          (List.mapi
+             (fun i (kind, (a, b), amount) ->
+               ( i,
+                 match kind with
+                 | 0 -> Psmr_app.Bank.Balance a
+                 | 1 -> Psmr_app.Bank.Deposit (a, amount)
+                 | _ -> Psmr_app.Bank.Transfer { src = a; dst = b; amount } ))
+             ops)
+      in
+      let n = Array.length cmds in
+      let fresh () = Psmr_app.Bank.create ~accounts:6 ~initial_balance:50 in
+      let ref_bank = fresh () in
+      let expected =
+        Array.map (fun (_, c) -> Psmr_app.Bank.execute ref_bank c) cmds
+      in
+      let run_opt () =
+        let module ED = Psmr_early.Dispatch.Make (RP) (KC) in
+        let bank = fresh () in
+        let responses = Array.make n None in
+        let speculate ((i, c) : KC.t) =
+          let resp, u = Psmr_app.Bank.execute_undoable bank c in
+          responses.(i) <- Some resp;
+          fun () -> Psmr_app.Bank.undo bank u
+        in
+        let d =
+          ED.start_full ~workers ~speculate
+            ~execute:(fun (i, c) ->
+              responses.(i) <- Some (Psmr_app.Bank.execute bank c))
+            ()
+        in
+        opt_feed ~n
+          ~seed:(Int64.of_int ((workers * 1013) + n))
+          ~burst
+          ~submit:(fun i -> ED.submit_optimistic d cmds.(i))
+          ~confirm:(fun sp -> ED.confirm d sp);
+        ED.shutdown d;
+        (responses, Psmr_app.Bank.total bank)
+      in
+      let run_early () =
+        let module ED = Psmr_early.Dispatch.Make (RP) (KC) in
+        let bank = fresh () in
+        let responses = Array.make n None in
+        let d =
+          ED.start ~workers
+            ~execute:(fun (i, c) ->
+              responses.(i) <- Some (Psmr_app.Bank.execute bank c))
+            ()
+        in
+        Array.iter (ED.submit d) cmds;
+        ED.shutdown d;
+        responses
+      in
+      let opt, total = run_opt () in
+      let early = run_early () in
+      total = Psmr_app.Bank.total ref_bank
+      && Array.for_all2
+           (fun e r -> match r with Some r -> r = e | None -> false)
+           expected opt
+      && Array.for_all2 (fun a b -> a = b) opt early)
+
+let list_opt_equivalence =
+  QCheck.Test.make
+    ~name:"early-opt rollback = early = sequential (linked list)" ~count:15
+    QCheck.(
+      triple (int_range 1 6) bool
+        (list_of_size Gen.(int_range 1 120) (pair (int_range 0 60) bool)))
+    (fun (workers, burst, ops) ->
+      let module KC = struct
+        type t = int * Psmr_app.Linked_list.command
+
+        let conflict (_, a) (_, b) = Psmr_app.Linked_list.conflict a b
+        let footprint (_, c) = Psmr_app.Linked_list.footprint c
+
+        let pp ppf (i, c) =
+          Format.fprintf ppf "%d:%a" i Psmr_app.Linked_list.pp_command c
+      end in
+      let cmds =
+        Array.of_list
+          (List.mapi
+             (fun i (target, write) ->
+               ( i,
+                 if write then Psmr_app.Linked_list.Add target
+                 else Psmr_app.Linked_list.Contains target ))
+             ops)
+      in
+      let n = Array.length cmds in
+      let ref_list = Psmr_app.Linked_list.create ~initial_size:30 in
+      let expected =
+        Array.map (fun (_, c) -> Psmr_app.Linked_list.execute ref_list c) cmds
+      in
+      let run_opt () =
+        let module ED = Psmr_early.Dispatch.Make (RP) (KC) in
+        let l = Psmr_app.Linked_list.create ~initial_size:30 in
+        let responses = Array.make n None in
+        let speculate ((i, c) : KC.t) =
+          let resp, u = Psmr_app.Linked_list.execute_undoable l c in
+          responses.(i) <- Some resp;
+          fun () -> Psmr_app.Linked_list.undo l u
+        in
+        let d =
+          (* classes:1 so the single-variable service still spreads reads. *)
+          ED.start_full ~classes:1 ~workers ~speculate
+            ~execute:(fun (i, c) ->
+              responses.(i) <- Some (Psmr_app.Linked_list.execute l c))
+            ()
+        in
+        opt_feed ~n
+          ~seed:(Int64.of_int ((workers * 1019) + n))
+          ~burst
+          ~submit:(fun i -> ED.submit_optimistic d cmds.(i))
+          ~confirm:(fun sp -> ED.confirm d sp);
+        ED.shutdown d;
+        (responses, Psmr_app.Linked_list.size l)
+      in
+      let opt, size = run_opt () in
+      size = Psmr_app.Linked_list.size ref_list
+      && Array.for_all2
+           (fun e r -> match r with Some r -> r = e | None -> false)
+           expected opt)
+
+(* --- the 0%-mis fast path, pinned --- *)
+
+let test_optimistic_zero_mis_fast_path () =
+  (* With the optimistic stream already in final order, confirmation must
+     be pure fast path: the observability ledger pins every repair-family
+     counter at zero, and a per-command minor-heap budget guards against
+     repair-scan or log-walk work sneaking back onto the hot path (the
+     regression this PR fixed was exactly such serialized repair-side
+     work). *)
+  let reg = Psmr_obs.Metrics.make () in
+  Psmr_obs.Metrics.enable reg;
+  Fun.protect ~finally:Psmr_obs.Metrics.disable @@ fun () ->
+  let spec_runs = Atomic.make 0 in
+  let speculate (_ : Fc.t) =
+    Atomic.incr spec_runs;
+    Fun.id
+  in
+  let d = D.start_full ~workers:4 ~speculate ~execute:(fun _ -> ()) () in
+  let cmd i = { Fc.idx = i; fp = [ (i mod 8, i mod 4 = 0) ] } in
+  (* Pipeline a block ahead, confirming in the same order as submission —
+     a 0%-mis stream with real overlap between speculation and
+     confirmation. *)
+  let block = 32 in
+  let feed base count =
+    let specs = Array.make block None in
+    let at = ref base in
+    while !at < base + count do
+      let len = min block (base + count - !at) in
+      for j = 0 to len - 1 do
+        specs.(j) <- Some (D.submit_optimistic d (cmd (!at + j)))
+      done;
+      for j = 0 to len - 1 do
+        D.confirm d (Option.get specs.(j))
+      done;
+      at := !at + len
+    done
+  in
+  feed 0 256 (* warmup: first dispatches grow internal structures *);
+  let n = 4096 in
+  let before = Gc.minor_words () in
+  feed 256 n;
+  let words = Gc.minor_words () -. before in
+  D.shutdown d;
+  let c = Psmr_obs.Metrics.counters reg in
+  Alcotest.(check int) "no repairs" 0 c.spec_repairs;
+  Alcotest.(check int) "no revocations" 0 c.spec_revoked;
+  Alcotest.(check int) "no rollbacks" 0 c.spec_rollbacks;
+  Alcotest.(check int) "nothing undone" 0 c.spec_undone;
+  Alcotest.(check int) "no redos" 0 c.spec_redos;
+  Alcotest.(check int) "no requeues" 0 c.requeues;
+  Alcotest.(check bool) "speculation actually ran" true
+    (Atomic.get spec_runs > 0);
+  Alcotest.(check int) "every command executed" (256 + n) (D.executed d);
+  Alcotest.(check int) "dispatch agrees: no rollbacks" 0 (D.rollback_count d);
+  Alcotest.(check int) "dispatch agrees: no redos" 0 (D.redo_count d);
+  Alcotest.(check bool) "single execution per command" true
+    (D.redo_depth_max d <= 1);
+  let per_cmd = words /. float_of_int n in
+  if per_cmd > 512.0 then
+    Alcotest.failf "fast path allocates %.0f minor words/command (budget 512)"
+      per_cmd
+
+(* --- worker crash inside the repair window (DES) --- *)
+
+let test_keyed_bench_opt_crash_mid_repair () =
+  (* Crash a worker while the optimistic run is actively repairing
+     (mis_pct high enough that rollbacks are continuously in flight): the
+     crashed worker's reservation must requeue and the run keep
+     completing commands after the respawn. *)
+  let faults = Psmr_fault.Schedule.parse_exn "worker-crash=2@0.004+0.002" in
+  let spec =
+    { Psmr_workload.Workload.Keyed.low_conflict with keys = 16; mis_pct = 30.0 }
+  in
+  let r =
+    Psmr_harness.Keyed_bench.run
+      ~backend:(Psmr_early.Registry.Early Psmr_early.Early_intf.optimistic)
+      ~workers:4 ~spec ~faults ~duration:0.01 ~warmup:0.002 ()
+  in
+  Alcotest.(check int) "one crash" 1 r.crashed_workers;
+  Alcotest.(check bool) "fault injected" true (r.faults_injected >= 1);
+  Alcotest.(check bool) "repairs happened" true (r.repairs > 0);
+  Alcotest.(check bool) "rollbacks happened" true (r.rollbacks > 0);
+  Alcotest.(check bool) "kept completing after respawn" true (r.executed > 0)
+
 (* --- registry --- *)
 
 let test_backend_registry_roundtrip () =
@@ -799,10 +1125,19 @@ let () =
             test_optimistic_double_confirm_rejected;
           Alcotest.test_case "deterministic on sim" `Quick
             test_optimistic_sim_deterministic;
+          Alcotest.test_case "zero-mis fast path does no repair work" `Quick
+            test_optimistic_zero_mis_fast_path;
         ] );
       ( "equivalence",
         List.map QCheck_alcotest.to_alcotest
-          [ kv_equivalence; bank_equivalence; list_equivalence ] );
+          [
+            kv_equivalence;
+            bank_equivalence;
+            list_equivalence;
+            kv_opt_equivalence;
+            bank_opt_equivalence;
+            list_opt_equivalence;
+          ] );
       ( "registry",
         [
           Alcotest.test_case "roundtrip and parsing" `Quick
@@ -824,6 +1159,8 @@ let () =
             test_keyed_bench_optimistic_repairs;
           Alcotest.test_case "keyed bench crash respawn" `Quick
             test_keyed_bench_crash_respawn;
+          Alcotest.test_case "keyed bench crash mid-repair (early-opt)" `Quick
+            test_keyed_bench_opt_crash_mid_repair;
           Alcotest.test_case "keyed bench cos backend" `Quick
             test_keyed_bench_cos_backend;
         ] );

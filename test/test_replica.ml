@@ -16,6 +16,12 @@ let fast_abcast =
     checkpoint_interval = 64;
   }
 
+(* execute-with-undo wrapper for the optimistic mode; harmless to set
+   unconditionally since the other modes ignore it. *)
+let kv_opt_execute s cmd =
+  let resp, u = Psmr_app.Kv_store.execute_undoable s cmd in
+  (resp, fun () -> Psmr_app.Kv_store.undo s u)
+
 let kv_deployment ?(clients = 2) ?(mode = Psmr_replica.Replica.Sequential) () =
   let services = Array.make 3 None in
   let make_service id =
@@ -31,6 +37,7 @@ let kv_deployment ?(clients = 2) ?(mode = Psmr_replica.Replica.Sequential) () =
       abcast = fast_abcast;
       tick_interval = 1e-3;
       client_timeout = 0.4;
+      opt_execute = Some kv_opt_execute;
     }
   in
   let d = KV_smr.Deployment.create cfg in
@@ -289,6 +296,9 @@ let () =
     Psmr_replica.Replica.Parallel { impl; workers = 3 }
   in
   let m_early = Psmr_replica.Replica.Parallel_early { workers = 3; classes = None } in
+  let m_early_opt =
+    Psmr_replica.Replica.Parallel_early_opt { workers = 3; classes = None }
+  in
   Alcotest.run "replica"
     [
       ( "roundtrip",
@@ -301,6 +311,7 @@ let () =
           Alcotest.test_case "lockfree" `Quick
             (test_kv_roundtrip (m_par Psmr_cos.Registry.Lockfree));
           Alcotest.test_case "early" `Quick (test_kv_roundtrip m_early);
+          Alcotest.test_case "early-opt" `Quick (test_kv_roundtrip m_early_opt);
         ] );
       ( "convergence",
         [
@@ -308,6 +319,8 @@ let () =
           Alcotest.test_case "lockfree parallel" `Quick
             (test_kv_replicas_converge (m_par Psmr_cos.Registry.Lockfree));
           Alcotest.test_case "early" `Quick (test_kv_replicas_converge m_early);
+          Alcotest.test_case "early-opt" `Quick
+            (test_kv_replicas_converge m_early_opt);
         ] );
       ( "failover",
         [
