@@ -377,6 +377,74 @@ let sim_keyed ~smoke () =
     ("lockfree", 0.0, pt "lockfree");
   ]
 
+(* Partitioned-ordering grid (docs/PARTITIONING.md): the Partition stack
+   over the simulated LAN, partitions × workers, via [Part_bench].  Light
+   rows are ordering-bound — execution is cheap enough that the sequencer's
+   per-command ingestion is the bottleneck, so throughput scales with
+   partitions (the acceptance ratio below).  Moderate rows show the
+   interplay with execution: at w8 the executor caps both sides and
+   partitioning buys nothing; at w32 it partially unbinds.  The 100%-cross
+   rows are the graceful-degradation bound: every command rendezvouses in
+   the merge and serializes classwise in the dispatcher, so throughput
+   drops but nothing wedges (no holes pile up, no view changes).  Points
+   are memoized on [Part_bench.config_label] — %g-rendered rates, the
+   PR-8 %.0f collision lesson — plus the smoke flag. *)
+let part_configs =
+  let spec cost cross =
+    { Psmr_workload.Workload.Keyed.low_conflict with cost; cross_pct = cross }
+  in
+  let light = spec Psmr_workload.Workload.Light
+  and moderate = spec Psmr_workload.Workload.Moderate in
+  [
+    (1, 32, light 2.0); (2, 32, light 2.0); (4, 32, light 2.0);
+    (4, 32, light 5.0); (1, 32, light 100.0); (4, 32, light 100.0);
+    (1, 8, moderate 2.0); (4, 8, moderate 2.0); (1, 32, moderate 2.0);
+    (4, 32, moderate 2.0);
+  ]
+
+let part_key ~smoke (p, w, spec) =
+  Printf.sprintf "%s/%b"
+    (Psmr_harness.Part_bench.config_label ~partitions:p
+       ~replicas:(Psmr_harness.Part_bench.default_replicas ~partitions:p)
+       ~workers:w ~batch:16 spec)
+    smoke
+
+let compute_part ~smoke (p, w, spec) =
+  let duration, warmup = if smoke then (0.02, 0.005) else (0.08, 0.02) in
+  Psmr_harness.Part_bench.run ~partitions:p ~workers:w ~spec ~duration ~warmup
+    ()
+
+let part_memo : (string, Psmr_harness.Part_bench.result) Hashtbl.t =
+  Hashtbl.create 16
+
+let prefill_part ~smoke ~jobs =
+  let todo =
+    List.filter
+      (fun c -> not (Hashtbl.mem part_memo (part_key ~smoke c)))
+      part_configs
+    |> List.sort_uniq compare
+  in
+  let results =
+    Psmr_sim.Grid_runner.map ~jobs (compute_part ~smoke) (Array.of_list todo)
+  in
+  List.iteri
+    (fun i c -> Hashtbl.replace part_memo (part_key ~smoke c) results.(i))
+    todo
+
+let sim_part ~smoke () =
+  List.map
+    (fun ((p, w, spec) as c) ->
+      let r =
+        match Hashtbl.find_opt part_memo (part_key ~smoke c) with
+        | Some r -> r
+        | None ->
+            let r = compute_part ~smoke c in
+            Hashtbl.add part_memo (part_key ~smoke c) r;
+            r
+      in
+      (p, Psmr_harness.Part_bench.default_replicas ~partitions:p, w, spec, r))
+    part_configs
+
 (* Throughput-under-faults rows: coarse vs lock-free at 32 workers, with
    one mid-window worker crash that recovers, against the fault-free
    baseline.  Quantifies graceful degradation (docs/FAULTS.md): the
@@ -461,7 +529,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~micro ~fig2 ~keyed ~faults ~metrics ~engine =
+let write_json ~path ~micro ~fig2 ~keyed ~part ~faults ~metrics ~engine =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"metrics\": {\n";
   List.iteri
@@ -511,6 +579,26 @@ let write_json ~path ~micro ~fig2 ~keyed ~faults ~metrics ~engine =
            r.s_repairs r.s_revoked r.s_spec_execs r.s_rollbacks r.s_redos
            (if i = List.length keyed - 1 then "" else ",")))
     keyed;
+  Buffer.add_string buf "  ],\n  \"part_sim_kops\": [\n";
+  List.iteri
+    (fun i
+         ( partitions,
+           replicas,
+           workers,
+           (spec : Psmr_workload.Workload.Keyed.spec),
+           (r : Psmr_harness.Part_bench.result) ) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"partitions\": %d, \"replicas\": %d, \"workers\": %d, \
+            \"cost\": \"%s\", \"cross_pct\": %g, \"kops\": %.1f, \"singles\": \
+            %d, \"crosses\": %d, \"holes\": %d, \"merge_pending\": %d, \
+            \"views\": %d }%s\n"
+           partitions replicas workers
+           (json_escape (Psmr_workload.Workload.cost_label spec.cost))
+           spec.cross_pct r.kops r.singles r.crosses r.holes r.merge_pending
+           r.views
+           (if i = List.length part - 1 then "" else ",")))
+    part;
   Buffer.add_string buf "  ],\n  \"sim_events_per_wall_second\": [\n";
   List.iteri
     (fun i (r : Engine_churn.row) ->
@@ -544,6 +632,24 @@ let write_json ~path ~micro ~fig2 ~keyed ~faults ~metrics ~engine =
       Buffer.add_string buf
         (Printf.sprintf ",\n  \"speedup_w32_early_vs_indexed\": %.2f"
            (early /. base))
+  | _ -> ());
+  (* The partitioning headline: 4 sequencers vs 1 at w32 on the
+     ordering-bound (Light, 2%-cross) workload. *)
+  let part_find ~partitions ~workers =
+    List.find_map
+      (fun (p, _, w, (spec : Psmr_workload.Workload.Keyed.spec), r) ->
+        if
+          p = partitions && w = workers
+          && spec.cost = Psmr_workload.Workload.Light
+          && spec.cross_pct = 2.0
+        then Some r.Psmr_harness.Part_bench.kops
+        else None)
+      part
+  in
+  (match (part_find ~partitions:1 ~workers:32, part_find ~partitions:4 ~workers:32) with
+  | Some base, Some p4 when base > 0.0 ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\n  \"speedup_w32_part4_vs_part1\": %.2f" (p4 /. base))
   | _ -> ());
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in
@@ -586,6 +692,19 @@ let validate_json ~path =
                 ])
             rows
       | None -> fail "member \"keyed_sim_kops\" is not a list");
+      (match J.as_arr (req "part_sim_kops" j) with
+      | Some (_ :: _ as rows) ->
+          List.iter
+            (fun row ->
+              List.iter (fun f -> req_num f row)
+                [
+                  "partitions"; "replicas"; "workers"; "cross_pct"; "kops";
+                  "singles"; "crosses"; "holes"; "merge_pending"; "views";
+                ])
+            rows
+      | Some [] -> fail "member \"part_sim_kops\" is empty"
+      | None -> fail "member \"part_sim_kops\" is not a list");
+      req_num "speedup_w32_part4_vs_part1" j;
       (match J.as_arr (req "sim_events_per_wall_second" j) with
       | Some (_ :: _ as rows) ->
           List.iter
@@ -644,6 +763,7 @@ let full_run ~smoke =
      sections out over domains before the (sequential, memo-served)
      section builds below. *)
   prefill_points ~smoke ~jobs (fig2_configs @ keyed_configs);
+  prefill_part ~smoke ~jobs;
   let fig2 = sim_fig2 ~smoke () in
   let micro_for_json =
     List.filter
@@ -664,6 +784,7 @@ let full_run ~smoke =
   in
   write_json ~path:json_path ~micro:micro_for_json ~fig2
     ~keyed:(sim_keyed ~smoke ())
+    ~part:(sim_part ~smoke ())
     ~faults:(sim_faults ~smoke ())
     ~metrics:(sim_metrics ~smoke ())
     ~engine:engine_rows;

@@ -398,6 +398,83 @@ let keyed_cmd =
       $ mis_arg $ cost_arg $ batch_arg $ duration_arg $ faults_arg
       $ metrics_arg)
 
+(* The partitioned-ordering surface: the full Partition stack over the
+   simulated LAN — N sequencers, deterministic merge, early class-map
+   executor on the measured replica (docs/PARTITIONING.md). *)
+let partitions_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "partitions" ] ~docv:"P"
+        ~doc:"Number of independent sequencer instances.")
+
+let replicas_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:
+          "Cluster size (default: the smallest odd cluster seating every \
+           partition's leader on a distinct replica).")
+
+let part_batch_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Feeder request batch: commands coalesced into one sequencer \
+           submission — one Request wire per touched partition — per batch.")
+
+let part_cmd =
+  let run partitions replicas workers keys writes cross cost batch duration
+      metrics =
+    let spec =
+      {
+        Psmr_workload.Workload.Keyed.keys;
+        write_pct = writes;
+        cross_pct = cross;
+        cost;
+        mis_pct = 0.0;
+      }
+    in
+    let r =
+      Psmr_harness.Part_bench.run ~partitions ~workers ~spec ?replicas ~batch
+        ?duration ~metrics ()
+    in
+    let replicas =
+      match replicas with
+      | Some n -> n
+      | None -> Psmr_harness.Part_bench.default_replicas ~partitions
+    in
+    Printf.printf "%s: %.1f kops/s\n"
+      (Psmr_harness.Part_bench.config_label ~partitions ~replicas ~workers
+         ~batch spec)
+      r.kops;
+    Printf.printf
+      "merge: %d emitted (%d singles, %d crosses), %d holes, %d pending, %d \
+       views\n"
+      r.emitted r.singles r.crosses r.holes r.merge_pending r.views;
+    if r.wall_seconds > 0.0 then
+      Printf.printf "engine: %d events in %.3fs wall (%.0f events/s)\n"
+        r.engine_events r.wall_seconds
+        (float_of_int r.engine_events /. r.wall_seconds);
+    match (metrics, r.metrics) with
+    | true, Some m ->
+        print_string
+          (Psmr_obs.Metrics.to_json
+             ~cost_model:(Psmr_sim.Costs.to_assoc Psmr_harness.Model.sim_costs)
+             m)
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "part"
+       ~doc:
+         "One partitioned-ordering measurement: sharded sequencers with \
+          deterministic cross-partition merge.")
+    Term.(
+      const run $ partitions_arg $ replicas_arg $ workers_arg $ keys_arg
+      $ writes_arg $ cross_arg $ cost_arg $ part_batch_arg $ duration_arg
+      $ metrics_arg)
+
 let () =
   let info =
     Cmd.info "psmr-bench" ~version:"1.0.0"
@@ -410,5 +487,5 @@ let () =
        (Cmd.group info
           [
             fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; ablations_cmd;
-            all_cmd; standalone_cmd; keyed_cmd; smr_cmd;
+            all_cmd; standalone_cmd; keyed_cmd; part_cmd; smr_cmd;
           ]))

@@ -34,10 +34,14 @@ type target =
       speculate : bool;
       undo : bool;
     }
+  | Part_target of { name : string; partitions : int; no_barrier : bool }
+      (** partitioned-merge divergence scenarios ([Partition_check]);
+          [no_barrier] is the planted rendezvous-skipping bug *)
 
 let target_name = function
   | Cos_target t -> Check.Cos_check.target_name t
   | Early_target e -> e.name
+  | Part_target p -> p.name
 
 let target_conv =
   let parse s =
@@ -79,6 +83,17 @@ let target_conv =
                speculate = true;
                undo = false;
              })
+    | "broken-part-nobarrier" | "part-nobarrier" ->
+        Ok
+          (Part_target
+             { name = "broken-part-nobarrier"; partitions = 2; no_barrier = true })
+    | "part" ->
+        Ok (Part_target { name = "part"; partitions = 2; no_barrier = false })
+    | s when String.length s > 5 && String.sub s 0 5 = "part-" -> (
+        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+        | Some p when p >= 1 ->
+            Ok (Part_target { name = s; partitions = p; no_barrier = false })
+        | _ -> Error (`Msg (Printf.sprintf "bad partition count in %S" s)))
     | s -> (
         match Psmr_early.Registry.of_string s with
         | Some (Psmr_early.Registry.Cos i) -> Ok (Cos_target (Check.Cos_check.Impl i))
@@ -105,10 +120,11 @@ let impl_arg =
     & info [ "impl" ] ~docv:"IMPL"
         ~doc:
           "Implementation to check: coarse, fine, lockfree, striped[-K], \
-           fifo, indexed, early[-K], early-opt[-K], or a planted-bug \
-           variant (broken-wtg-start, broken-lost-signal, \
-           broken-no-sentinel, broken-early-norepair, \
-           broken-early-noundo).")
+           fifo, indexed, early[-K], early-opt[-K], part[-P] (the \
+           partitioned-merge divergence scenarios; --workers counts \
+           replica merges), or a planted-bug variant (broken-wtg-start, \
+           broken-lost-signal, broken-no-sentinel, broken-early-norepair, \
+           broken-early-noundo, broken-part-nobarrier).")
 
 let workers_arg =
   Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N" ~doc:"Worker processes.")
@@ -352,9 +368,17 @@ let run target workers commands writes keys cross mis spec max_size no_drain
             ~crashes ~respawn:(not no_respawn) ~workload_seed ()
         in
         Check.Early_check.run_schedule ~max_steps ~trace sc ~pick
+    | Part_target p ->
+        let sc =
+          Check.Partition_check.scenario ~partitions:p.partitions
+            ~replicas:workers ~commands ~cross_pct:cross
+            ~no_barrier:p.no_barrier ~workload_seed ()
+        in
+        Check.Partition_check.run_schedule ~max_steps ~trace sc ~pick
   in
   let replay_cmd s =
     let is_early = match target with Early_target _ -> true | _ -> false in
+    let is_part = match target with Part_target _ -> true | _ -> false in
     String.concat ""
       [
         (* [--replay=] rather than [--replay ]: derived seeds are often
@@ -365,6 +389,7 @@ let run target workers commands writes keys cross mis spec max_size no_drain
           name s workers commands writes max_size workload_seed;
         (if is_early then
            Printf.sprintf " --keys %d --cross %g --mis %g" keys cross mis
+         else if is_part then Printf.sprintf " --cross %g" cross
          else "");
         (if spec then " --spec" else "");
         (if no_drain then " --no-drain" else "");

@@ -1,14 +1,15 @@
 (* Facade-discipline rules.  Two subsystems expose a deliberately narrow
    facade to the runtime layers:
 
-   - observability: scheduling implementations (lib/cos/, lib/early/) may
-     record events only through [Psmr_obs.Probe]; touching the registry or
-     trace buffer directly would couple algorithms to registry internals
-     and break the zero-cost-when-disabled discipline;
+   - observability: scheduling and ordering implementations (lib/cos/,
+     lib/early/, lib/broadcast/) may record events only through
+     [Psmr_obs.Probe]; touching the registry or trace buffer directly
+     would couple algorithms to registry internals and break the
+     zero-cost-when-disabled discipline;
    - fault injection: runtime layers (lib/cos/, lib/early/, lib/sched/,
-     lib/replica/, lib/net/) may only *ask* [Psmr_fault.Fault]; arming
-     plans or poking schedules from runtime code would let an algorithm
-     see or steer the fault plan.
+     lib/replica/, lib/net/, lib/broadcast/) may only *ask*
+     [Psmr_fault.Fault]; arming plans or poking schedules from runtime
+     code would let an algorithm see or steer the fault plan.
 
    Aliasing the library root ([module O = Psmr_obs]) is fine by itself —
    uses through the alias still resolve to their canonical path and are
@@ -39,15 +40,23 @@ let facade ~id ~root ~allowed ~dirs ~doc ~message =
 let rules =
   [
     facade ~id:"obs-facade" ~root:"Psmr_obs" ~allowed:"Probe"
-      ~dirs:[ "lib/cos/"; "lib/early/" ]
+      ~dirs:[ "lib/cos/"; "lib/early/"; "lib/broadcast/" ]
       ~doc:
-        "scheduling implementations record observability only through \
-         Psmr_obs.Probe"
+        "scheduling and ordering implementations record observability only \
+         through Psmr_obs.Probe"
       ~message:
-        "scheduling implementations may record observability events only \
-         through Psmr_obs.Probe";
+        "scheduling and ordering implementations may record observability \
+         events only through Psmr_obs.Probe";
     facade ~id:"fault-facade" ~root:"Psmr_fault" ~allowed:"Fault"
-      ~dirs:[ "lib/cos/"; "lib/early/"; "lib/sched/"; "lib/replica/"; "lib/net/" ]
+      ~dirs:
+        [
+          "lib/cos/";
+          "lib/early/";
+          "lib/sched/";
+          "lib/replica/";
+          "lib/net/";
+          "lib/broadcast/";
+        ]
       ~doc:
         "runtime layers consult fault injection only through \
          Psmr_fault.Fault"

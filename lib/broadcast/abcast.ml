@@ -104,6 +104,7 @@ module Make (P : Platform_intf.S) = struct
     id : int;
     n : int;
     f : int;
+    leader_offset : int;  (** rotates the view->leader map across instances *)
     config : config;
     send : int -> 'c message -> unit;
     deliver : 'c array -> unit;  (** upcall: one committed batch, in order *)
@@ -128,14 +129,18 @@ module Make (P : Platform_intf.S) = struct
     mutable stalled : bool;  (** gap beyond recovery (needs state transfer) *)
   }
 
-  let create ?(config = default_config) ~id ~n ~send ~deliver () =
+  let create ?(config = default_config) ?(leader_offset = 0) ~id ~n ~send
+      ~deliver () =
     if n < 3 || n mod 2 = 0 then
       invalid_arg "Abcast.create: n must be odd and at least 3";
     if id < 0 || id >= n then invalid_arg "Abcast.create: id out of range";
+    if leader_offset < 0 then
+      invalid_arg "Abcast.create: leader_offset must be >= 0";
     {
       id;
       n;
       f = (n - 1) / 2;
+      leader_offset = leader_offset mod n;
       config;
       send;
       deliver;
@@ -159,7 +164,7 @@ module Make (P : Platform_intf.S) = struct
       stalled = false;
     }
 
-  let leader_of t view = view mod t.n
+  let leader_of t view = (view + t.leader_offset) mod t.n
   let leader t = leader_of t t.view
   let is_leader t = leader t = t.id
   let view t = t.view
@@ -172,6 +177,7 @@ module Make (P : Platform_intf.S) = struct
   (* First sequence number with no log entry. *)
   let log_end t = t.base + Psmr_util.Vec.length t.log
   let log_length t = Psmr_util.Vec.length t.log
+  let pending_length t = Psmr_util.Vec.length t.pending
   let log_get t seq = Psmr_util.Vec.get t.log (seq - t.base)
   let log_suffix t = Psmr_util.Vec.to_array t.log
 
@@ -222,7 +228,11 @@ module Make (P : Platform_intf.S) = struct
 
   (* --- delivery --- *)
 
-  (* Deliver every committed-but-undelivered batch, in order. *)
+  (* Deliver every committed-but-undelivered batch, in order.  Each
+     delivered command charges one [Hash] of work — the per-command log
+     index/dedup bookkeeping every replica pays at delivery.  Visible only
+     under the simulated cost model (no-op on the real and check
+     platforms, and [Costs.zero] keeps protocol tests cost-free). *)
   let deliver_ready t =
     while
       (not t.stalled)
@@ -230,7 +240,9 @@ module Make (P : Platform_intf.S) = struct
       && t.delivered + 1 < log_end t
     do
       t.delivered <- t.delivered + 1;
-      t.deliver (log_get t t.delivered)
+      let cmds = log_get t t.delivered in
+      Array.iter (fun _ -> P.work Hash) cmds;
+      t.deliver cmds
     done;
     maybe_report_applied t
 
@@ -248,6 +260,7 @@ module Make (P : Platform_intf.S) = struct
     let cur = Option.value ~default:IntSet.empty (Hashtbl.find_opt t.acks seq) in
     Hashtbl.replace t.acks seq (IntSet.add from cur);
     let quorum = t.f + 1 in
+    let before = t.committed in
     let advanced = ref true in
     while !advanced do
       advanced := false;
@@ -259,6 +272,17 @@ module Make (P : Platform_intf.S) = struct
             advanced := true
         | Some _ | None -> ()
     done;
+    (* Broadcast the advanced commit point immediately rather than leaving
+       it to piggyback on the next [Prepare] or on a heartbeat: under
+       bursty submission the next batch may be a heartbeat interval away,
+       and follower delivery latency is on the critical path whenever a
+       consumer synchronizes on deliveries across instances (the
+       cross-partition rendezvous of {!Psmr_broadcast.Pmerge} most of
+       all). *)
+    if t.committed > before then begin
+      send_all t (Commit { view = t.view; committed = t.committed });
+      t.last_heartbeat <- P.now ()
+    end;
     deliver_ready t
 
   (* Leader: seal the pending commands into a numbered batch and replicate. *)
@@ -272,9 +296,20 @@ module Make (P : Platform_intf.S) = struct
       send_all t (Prepare { view = t.view; seq; cmds; committed = t.committed })
     end
 
+  (* Sequencer-side ingestion: each command the leader accepts for
+     ordering charges one [Marshal] of work — request deserialization,
+     batch serialization and the (n-1)-fold fan-out all scale per command
+     on the leader's thread, and this charge is what makes the sequencer
+     the CPU bottleneck the partitioned grid measures against
+     (lib/harness/part_bench.ml).  Followers only pay the per-command
+     delivery [Hash] above. *)
   let enqueue_commands t cmds =
     if Psmr_util.Vec.length t.pending = 0 then t.batch_opened_at <- P.now ();
-    Array.iter (Psmr_util.Vec.push t.pending) cmds;
+    Array.iter
+      (fun c ->
+        P.work Marshal;
+        Psmr_util.Vec.push t.pending c)
+      cmds;
     if Psmr_util.Vec.length t.pending >= t.config.batch_max then cut_batch t
 
   (* --- log adoption (view changes and transfers) --- *)

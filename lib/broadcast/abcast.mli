@@ -69,6 +69,7 @@ module Make (P : Platform_intf.S) : sig
 
   val create :
     ?config:config ->
+    ?leader_offset:int ->
     id:int ->
     n:int ->
     send:(int -> 'c message -> unit) ->
@@ -77,7 +78,11 @@ module Make (P : Platform_intf.S) : sig
     'c t
   (** One protocol instance for replica [id] of [n] (odd, >= 3).  [send]
       transmits a message to a peer; [deliver] receives each committed
-      batch, in sequence order, from within {!handle}/{!tick}. *)
+      batch, in sequence order, from within {!handle}/{!tick}.
+      [leader_offset] (default 0) rotates the view->leader map: the leader
+      of view [v] is replica [(v + leader_offset) mod n].  Partitioned
+      deployments give partition [p] offset [p mod n] so the sequencer
+      load spreads across replicas instead of piling on replica 0. *)
 
   val handle : 'c t -> src:int -> 'c message -> unit
   (** Process one incoming protocol message. *)
@@ -94,6 +99,7 @@ module Make (P : Platform_intf.S) : sig
   (** {2 Introspection} *)
 
   val view : 'c t -> int
+  val leader : 'c t -> int
   val is_leader : 'c t -> bool
   val views_installed : 'c t -> int
   val committed_seq : 'c t -> int
@@ -104,6 +110,10 @@ module Make (P : Platform_intf.S) : sig
       checkpointing has truncated). *)
 
   val log_length : 'c t -> int
+
+  val pending_length : 'c t -> int
+  (** Commands accepted for ordering but not yet sealed into a batch
+      (nonzero only on the leader between batch cuts). *)
 
   val is_stalled : 'c t -> bool
   (** True when the replica found a gap not recoverable from peers' logs;

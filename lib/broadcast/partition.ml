@@ -1,0 +1,150 @@
+(** Partitioned atomic broadcast: N independent sequencer instances
+    ({!Abcast}) ordering disjoint shards of the key space, folded back
+    into one deterministic delivery sequence by {!Pmerge}.
+
+    The key→partition map is a {!Psmr_early.Class_map} with
+    [classes = workers = partitions] — the same static [key mod classes]
+    sharding the early scheduler uses for worker queues, so a command's
+    partition footprint is computed by the exact machinery that already
+    computes its class footprint.  A command whose plan is [Direct] is
+    ordered by its home partition's sequencer alone; a [Rendezvous] plan
+    (footprint spanning partitions) multicasts one {!Pmerge.Cross} entry —
+    tagged with a globally unique uid — to {e every} touched partition's
+    sequencer, and the merge emits it once all touched streams agree (see
+    [Pmerge] for the rendezvous and cycle tie-break rules).
+
+    Per-partition leadership is rotated with {!Abcast}'s [leader_offset]
+    (partition [p] starts at leader [p mod n]), so sequencer load spreads
+    across replicas instead of piling on replica 0.
+
+    Threading contract: like [Abcast], this module owns no threads — the
+    host feeds {!Make.handle} and {!Make.tick} from one thread per
+    instance, and the [deliver] upcall fires from within those calls. *)
+
+open Psmr_platform
+module Class_map = Psmr_early.Class_map
+
+(** Wire format: a partition tag routing the inner protocol message to the
+    right sequencer instance on the receiving replica. *)
+type 'c wire = { part : int; msg : 'c Pmerge.entry Abcast.message }
+
+let wire_kind { part; msg } =
+  Printf.sprintf "p%d:%s" part (Abcast.message_kind msg)
+
+module Make (P : Platform_intf.S) = struct
+  module Ab = Abcast.Make (P)
+
+  type 'c t = {
+    partitions : int;
+    id : int;
+    map : Class_map.t;
+    abs : 'c Pmerge.entry Ab.t array;  (** one sequencer per partition *)
+    merge : 'c Pmerge.t;
+    mutable uids : int;  (** local uid counter; packed with [id] *)
+  }
+
+  let create ?config ?no_barrier ~partitions ~id ~n ~send ~deliver () =
+    if partitions <= 0 then
+      invalid_arg "Partition.create: partitions must be > 0";
+    if n > 64 then
+      invalid_arg "Partition.create: n must be <= 64 (uid packing)";
+    let map = Class_map.create ~classes:partitions ~workers:partitions () in
+    let merge = Pmerge.create ?no_barrier ~partitions ~emit:deliver () in
+    let abs =
+      Array.init partitions (fun p ->
+          Ab.create ?config ~leader_offset:(p mod n) ~id ~n
+            ~send:(fun dst msg -> send dst { part = p; msg })
+            ~deliver:(fun batch ->
+              Array.iter (fun e -> Pmerge.push merge ~part:p e) batch)
+            ())
+    in
+    { partitions; id; map; abs; merge; uids = 0 }
+
+  (* With [classes = workers] every class has exactly one member worker, so
+     a plan's 1-based worker ids are partition ids + 1. *)
+  let parts_of_plan = function
+    | Class_map.Direct { worker } -> [| worker - 1 |]
+    | Class_map.Rendezvous { members; designated = _ } ->
+        Array.map (fun w -> w - 1) members
+
+  let footprint_parts t footprint =
+    parts_of_plan (Class_map.plan t.map footprint)
+
+  (* Globally unique uid: replica ids occupy the low 6 bits (n <= 64),
+     the local submission counter the rest. *)
+  let fresh_uid t =
+    let uid = (t.uids lsl 6) lor t.id in
+    t.uids <- t.uids + 1;
+    uid
+
+  let submit t ~footprint cmd =
+    let parts = footprint_parts t footprint in
+    if Array.length parts = 1 then
+      Ab.submit t.abs.(parts.(0)) [| Pmerge.Single cmd |]
+    else begin
+      let entry = Pmerge.Cross { uid = fresh_uid t; parts; cmd } in
+      Array.iter (fun p -> Ab.submit t.abs.(p) [| entry |]) parts
+    end
+
+  (* Batched submission: one [Ab.submit] — hence, from a non-leader, one
+     [Request] wire message — per touched partition for the whole batch,
+     instead of one per command.  This matters far beyond amortizing
+     per-message overhead: sequencer commitment needs the leader to
+     process [Prepare_ok] acks, and those share its FIFO input queue with
+     incoming requests.  Per-command forwarding floods a remote leader
+     with hundreds of queued messages per submission burst, parking the
+     acks (and so the commit point, and so every cross-partition
+     rendezvous against this partition) behind the flood — observed as
+     multi-millisecond stream stalls.  Per-partition entry order matches
+     what sequential {!submit} calls would produce. *)
+  let submit_batch t ~footprint cmds =
+    let buckets = Array.make t.partitions [] in
+    Array.iter
+      (fun cmd ->
+        let parts = footprint_parts t (footprint cmd) in
+        if Array.length parts = 1 then
+          let p = parts.(0) in
+          buckets.(p) <- Pmerge.Single cmd :: buckets.(p)
+        else begin
+          let entry = Pmerge.Cross { uid = fresh_uid t; parts; cmd } in
+          Array.iter (fun p -> buckets.(p) <- entry :: buckets.(p)) parts
+        end)
+      cmds;
+    Array.iteri
+      (fun p entries ->
+        match entries with
+        | [] -> ()
+        | es -> Ab.submit t.abs.(p) (Array.of_list (List.rev es)))
+      buckets
+
+  let handle t ~src { part; msg } =
+    if part < 0 || part >= t.partitions then invalid_arg "Partition.handle";
+    Ab.handle t.abs.(part) ~src msg
+
+  let tick t = Array.iter Ab.tick t.abs
+
+  (* --- introspection --- *)
+
+  let partitions t = t.partitions
+  let part_of_key t key = Class_map.class_of_key t.map key
+  let view t ~part = Ab.view t.abs.(part)
+  let is_leader t ~part = Ab.is_leader t.abs.(part)
+  let leader t ~part = Ab.leader t.abs.(part)
+  let delivered_seq t ~part = Ab.delivered_seq t.abs.(part)
+  let committed_seq t ~part = Ab.committed_seq t.abs.(part)
+
+  let log_end t ~part =
+    Ab.log_base t.abs.(part) + Ab.log_length t.abs.(part)
+
+  let pending_length t ~part = Ab.pending_length t.abs.(part)
+
+  let views_installed t =
+    Array.fold_left (fun acc ab -> acc + Ab.views_installed ab) 0 t.abs
+
+  let is_stalled t = Array.exists Ab.is_stalled t.abs
+  let emitted t = Pmerge.emitted t.merge
+  let crosses t = Pmerge.crosses t.merge
+  let holes t = Pmerge.holes t.merge
+  let merge_pending t = Pmerge.pending t.merge
+  let stream_pushed t ~part = Pmerge.pushed t.merge ~part
+end

@@ -535,9 +535,62 @@ struct
         Probe.spec_repair ~revoked:(List.length vs));
     ignore (P.Atomic.fetch_and_add t.submitted 1 : int)
 
+  (* True batched submission: one window reservation for the whole batch,
+     one [submitted] bump, and one lock acquisition per member queue
+     instead of one per token.  Only sound with no speculation
+     outstanding — with speculations in flight each command's repair must
+     observe the queues exactly as the sequential loop would — so that
+     case falls back to per-command submits.  [spec_out] is
+     submit-thread-private, so the test is stable for the whole batch.
+     This is the conservative feed's (and the optimistic protocol's
+     0%-mis) fast path. *)
   let submit_batch t cs =
-    Probe.batch (Array.length cs);
-    Array.iter (submit t) cs
+    let n = Array.length cs in
+    if n = 0 then ()
+    else begin
+      Probe.batch n;
+      if t.spec_out > 0 then Array.iter (submit t) cs
+      else begin
+        (* Window slots for the whole batch: spend banked credit, then
+           chunked n-ary acquires (a single acquire may not exceed the
+           window bound). *)
+        let rem = ref n in
+        let banked = min t.credit !rem in
+        t.credit <- t.credit - banked;
+        rem := !rem - banked;
+        while !rem > 0 do
+          let k = min (min window_chunk t.wmax) !rem in
+          P.Semaphore.acquire ~n:k t.window;
+          rem := !rem - k
+        done;
+        (* Entries in delivery order, then their tokens bucketed per
+           queue and appended under one lock round per queue.  Buckets
+           accumulate newest-first — the same orientation as [q_back],
+           so the whole bucket prepends in one pass. *)
+        let buckets = Array.make (Array.length t.queues) [] in
+        Array.iter
+          (fun c ->
+            let e = make_entry t c ~spec:false ~state:Confirmed in
+            Array.iter
+              (fun tok ->
+                let w = tok.t_queue.q_worker - 1 (* ids are 1-based *) in
+                buckets.(w) <- tok :: buckets.(w))
+              e.e_tokens)
+          cs;
+        Array.iteri
+          (fun w toks ->
+            if toks <> [] then begin
+              let q = t.queues.(w) in
+              P.Mutex.lock q.q_m;
+              let was_empty = q.q_front = [] && q.q_back = [] in
+              q.q_back <- toks @ q.q_back;
+              if was_empty then P.Condition.signal q.q_cv;
+              P.Mutex.unlock q.q_m
+            end)
+          buckets;
+        ignore (P.Atomic.fetch_and_add t.submitted n : int)
+      end
+    end
 
   let submit_optimistic t c =
     acquire_window t;

@@ -121,6 +121,10 @@ module Make (P : Platform_intf.S) = struct
 
   let stats t = (P.Atomic.get t.sent, P.Atomic.get t.delivered)
 
+  let backlog t addr =
+    check t addr;
+    Mailbox.length t.inboxes.(addr)
+
   (** Symmetric LAN latency with optional jitter, for experiment setups. *)
   let uniform_latency ?(jitter = 0.0) ~rng base ~src:_ ~dst:_ =
     if jitter <= 0.0 then base

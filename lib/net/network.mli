@@ -61,6 +61,10 @@ module Make (P : Platform_intf.S) : sig
   val stats : 'msg t -> int * int
   (** (messages sent, messages delivered). *)
 
+  val backlog : 'msg t -> addr -> int
+  (** Messages delivered to [addr]'s mailbox but not yet received — the
+      endpoint's input-queue depth. *)
+
   val uniform_latency :
     ?jitter:float ->
     rng:Psmr_util.Rng.t ->

@@ -77,6 +77,11 @@ type counters = {
   mutable spec_undone : int;  (* executed commands undone by those rollbacks *)
   mutable spec_redos : int;  (* re-executions after a rollback *)
   mutable spec_redo_depth : int;  (* max executions of any single command *)
+  (* Partitioned ordering (lib/broadcast Pmerge/Partition).  All zero on
+     single-sequencer runs. *)
+  mutable part_singles : int;  (* single-partition commands emitted *)
+  mutable part_crosses : int;  (* cross-partition commands emitted *)
+  mutable part_holes : int;  (* cycle tie-breaks / discarded occurrences *)
 }
 
 let fresh_counters () =
@@ -131,6 +136,9 @@ let fresh_counters () =
     spec_undone = 0;
     spec_redos = 0;
     spec_redo_depth = 0;
+    part_singles = 0;
+    part_crosses = 0;
+    part_holes = 0;
   }
 
 type t = {
@@ -141,6 +149,8 @@ type t = {
       (* per command: promotion to a worker reserving it in [get] *)
   dispatch_executed : Psmr_util.Histogram.t;
       (* per command: reservation to execution completed *)
+  cross_stall : Psmr_util.Histogram.t;
+      (* per cross-partition command: first stream sighting to emission *)
   now : unit -> float;
   track : unit -> int;
   trace : Trace.t option;
@@ -152,6 +162,7 @@ let make ?(now = fun () -> 0.0) ?(track = fun () -> 0) ?trace () =
     delivery_ready = Psmr_util.Histogram.create ();
     ready_dispatch = Psmr_util.Histogram.create ();
     dispatch_executed = Psmr_util.Histogram.create ();
+    cross_stall = Psmr_util.Histogram.create ();
     now;
     track;
     trace;
@@ -171,12 +182,14 @@ let track t = t.track
 let delivery_ready t = t.delivery_ready
 let ready_dispatch t = t.ready_dispatch
 let dispatch_executed t = t.dispatch_executed
+let cross_stall t = t.cross_stall
 
 let histograms t =
   [
     ("delivery_ready", t.delivery_ready);
     ("ready_dispatch", t.ready_dispatch);
     ("dispatch_executed", t.dispatch_executed);
+    ("cross_stall", t.cross_stall);
   ]
 
 (* Flat numeric snapshot, one (name, value) per counter plus derived
@@ -236,6 +249,9 @@ let assoc t =
     i "spec_undone" c.spec_undone;
     i "spec_redos" c.spec_redos;
     i "spec_redo_depth" c.spec_redo_depth;
+    i "part_singles" c.part_singles;
+    i "part_crosses" c.part_crosses;
+    i "part_holes" c.part_holes;
   ]
   @ List.concat_map
       (fun (name, h) ->

@@ -58,6 +58,9 @@ type counters = {
   mutable spec_undone : int;
   mutable spec_redos : int;
   mutable spec_redo_depth : int;
+  mutable part_singles : int;
+  mutable part_crosses : int;
+  mutable part_holes : int;
 }
 
 type t
@@ -83,6 +86,10 @@ val trace : t -> Trace.t option
 val delivery_ready : t -> Psmr_util.Histogram.t
 val ready_dispatch : t -> Psmr_util.Histogram.t
 val dispatch_executed : t -> Psmr_util.Histogram.t
+
+val cross_stall : t -> Psmr_util.Histogram.t
+(** Cross-partition rendezvous stall: first stream sighting to emission. *)
+
 val now : t -> unit -> float
 val track : t -> unit -> int
 

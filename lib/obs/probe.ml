@@ -263,6 +263,35 @@ let spec_redo ~depth =
       if depth > c.spec_redo_depth then c.spec_redo_depth <- depth
 
 (* ------------------------------------------------------------------ *)
+(* Partitioned ordering (lib/broadcast Pmerge/Partition).              *)
+
+let part_single () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.part_singles <- c.part_singles + 1
+
+let part_cross () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.part_crosses <- c.part_crosses + 1
+
+let part_hole () =
+  match !Metrics.active with
+  | None -> ()
+  | Some m ->
+      let c = Metrics.counters m in
+      c.part_holes <- c.part_holes + 1
+
+let part_stall dt =
+  match !Metrics.active with
+  | None -> ()
+  | Some m -> Psmr_util.Histogram.record (Metrics.cross_stall m) dt
+
+(* ------------------------------------------------------------------ *)
 (* Per-command latency pipeline.                                       *)
 
 let ready_latency dt =

@@ -106,6 +106,25 @@ val spec_redo : depth:int -> unit
     total number of times that command has now been executed (2 for the
     first redo).  The registry keeps the maximum observed depth. *)
 
+(** {1 Partitioned ordering}
+
+    Recorded by the cross-partition merge ([Psmr_broadcast.Pmerge]); all
+    zero for single-sequencer runs. *)
+
+val part_single : unit -> unit
+(** One single-partition command emitted at its home stream's head. *)
+
+val part_cross : unit -> unit
+(** One cross-partition command emitted after its rendezvous (or a cycle
+    tie-break). *)
+
+val part_hole : unit -> unit
+(** One per-partition sequence hole created by a cycle tie-break. *)
+
+val part_stall : float -> unit
+(** Cross-partition stall for one emitted command: first stream sighting
+    to emission, recorded in the [cross_stall] histogram. *)
+
 (** {1 Per-command latency pipeline} *)
 
 val ready_latency : float -> unit

@@ -33,8 +33,12 @@ type mode =
           with execution-time speculation: commands execute as soon as
           they are dispatched and replies are withheld until the commit
           (requires [Deployment.config.opt_execute]) *)
+  | Partitioned of { partitions : int; inner : mode }
+      (** sharded ordering: N independent sequencers with deterministic
+          cross-partition merge ({!Psmr_broadcast.Partition}), executing
+          through [inner] (any non-[Partitioned] mode) *)
 
-let mode_label = function
+let rec mode_label = function
   | Sequential -> "sequential SMR"
   | Parallel { impl; workers } ->
       Printf.sprintf "%s, %d workers" (Psmr_cos.Registry.to_string impl) workers
@@ -48,10 +52,13 @@ let mode_label = function
         (Psmr_early.Registry.to_string
            (Psmr_early.Registry.Early { classes; optimistic = true }))
         workers
+  | Partitioned { partitions; inner } ->
+      Printf.sprintf "partitioned x%d (%s)" partitions (mode_label inner)
 
 module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
   module Net = Psmr_net.Network.Make (P)
   module Ab = Psmr_broadcast.Abcast.Make (P)
+  module Part = Psmr_broadcast.Partition.Make (P)
   module Latch = Latch.Make (P)
   module MB = Mailbox.Make (P)
 
@@ -59,6 +66,8 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
 
   type wire =
     | Proto of envelope Psmr_broadcast.Abcast.message
+    | PProto of envelope Psmr_broadcast.Partition.wire
+        (** partitioned-mode peer traffic, tagged with its partition *)
     | Reply of { rid : int; resp : S.response; replica : int }
     | Tick
     | Client_timeout of { rid : int; attempt : int }
@@ -260,15 +269,24 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
         (* callback receives (service state, at-most-once table, seq) *)
     | Install_snapshot of { state : string; rids : (int * int) list; seq : int }
 
+  (* The ordering stack behind a replica: one global sequencer, or N
+     per-partition sequencers folded through the deterministic merge. *)
+  type ordering =
+    | Single_ab of envelope Ab.t
+    | Part_ab of envelope Part.t
+
   type replica = {
     id : int;
-    ab : envelope Ab.t;
+    ord : ordering;
     executor : executor;
     stopped : bool P.Atomic.t;
     delivered_commands : int P.Atomic.t;
     apply_box : apply_item MB.t;
         (* delivered batches queued for the parallelizer thread *)
     run_applier : unit -> unit;
+    flush_emitted : unit -> unit;
+        (* partitioned mode: hand merged commands accumulated during the
+           last protocol call to the applier as one batch (no-op else) *)
     handle_snapshot_msg : src:int -> wire -> unit;
         (* Snapshot_request / Snapshot handling (protocol thread) *)
     check_stall : unit -> unit;
@@ -406,6 +424,14 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
       if cfg.replicas < 3 || cfg.replicas mod 2 = 0 then
         invalid_arg "Deployment: replicas must be odd and >= 3";
       if cfg.clients < 0 then invalid_arg "Deployment: negative clients";
+      (match cfg.mode with
+      | Partitioned { partitions; inner } ->
+          if partitions <= 0 then
+            invalid_arg "Deployment: partitions must be > 0";
+          (match inner with
+          | Partitioned _ -> invalid_arg "Deployment: nested Partitioned mode"
+          | _ -> ())
+      | _ -> ());
       let net =
         Net.create ~latency:cfg.latency ~nodes:(cfg.replicas + cfg.clients) ()
       in
@@ -423,8 +449,15 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
             let apply =
               make_apply ~replica_id:id ~service ~net ~cache ~cache_mutex
             in
+            (* Partitioning changes ordering, not execution: the executor
+               comes from the inner mode. *)
+            let rec exec_mode = function
+              | Partitioned { inner; _ } -> exec_mode inner
+              | m -> m
+            in
             let executor =
-              match cfg.mode with
+              match exec_mode cfg.mode with
+              | Partitioned _ -> assert false (* exec_mode unwraps these *)
               | Sequential -> sequential_executor ~apply
               | Parallel { impl; workers } ->
                   parallel_executor ~impl ~workers ~max_size:cfg.cos_max_size
@@ -454,33 +487,110 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
                thread can number them locally; snapshot installation jumps
                the counter. *)
             let next_seq = ref 0 in
-            let ab =
-              Ab.create ~config:cfg.abcast ~id ~n:cfg.replicas
-                ~send:(fun dst msg -> Net.send net ~src:id ~dst (Proto msg))
-                ~deliver:(fun batch ->
-                  ignore
-                    (P.Atomic.fetch_and_add delivered_commands
-                       (Array.length batch)
-                      : int);
-                  let seq = !next_seq in
-                  incr next_seq;
-                  ignore (MB.put apply_box (Apply (batch, seq)) : bool))
-                ()
+            let ord, flush_emitted =
+              match cfg.mode with
+              | Partitioned { partitions; _ } ->
+                  (* Merged commands accumulate while a protocol call runs
+                     (the merge emits from within handle/tick); the event
+                     loop flushes them afterwards as one batch, so the
+                     executor keeps its batch amortization. *)
+                  let pending_emit : envelope Psmr_util.Vec.t =
+                    Psmr_util.Vec.create ()
+                  in
+                  let pab =
+                    Part.create ~config:cfg.abcast ~partitions ~id
+                      ~n:cfg.replicas
+                      ~send:(fun dst w -> Net.send net ~src:id ~dst (PProto w))
+                      ~deliver:(fun em ->
+                        ignore
+                          (P.Atomic.fetch_and_add delivered_commands 1 : int);
+                        Psmr_util.Vec.push pending_emit
+                          em.Psmr_broadcast.Pmerge.cmd)
+                      ()
+                  in
+                  let flush () =
+                    if Psmr_util.Vec.length pending_emit > 0 then begin
+                      let batch = Psmr_util.Vec.to_array pending_emit in
+                      Psmr_util.Vec.clear pending_emit;
+                      let seq = !next_seq in
+                      incr next_seq;
+                      ignore (MB.put apply_box (Apply (batch, seq)) : bool)
+                    end
+                  in
+                  (Part_ab pab, flush)
+              | _ ->
+                  let ab =
+                    Ab.create ~config:cfg.abcast ~id ~n:cfg.replicas
+                      ~send:(fun dst msg ->
+                        Net.send net ~src:id ~dst (Proto msg))
+                      ~deliver:(fun batch ->
+                        ignore
+                          (P.Atomic.fetch_and_add delivered_commands
+                             (Array.length batch)
+                            : int);
+                        let seq = !next_seq in
+                        incr next_seq;
+                        ignore (MB.put apply_box (Apply (batch, seq)) : bool))
+                      ()
+                  in
+                  (Single_ab ab, fun () -> ())
             in
             (* Duplicate suppression happens before scheduling: a retried
                request whose original is still in flight is dropped (the
                original will reply); one already executed gets the cached
                reply replayed.  Returns whether the envelope is fresh and
-               should be scheduled. *)
+               should be scheduled.
+
+               Under a single sequencer the delivery order preserves each
+               client's rid order, so the monotonic high-water mark in
+               [seen_rid] is an exact duplicate test.  The partitioned
+               merge only preserves {e per-partition} order: a client's
+               consecutive requests landing on different partitions can
+               reach the executor with rids inverted, so partitioned mode
+               keeps the recent-rid {e set} per client (pruned to the same
+               window as the reply cache — closed-loop clients never have
+               more than one batch in flight, so anything below the window
+               is necessarily an old retry). *)
+            let seen_rid_set : (int, (int, unit) Hashtbl.t) Hashtbl.t =
+              Hashtbl.create 64
+            in
             let screen_one (e : envelope) =
               (* Per-command protocol processing (deserialization, reply
                  envelope) — the CPU share the ordering stack takes on the
                  replica, visible only under the simulated cost model. *)
               P.work Marshal;
               let dup =
-                match Hashtbl.find_opt seen_rid e.client with
-                | Some last when e.rid <= last -> true
-                | Some _ | None -> false
+                match ord with
+                | Single_ab _ -> (
+                    match Hashtbl.find_opt seen_rid e.client with
+                    | Some last when e.rid <= last -> true
+                    | Some _ | None -> false)
+                | Part_ab _ ->
+                    let set =
+                      match Hashtbl.find_opt seen_rid_set e.client with
+                      | Some s -> s
+                      | None ->
+                          let s = Hashtbl.create 16 in
+                          Hashtbl.replace seen_rid_set e.client s;
+                          s
+                    in
+                    let last =
+                      Option.value
+                        (Hashtbl.find_opt seen_rid e.client)
+                        ~default:(-1)
+                    in
+                    if e.rid <= last - cache_window || Hashtbl.mem set e.rid
+                    then true
+                    else begin
+                      Hashtbl.replace set e.rid ();
+                      if Hashtbl.length set > 2 * cache_window then
+                        Hashtbl.filter_map_inplace
+                          (fun r v ->
+                            if r <= max last e.rid - cache_window then None
+                            else Some v)
+                          set;
+                      false
+                    end
               in
               if dup then begin
                 P.Mutex.lock cache_mutex;
@@ -494,7 +604,11 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
                 false
               end
               else begin
-                Hashtbl.replace seen_rid e.client e.rid;
+                (* Keep the per-client high-water mark a max: in
+                   partitioned mode a fresh rid can arrive below it. *)
+                (match Hashtbl.find_opt seen_rid e.client with
+                | Some last when last >= e.rid -> ()
+                | Some _ | None -> Hashtbl.replace seen_rid e.client e.rid);
                 true
               end
             in
@@ -539,9 +653,15 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
               in
               loop ()
             in
+            (* Snapshot-based catch-up exists only in single-sequencer mode;
+               partitioned replicas recover through per-partition log
+               transfer (a state snapshot cut across P merge streams would
+               need a vector of partition sequence numbers — future work,
+               see docs/PARTITIONING.md). *)
             let handle_snapshot_msg ~src payload =
-              match payload with
-              | Snapshot_request { have_seq } ->
+              match (ord, payload) with
+              | Part_ab _, _ -> ()
+              | Single_ab ab, Snapshot_request { have_seq } ->
                   if Ab.delivered_seq ab > have_seq then
                     ignore
                       (MB.put apply_box
@@ -550,7 +670,7 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
                               Net.send net ~src:id ~dst:src
                                 (Snapshot { state; rids; seq })))
                         : bool)
-              | Snapshot { state; rids; seq } ->
+              | Single_ab ab, Snapshot { state; rids; seq } ->
                   if seq > Ab.delivered_seq ab then begin
                     Ab.install_snapshot ab ~seq;
                     next_seq := seq + 1;
@@ -558,31 +678,40 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
                       (MB.put apply_box (Install_snapshot { state; rids; seq })
                         : bool)
                   end
-              | Proto _ | Reply _ | Tick | Client_timeout _ -> ()
+              | Single_ab _, (Proto _ | PProto _ | Reply _ | Tick
+                             | Client_timeout _) ->
+                  ()
             in
             let last_request = ref neg_infinity in
             let check_stall () =
-              if Ab.is_stalled ab then begin
-                let now = P.now () in
-                if now -. !last_request > 2.0 *. cfg.abcast.election_timeout
-                then begin
-                  last_request := now;
-                  let have_seq = Ab.delivered_seq ab in
-                  for dst = 0 to cfg.replicas - 1 do
-                    if dst <> id then
-                      Net.send net ~src:id ~dst (Snapshot_request { have_seq })
-                  done
-                end
-              end
+              match ord with
+              | Part_ab _ -> ()
+              | Single_ab ab ->
+                  if Ab.is_stalled ab then begin
+                    let now = P.now () in
+                    if
+                      now -. !last_request
+                      > 2.0 *. cfg.abcast.election_timeout
+                    then begin
+                      last_request := now;
+                      let have_seq = Ab.delivered_seq ab in
+                      for dst = 0 to cfg.replicas - 1 do
+                        if dst <> id then
+                          Net.send net ~src:id ~dst
+                            (Snapshot_request { have_seq })
+                      done
+                    end
+                  end
             in
             {
               id;
-              ab;
+              ord;
               executor;
               stopped = P.Atomic.make false;
               delivered_commands;
               apply_box;
               run_applier;
+              flush_emitted;
               handle_snapshot_msg;
               check_stall;
             })
@@ -601,12 +730,25 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
                     MB.close r.apply_box;
                     Latch.count_down t.all_joined
                 | Some { src; payload; _ } -> (
-                    (match payload with
-                    | Proto m -> Ab.handle r.ab ~src m
-                    | Tick -> Ab.tick r.ab
-                    | Snapshot_request _ | Snapshot _ ->
+                    (match (payload, r.ord) with
+                    | Proto (Psmr_broadcast.Abcast.Request envs), Part_ab pab
+                      ->
+                        (* Client traffic: route each command to its
+                           partition(s) by footprint. *)
+                        Array.iter
+                          (fun (e : envelope) ->
+                            Part.submit pab ~footprint:(S.footprint e.cmd) e)
+                          envs
+                    | Proto m, Single_ab ab -> Ab.handle ab ~src m
+                    | Proto _, Part_ab _ -> ()
+                    | PProto w, Part_ab pab -> Part.handle pab ~src w
+                    | PProto _, Single_ab _ -> ()
+                    | Tick, Single_ab ab -> Ab.tick ab
+                    | Tick, Part_ab pab -> Part.tick pab
+                    | (Snapshot_request _ | Snapshot _), _ ->
                         r.handle_snapshot_msg ~src payload
-                    | Reply _ | Client_timeout _ -> ());
+                    | (Reply _ | Client_timeout _), _ -> ());
+                    r.flush_emitted ();
                     r.check_stall ();
                     loop ())
               in
@@ -638,7 +780,31 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) = struct
         invalid_arg "Deployment.crash_replica";
       Net.crash t.net id
 
-    let replica_view t id = Ab.view t.replica_handles.(id).ab
+    let replica_view t id =
+      match t.replica_handles.(id).ord with
+      | Single_ab ab -> Ab.view ab
+      | Part_ab pab -> Part.view pab ~part:0
+
+    let replica_partition_leader t id ~part =
+      match t.replica_handles.(id).ord with
+      | Single_ab _ ->
+          invalid_arg "Deployment.replica_partition_leader: not partitioned"
+      | Part_ab pab -> Part.leader pab ~part
+
+    let replica_merge_pending t id =
+      match t.replica_handles.(id).ord with
+      | Single_ab _ -> 0
+      | Part_ab pab -> Part.merge_pending pab
+
+    let replica_crosses t id =
+      match t.replica_handles.(id).ord with
+      | Single_ab _ -> 0
+      | Part_ab pab -> Part.crosses pab
+
+    let replica_holes t id =
+      match t.replica_handles.(id).ord with
+      | Single_ab _ -> 0
+      | Part_ab pab -> Part.holes pab
     let replica_delivered t id = P.Atomic.get t.replica_handles.(id).delivered_commands
     let replica_executed t id = t.replica_handles.(id).executor.exec_executed ()
     let network t = t.net

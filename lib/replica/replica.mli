@@ -23,6 +23,12 @@ type mode =
           dispatched, mis-speculations roll back through the service's
           undo capability, and replies are withheld until commit.
           Requires {!Make.Deployment.config.opt_execute}. *)
+  | Partitioned of { partitions : int; inner : mode }
+      (** sharded ordering ({!Psmr_broadcast.Partition}): one sequencer per
+          key partition, cross-partition commands merged deterministically
+          at delivery; [inner] (any non-[Partitioned] mode) executes the
+          merged sequence.  Snapshot catch-up is disabled in this mode —
+          lagging replicas recover via per-partition log transfer. *)
 
 val mode_label : mode -> string
 
@@ -34,6 +40,8 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) : sig
 
   type wire =
     | Proto of envelope Psmr_broadcast.Abcast.message
+    | PProto of envelope Psmr_broadcast.Partition.wire
+        (** partitioned-mode peer traffic, tagged with its partition *)
     | Reply of { rid : int; resp : S.response; replica : int }
     | Tick
     | Client_timeout of { rid : int; attempt : int }
@@ -99,8 +107,25 @@ module Make (P : Platform_intf.S) (S : Psmr_app.Service_intf.S) : sig
     (** Crash-stop: the replica stops sending and receiving forever. *)
 
     val replica_view : t -> int -> int
+    (** Partitioned mode reports partition 0's view. *)
+
     val replica_delivered : t -> int -> int
     val replica_executed : t -> int -> int
+
+    val replica_partition_leader : t -> int -> part:int -> int
+    (** Current leader of partition [part] as seen by the replica
+        (partitioned mode only; use to pick a sequencer to crash). *)
+
+    val replica_merge_pending : t -> int -> int
+    (** Delivered-but-unmerged entries at the replica's merge (0 at
+        quiescence, and always 0 in single-sequencer modes). *)
+
+    val replica_crosses : t -> int -> int
+    (** Cross-partition commands the replica's merge has emitted. *)
+
+    val replica_holes : t -> int -> int
+    (** Cycle tie-breaks the replica's merge has taken. *)
+
     val network : t -> wire Net.t
 
     val shutdown : t -> unit

@@ -957,6 +957,35 @@ let test_optimistic_zero_mis_fast_path () =
     Alcotest.failf "fast path allocates %.0f minor words/command (budget 512)"
       per_cmd
 
+let test_submit_batch_alloc_budget () =
+  (* Batched confirm on the conservative feed: with no speculation in
+     flight, [submit_batch] must take the single-pass fast path — one
+     chunked window acquire and one lock round per worker queue for the
+     whole batch.  Measured ~110 minor words/command on this workload;
+     the 256-word budget leaves slack for GC jitter and the workers'
+     concurrent pops (they share the minor heap) while still catching a
+     reintroduced per-command acquire or a per-command queue-append
+     (the latter is O(batch²) words and blows the budget immediately). *)
+  let d = D.start ~max_size:4096 ~workers:4 ~execute:(fun _ -> ()) () in
+  let cmd i = { Fc.idx = i; fp = [ (i mod 4, true) ] } in
+  let batch base len = Array.init len (fun j -> cmd (base + j)) in
+  let bsz = 256 in
+  D.submit_batch d (batch 0 bsz) (* warmup: grows internal structures *);
+  Thread.delay 0.05;
+  let rounds = 8 in
+  let before = Gc.minor_words () in
+  for r = 0 to rounds - 1 do
+    D.submit_batch d (batch ((r + 1) * bsz) bsz)
+  done;
+  let words = Gc.minor_words () -. before in
+  let n = rounds * bsz in
+  D.shutdown d;
+  Alcotest.(check int) "every command executed" (bsz + n) (D.executed d);
+  let per_cmd = words /. float_of_int n in
+  if per_cmd > 256.0 then
+    Alcotest.failf
+      "batched submit allocates %.0f minor words/command (budget 256)" per_cmd
+
 (* --- worker crash inside the repair window (DES) --- *)
 
 let test_keyed_bench_opt_crash_mid_repair () =
@@ -1127,6 +1156,8 @@ let () =
             test_optimistic_sim_deterministic;
           Alcotest.test_case "zero-mis fast path does no repair work" `Quick
             test_optimistic_zero_mis_fast_path;
+          Alcotest.test_case "batched submit stays allocation-flat" `Quick
+            test_submit_batch_alloc_budget;
         ] );
       ( "equivalence",
         List.map QCheck_alcotest.to_alcotest

@@ -321,6 +321,148 @@ let test_bench_engine_schema () =
     "churn_10m row present" true
     (List.mem "churn_10m" names)
 
+(* The committed report must also carry the partitioned-ordering grid
+   (bench/main.ml [part_sim_kops], produced by Part_bench): well-formed
+   partitions × workers rows, the ISSUE-9 acceptance ratio (>= 1.7x at 4
+   partitions vs 1 at w32 on a <= 5%-cross keyed workload) both present as
+   a scalar and consistent with the rows it was derived from, and the
+   100%-cross rows degrading gracefully (throughput above zero, no view
+   changes, no unresolved rendezvous pile-up masked by a hole flood).
+   Simulated kops are virtual-time deterministic, so these are stable
+   regression anchors, not flaky wall-clock readings. *)
+let test_bench_part_schema () =
+  let path =
+    if Sys.file_exists "../BENCH_cos.json" then "../BENCH_cos.json"
+    else "BENCH_cos.json"
+  in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let doc =
+    match J.parse s with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "BENCH_cos.json does not parse: %s" e
+  in
+  let rows =
+    match J.member "part_sim_kops" doc with
+    | Some (J.Arr rows) -> rows
+    | _ -> Alcotest.fail "missing part_sim_kops array"
+  in
+  Alcotest.(check bool) "at least one grid row" true (rows <> []);
+  let field row name =
+    match Option.bind (J.member name row) J.as_num with
+    | Some v -> v
+    | None -> Alcotest.failf "grid row missing numeric %S" name
+  in
+  let str_field row name =
+    match Option.bind (J.member name row) J.as_str with
+    | Some v -> v
+    | None -> Alcotest.failf "grid row missing string %S" name
+  in
+  List.iter
+    (fun row ->
+      let partitions = field row "partitions" in
+      let replicas = field row "replicas" in
+      let workers = field row "workers" in
+      let kops = field row "kops" in
+      ignore (str_field row "cost");
+      if partitions < 1.0 || workers < 1.0 then
+        Alcotest.fail "grid row with nonpositive partitions/workers";
+      if replicas < partitions then
+        Alcotest.fail "grid row with fewer replicas than partitions";
+      if kops <= 0.0 then Alcotest.fail "grid row with nonpositive kops";
+      List.iter
+        (fun f ->
+          if field row f < 0.0 then Alcotest.failf "negative %S in grid row" f)
+        [ "cross_pct"; "singles"; "crosses"; "holes"; "merge_pending"; "views" ])
+    rows;
+  let find ~partitions ~workers ~max_cross =
+    List.find_opt
+      (fun row ->
+        field row "partitions" = float_of_int partitions
+        && field row "workers" = float_of_int workers
+        && field row "cross_pct" <= max_cross
+        && str_field row "cost" = "light")
+      rows
+  in
+  let p1 =
+    match find ~partitions:1 ~workers:32 ~max_cross:5.0 with
+    | Some r -> r
+    | None -> Alcotest.fail "no 1-partition w32 low-cross row"
+  in
+  let p4 =
+    match find ~partitions:4 ~workers:32 ~max_cross:5.0 with
+    | Some r -> r
+    | None -> Alcotest.fail "no 4-partition w32 low-cross row"
+  in
+  let ratio = field p4 "kops" /. field p1 "kops" in
+  Alcotest.(check bool)
+    (Printf.sprintf "acceptance ratio %.2f >= 1.7" ratio)
+    true (ratio >= 1.7);
+  let speedup =
+    match Option.bind (J.member "speedup_w32_part4_vs_part1" doc) J.as_num with
+    | Some v -> v
+    | None -> Alcotest.fail "missing speedup_w32_part4_vs_part1 scalar"
+  in
+  if abs_float (speedup -. ratio) > 0.011 then
+    Alcotest.failf "speedup scalar %.2f inconsistent with grid rows (%.2f)"
+      speedup ratio;
+  let all_cross =
+    List.filter (fun row -> field row "cross_pct" = 100.0) rows
+  in
+  Alcotest.(check bool) "a 100%-cross row exists" true (all_cross <> []);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        "100%-cross row made progress" true
+        (field row "kops" > 0.0);
+      Alcotest.(check (float 0.0))
+        "100%-cross row is view-change free" 0.0 (field row "views"))
+    all_cross
+
+(* Memo-key coverage for the partition grid (the PR-8 lesson: a %.0f in a
+   memo key collapsed distinct fractional rates into one simulated point).
+   [Part_bench.config_label] must keep every grid dimension — partitions
+   included — and fractional workload rates distinct. *)
+let test_part_config_label () =
+  let module PB = Psmr_harness.Part_bench in
+  let base = Psmr_workload.Workload.Keyed.low_conflict in
+  let label ?(partitions = 4) ?(workers = 32) ?(batch = 16) spec =
+    PB.config_label ~partitions
+      ~replicas:(PB.default_replicas ~partitions)
+      ~workers ~batch spec
+  in
+  let distinct what a b =
+    if String.equal a b then
+      Alcotest.failf "%s collide on memo key %S" what a
+  in
+  distinct "partition counts" (label ~partitions:1 base) (label ~partitions:4 base);
+  distinct "worker counts" (label ~workers:8 base) (label ~workers:32 base);
+  distinct "batch sizes" (label ~batch:1 base) (label ~batch:16 base);
+  (* The %.0f collision class: rates that agree after integer rounding. *)
+  distinct "fractional cross rates"
+    (label { base with cross_pct = 0.1 })
+    (label { base with cross_pct = 0.4 });
+  distinct "fractional write rates"
+    (label { base with write_pct = 2.0 })
+    (label { base with write_pct = 2.4 });
+  distinct "fractional mis rates"
+    (label { base with mis_pct = 0.1 })
+    (label { base with mis_pct = 0.25 });
+  (* Replica count is part of the key even when derived. *)
+  let l = label base in
+  List.iter
+    (fun sub ->
+      let n = String.length sub in
+      let rec scan i =
+        i + n <= String.length l
+        && (String.equal (String.sub l i n) sub || scan (i + 1))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "label %S mentions %S" l sub)
+        true (scan 0))
+    [ "part4"; "n5"; "w32"; "b16" ]
+
 let per_impl name f =
   List.map
     (fun (impl, label) ->
@@ -345,6 +487,10 @@ let () =
           Alcotest.test_case "chrome trace file" `Quick test_trace_schema;
           Alcotest.test_case "bench report engine rows" `Quick
             test_bench_engine_schema;
+          Alcotest.test_case "bench report partition grid" `Quick
+            test_bench_part_schema;
+          Alcotest.test_case "partition grid memo keys" `Quick
+            test_part_config_label;
         ] );
       ( "check-platform",
         [
