@@ -445,6 +445,97 @@ let sim_part ~smoke () =
       (p, Psmr_harness.Part_bench.default_replicas ~partitions:p, w, spec, r))
     part_configs
 
+(* Open-loop latency-under-load grid (docs/WORKLOADS.md): the Zipfian
+   YCSB-A scenario driven through [Load_bench]'s bounded offered queue
+   into each scheduler family at 32 workers, sweeping offered load to
+   locate the saturation knee.  The rate grid is dense around each
+   family's measured capacity (coarse saturates near 85 kops; the
+   keyed/early/partitioned families near 1.0-1.2 Mops/s) so the knee
+   lands on an interior step rather than the sweep edge.  Rows are
+   memoized on target label + smoke flag and fanned out over domains
+   like the other grids. *)
+let open_loop_targets =
+  [ "coarse"; "indexed"; "early"; "early_opt"; "part4" ]
+
+let open_loop_workers = 32
+
+let open_loop_rates ~smoke =
+  if smoke then [ 50_000.0; 200_000.0; 2_000_000.0 ]
+  else
+    [
+      25_000.0; 50_000.0; 100_000.0; 200_000.0; 400_000.0; 800_000.0;
+      1_000_000.0; 1_100_000.0; 1_200_000.0; 1_600_000.0;
+    ]
+
+let compute_open_loop ~smoke name =
+  let duration, warmup = if smoke then (0.02, 0.005) else (0.08, 0.02) in
+  (* JSON row names use underscores; the target parser wants the
+     registry spelling. *)
+  let spelled =
+    String.map (function '_' -> '-' | c -> c) name
+  in
+  let target =
+    match Psmr_harness.Load_bench.target_of_string spelled with
+    | Some t -> t
+    | None -> invalid_arg ("open_loop: unknown target " ^ name)
+  in
+  Psmr_harness.Load_bench.sweep ~target ~workers:open_loop_workers
+    ~scenario:(Psmr_traffic.Scenario.spec Psmr_traffic.Scenario.A)
+    ~rates:(open_loop_rates ~smoke) ~duration ~warmup ()
+
+let open_memo : (string, Psmr_harness.Load_bench.sweep) Hashtbl.t =
+  Hashtbl.create 8
+
+let open_key ~smoke name = Printf.sprintf "%s/%b" name smoke
+
+let prefill_open ~smoke ~jobs =
+  let todo =
+    List.filter
+      (fun n -> not (Hashtbl.mem open_memo (open_key ~smoke n)))
+      open_loop_targets
+  in
+  let results =
+    Psmr_sim.Grid_runner.map ~jobs (compute_open_loop ~smoke)
+      (Array.of_list todo)
+  in
+  List.iteri
+    (fun i n -> Hashtbl.replace open_memo (open_key ~smoke n) results.(i))
+    todo
+
+let sim_open_loop ~smoke () =
+  List.map
+    (fun name ->
+      let sw =
+        match Hashtbl.find_opt open_memo (open_key ~smoke name) with
+        | Some sw -> sw
+        | None ->
+            let sw = compute_open_loop ~smoke name in
+            Hashtbl.add open_memo (open_key ~smoke name) sw;
+            sw
+      in
+      (name, sw))
+    open_loop_targets
+
+let print_open_loop rows =
+  List.iter
+    (fun (name, (sw : Psmr_harness.Load_bench.sweep)) ->
+      Printf.printf "# open-loop %s workers=%d %s\n" name sw.workers
+        (Format.asprintf "%a" Psmr_traffic.Scenario.pp_spec sw.scenario);
+      List.iter
+        (fun (s : Psmr_harness.Load_bench.step) ->
+          Printf.printf
+            "  offered %8.1f kops -> %8.1f kops  drop %5.2f%%  p50 %.6f  \
+             p99 %.6f  p999 %.6f\n"
+            s.offered_kops s.kops
+            (100.0 *. s.drop_rate)
+            s.p50 s.p99 s.p999)
+        sw.steps;
+      (match sw.knee_kops with
+      | Some k -> Printf.printf "  knee: %.1f kops offered\n" k
+      | None -> print_string "  knee: not reached\n");
+      print_newline ())
+    rows
+
 (* Throughput-under-faults rows: coarse vs lock-free at 32 workers, with
    one mid-window worker crash that recovers, against the fault-free
    baseline.  Quantifies graceful degradation (docs/FAULTS.md): the
@@ -529,7 +620,8 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~micro ~fig2 ~keyed ~part ~faults ~metrics ~engine =
+let write_json ~path ~micro ~fig2 ~keyed ~part ~open_loop ~faults ~metrics
+    ~engine =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"metrics\": {\n";
   List.iteri
@@ -599,6 +691,34 @@ let write_json ~path ~micro ~fig2 ~keyed ~part ~faults ~metrics ~engine =
            r.views
            (if i = List.length part - 1 then "" else ",")))
     part;
+  Buffer.add_string buf "  ],\n  \"open_loop\": [\n";
+  List.iteri
+    (fun i (name, (sw : Psmr_harness.Load_bench.sweep)) ->
+      let steps =
+        String.concat ","
+          (List.map
+             (fun (s : Psmr_harness.Load_bench.step) ->
+               Printf.sprintf
+                 "\n      { \"offered_kops\": %.9g, \"kops\": %.1f, \
+                  \"drop_rate\": %.9g, \"p50\": %.9g, \"p99\": %.9g, \
+                  \"p999\": %.9g }"
+                 s.offered_kops s.kops s.drop_rate s.p50 s.p99 s.p999)
+             sw.steps)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"impl\": \"%s\", \"workers\": %d, \"scenario\": \"%s\", \
+            \"records\": %d, \"theta\": %g, \"knee_kops\": %s, \"steps\": \
+            [%s\n    ] }%s\n"
+           (json_escape name) sw.workers
+           (Psmr_traffic.Scenario.label sw.scenario.scenario)
+           sw.scenario.records sw.scenario.theta
+           (match sw.knee_kops with
+           | Some k -> Printf.sprintf "%.9g" k
+           | None -> "null")
+           steps
+           (if i = List.length open_loop - 1 then "" else ",")))
+    open_loop;
   Buffer.add_string buf "  ],\n  \"sim_events_per_wall_second\": [\n";
   List.iteri
     (fun i (r : Engine_churn.row) ->
@@ -705,6 +825,30 @@ let validate_json ~path =
       | Some [] -> fail "member \"part_sim_kops\" is empty"
       | None -> fail "member \"part_sim_kops\" is not a list");
       req_num "speedup_w32_part4_vs_part1" j;
+      (match J.as_arr (req "open_loop" j) with
+      | Some (_ :: _ as rows) ->
+          List.iter
+            (fun row ->
+              (match J.as_str (req "impl" row) with
+              | Some _ -> ()
+              | None -> fail "open_loop member \"impl\" is not a string");
+              List.iter (fun f -> req_num f row)
+                [ "workers"; "records"; "theta"; "knee_kops" ];
+              match J.as_arr (req "steps" row) with
+              | Some (_ :: _ as steps) ->
+                  List.iter
+                    (fun s ->
+                      List.iter (fun f -> req_num f s)
+                        [
+                          "offered_kops"; "kops"; "drop_rate"; "p50"; "p99";
+                          "p999";
+                        ])
+                    steps
+              | Some [] -> fail "open_loop row has empty \"steps\""
+              | None -> fail "open_loop member \"steps\" is not a list")
+            rows
+      | Some [] -> fail "member \"open_loop\" is empty"
+      | None -> fail "member \"open_loop\" is not a list");
       (match J.as_arr (req "sim_events_per_wall_second" j) with
       | Some (_ :: _ as rows) ->
           List.iter
@@ -764,6 +908,7 @@ let full_run ~smoke =
      section builds below. *)
   prefill_points ~smoke ~jobs (fig2_configs @ keyed_configs);
   prefill_part ~smoke ~jobs;
+  prefill_open ~smoke ~jobs;
   let fig2 = sim_fig2 ~smoke () in
   let micro_for_json =
     List.filter
@@ -785,6 +930,7 @@ let full_run ~smoke =
   write_json ~path:json_path ~micro:micro_for_json ~fig2
     ~keyed:(sim_keyed ~smoke ())
     ~part:(sim_part ~smoke ())
+    ~open_loop:(sim_open_loop ~smoke ())
     ~faults:(sim_faults ~smoke ())
     ~metrics:(sim_metrics ~smoke ())
     ~engine:engine_rows;
@@ -809,4 +955,11 @@ let () =
     List.iter
       (fun r -> Format.printf "%a@." Engine_churn.pp_row r)
       (Engine_churn.rows ~smoke ())
+  else if getenv_flag "PSMR_BENCH_OPEN_ONLY" then begin
+    (* Open-loop sweeps only (the @bench-open alias): the lib/traffic
+       latency-under-load grid, printed as tables, no JSON. *)
+    let jobs = getenv_int "PSMR_BENCH_JOBS" 1 in
+    prefill_open ~smoke ~jobs;
+    print_open_loop (sim_open_loop ~smoke ())
+  end
   else full_run ~smoke

@@ -475,6 +475,115 @@ let part_cmd =
       $ writes_arg $ cross_arg $ cost_arg $ part_batch_arg $ duration_arg
       $ metrics_arg)
 
+(* The open-loop surface: a seeded arrival process and YCSB-style
+   scenario driven through the bounded offered queue into any backend —
+   latency under load and the saturation knee (docs/WORKLOADS.md). *)
+let target_conv =
+  let parse s =
+    match Psmr_harness.Load_bench.target_of_string s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown open-loop target %S" s))
+  in
+  let print ppf t =
+    Format.pp_print_string ppf (Psmr_harness.Load_bench.target_label t)
+  in
+  Arg.conv (parse, print)
+
+let target_arg =
+  Arg.(
+    value
+    & opt target_conv
+        (Psmr_harness.Load_bench.Backend
+           (Psmr_early.Registry.Cos Psmr_cos.Registry.Indexed))
+    & info [ "impl" ] ~docv:"TARGET"
+        ~doc:
+          "Open-loop target: any backend name (coarse, indexed, early, \
+           early-opt, ...) or part$(b,P) for the partitioned-ordering stack.")
+
+let scenario_conv =
+  let parse s =
+    match Psmr_traffic.Scenario.of_string s with
+    | Some n -> Ok n
+    | None -> Error (`Msg (Printf.sprintf "unknown scenario %S (a-f)" s))
+  in
+  let print ppf n =
+    Format.pp_print_string ppf (Psmr_traffic.Scenario.label n)
+  in
+  Arg.conv (parse, print)
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt scenario_conv Psmr_traffic.Scenario.A
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:"YCSB-style scenario: a (update-heavy) .. f (read-modify-write).")
+
+let records_arg =
+  Arg.(
+    value
+    & opt int Psmr_traffic.Scenario.default_records
+    & info [ "records" ] ~docv:"N" ~doc:"Key universe of the scenario.")
+
+let theta_arg =
+  Arg.(
+    value
+    & opt float Psmr_traffic.Scenario.default_theta
+    & info [ "theta" ] ~docv:"T" ~doc:"Zipf exponent (0 = uniform).")
+
+let rates_arg =
+  Arg.(
+    value
+    & opt (list float) [ 25.0; 50.0; 100.0; 200.0; 400.0; 800.0; 1600.0 ]
+    & info [ "rates" ] ~docv:"KOPS,..."
+        ~doc:"Offered-load steps, in thousands of ops per second.")
+
+let sessions_arg =
+  Arg.(
+    value
+    & opt int Psmr_harness.Load_bench.default_sessions
+    & info [ "sessions" ] ~docv:"N" ~doc:"Logical client-session population.")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int Psmr_harness.Load_bench.default_queue_cap
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Offered-queue bound; arrivals beyond it are shed, not blocked.")
+
+let open_loop_cmd =
+  let run target workers scenario records theta rates sessions queue duration =
+    let scenario = Psmr_traffic.Scenario.spec ~records ~theta scenario in
+    let sweep =
+      Psmr_harness.Load_bench.sweep ~target ~workers ~scenario
+        ~rates:(List.map (fun k -> k *. 1000.0) rates)
+        ~sessions ~queue_cap:queue ?duration ()
+    in
+    Printf.printf "%s workers=%d %s: open-loop sweep\n"
+      (Psmr_harness.Load_bench.target_label target)
+      workers
+      (Format.asprintf "%a" Psmr_traffic.Scenario.pp_spec scenario);
+    Printf.printf "%10s %10s %7s %12s %12s %12s %8s\n" "offered" "kops"
+      "drop%" "p50(ms)" "p99(ms)" "p999(ms)" "queue";
+    List.iter
+      (fun (s : Psmr_harness.Load_bench.step) ->
+        Printf.printf "%10.1f %10.1f %7.2f %12.4f %12.4f %12.4f %8d\n"
+          s.offered_kops s.kops
+          (100.0 *. s.drop_rate)
+          (s.p50 *. 1e3) (s.p99 *. 1e3) (s.p999 *. 1e3) s.queue_peak)
+      sweep.steps;
+    match sweep.knee_kops with
+    | Some k -> Printf.printf "saturation knee: %.1f kops offered\n" k
+    | None -> print_string "saturation knee: not reached in this sweep\n"
+  in
+  Cmd.v
+    (Cmd.info "open-loop"
+       ~doc:
+         "Latency under load: an open-loop offered-load sweep with \
+          p50/p99/p999, drop rate and the saturation knee.")
+    Term.(
+      const run $ target_arg $ workers_arg $ scenario_arg $ records_arg
+      $ theta_arg $ rates_arg $ sessions_arg $ queue_arg $ duration_arg)
+
 let () =
   let info =
     Cmd.info "psmr-bench" ~version:"1.0.0"
@@ -488,4 +597,5 @@ let () =
           [
             fig2_cmd; fig3_cmd; fig4_cmd; fig5_cmd; fig6_cmd; ablations_cmd;
             all_cmd; standalone_cmd; keyed_cmd; part_cmd; smr_cmd;
+            open_loop_cmd;
           ]))

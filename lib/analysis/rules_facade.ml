@@ -2,14 +2,15 @@
    facade to the runtime layers:
 
    - observability: scheduling and ordering implementations (lib/cos/,
-     lib/early/, lib/broadcast/) may record events only through
-     [Psmr_obs.Probe]; touching the registry or trace buffer directly
-     would couple algorithms to registry internals and break the
-     zero-cost-when-disabled discipline;
+     lib/early/, lib/broadcast/) and the traffic engine (lib/traffic/)
+     may record events only through [Psmr_obs.Probe]; touching the
+     registry or trace buffer directly would couple algorithms to
+     registry internals and break the zero-cost-when-disabled
+     discipline;
    - fault injection: runtime layers (lib/cos/, lib/early/, lib/sched/,
-     lib/replica/, lib/net/, lib/broadcast/) may only *ask*
-     [Psmr_fault.Fault]; arming plans or poking schedules from runtime
-     code would let an algorithm see or steer the fault plan.
+     lib/replica/, lib/net/, lib/broadcast/, lib/traffic/) may only
+     *ask* [Psmr_fault.Fault]; arming plans or poking schedules from
+     runtime code would let an algorithm see or steer the fault plan.
 
    Aliasing the library root ([module O = Psmr_obs]) is fine by itself —
    uses through the alias still resolve to their canonical path and are
@@ -40,7 +41,7 @@ let facade ~id ~root ~allowed ~dirs ~doc ~message =
 let rules =
   [
     facade ~id:"obs-facade" ~root:"Psmr_obs" ~allowed:"Probe"
-      ~dirs:[ "lib/cos/"; "lib/early/"; "lib/broadcast/" ]
+      ~dirs:[ "lib/cos/"; "lib/early/"; "lib/broadcast/"; "lib/traffic/" ]
       ~doc:
         "scheduling and ordering implementations record observability only \
          through Psmr_obs.Probe"
@@ -56,6 +57,7 @@ let rules =
           "lib/replica/";
           "lib/net/";
           "lib/broadcast/";
+          "lib/traffic/";
         ]
       ~doc:
         "runtime layers consult fault injection only through \

@@ -53,8 +53,10 @@ let is_lower_ident s =
    referenced-name) pairs the walker already tagged the facts with.  The
    roots cover the undoable surface too — [execute_undoable] and [undo]
    replay on every replica during optimistic rollback, so their closure
-   must be exactly as deterministic as [execute]'s. *)
-let execute_roots = [ "execute"; "execute_undoable"; "undo" ]
+   must be exactly as deterministic as [execute]'s — and the kv store's
+   file-level [scan] helper, the range read behind the YCSB-E scenario,
+   which executes on every replica like any other command arm. *)
+let execute_roots = [ "execute"; "execute_undoable"; "undo"; "scan" ]
 
 let reachable_from_execute (facts : Scope.fact list) =
   let refs =

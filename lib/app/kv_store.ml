@@ -8,9 +8,15 @@
 
 type t = { slots : int option array }
 
-type command = Get of int | Put of int * int
+type command = Get of int | Put of int * int | Scan of int * int
 
-type response = Value of int option | Stored
+type response = Value of int option | Stored | Range of int option list
+
+(** Scans declare every slot they read in their footprint, so the
+    footprint must stay bounded: longer ranges are rejected rather than
+    silently truncated (a scan whose footprint under-reports its reads
+    would break conflict detection). *)
+let max_scan_len = 64
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Kv_store.create: capacity must be positive";
@@ -22,6 +28,19 @@ let check_key t k =
   if k < 0 || k >= Array.length t.slots then
     invalid_arg (Printf.sprintf "Kv_store: key %d out of range" k)
 
+let check_scan t s len =
+  if len <= 0 || len > max_scan_len then
+    invalid_arg (Printf.sprintf "Kv_store: scan length %d out of [1,%d]" len max_scan_len);
+  check_key t s;
+  check_key t (s + len - 1)
+
+(* File-level on purpose: the service-determinism lint treats [scan] as
+   an execute root, so helpers reachable from the scan path are checked
+   for nondeterminism like the rest of execute. *)
+let scan t s len =
+  check_scan t s len;
+  List.init len (fun i -> t.slots.(s + i))
+
 let execute t = function
   | Get k ->
       check_key t k;
@@ -30,6 +49,7 @@ let execute t = function
       check_key t k;
       t.slots.(k) <- Some v;
       Stored
+  | Scan (s, len) -> Range (scan t s len)
 
 let snapshot t = Marshal.to_string t.slots []
 
@@ -39,11 +59,16 @@ let restore t data =
     invalid_arg "Kv_store.restore: capacity mismatch";
   Array.blit slots 0 t.slots 0 (Array.length slots)
 
-let key = function Get k -> k | Put (k, _) -> k
+let key = function Get k -> k | Put (k, _) -> k | Scan (s, _) -> s
 
-let is_write = function Put _ -> true | Get _ -> false
+let is_write = function Put _ -> true | Get _ | Scan _ -> false
 
-let footprint c = [ (key c, is_write c) ]
+let footprint = function
+  | Scan (s, len) ->
+      (* Every scanned slot, as a read; the same [max_scan_len] bound
+         [execute] enforces keeps this list small. *)
+      List.init (min (max len 1) max_scan_len) (fun i -> (s + i, false))
+  | c -> [ (key c, is_write c) ]
 
 let conflict = Service_intf.conflict_of_footprint footprint
 
@@ -52,7 +77,7 @@ type undo = (int * int option) option
 
 let execute_undoable t c =
   match c with
-  | Get _ -> (execute t c, None)
+  | Get _ | Scan _ -> (execute t c, None)
   | Put (k, _) ->
       check_key t k;
       let prior = t.slots.(k) in
@@ -63,11 +88,21 @@ let undo t = function None -> () | Some (k, prior) -> t.slots.(k) <- prior
 let pp_command ppf = function
   | Get k -> Format.fprintf ppf "get(%d)" k
   | Put (k, v) -> Format.fprintf ppf "put(%d,%d)" k v
+  | Scan (s, len) -> Format.fprintf ppf "scan(%d,%d)" s len
 
 let pp_response ppf = function
   | Value None -> Format.pp_print_string ppf "nil"
   | Value (Some v) -> Format.fprintf ppf "%d" v
   | Stored -> Format.pp_print_string ppf "ok"
+  | Range vs ->
+      Format.fprintf ppf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ';')
+           (fun ppf v ->
+             match v with
+             | None -> Format.pp_print_string ppf "nil"
+             | Some v -> Format.pp_print_int ppf v))
+        vs
 
 module Command : Psmr_cos.Cos_intf.KEYED_COMMAND with type t = command =
 struct

@@ -5,9 +5,19 @@
 
 type t
 
-type command = Get of int | Put of int * int
+type command =
+  | Get of int
+  | Put of int * int
+  | Scan of int * int
+      (** [Scan (start, len)]: read slots [start .. start+len-1];
+          [len] must be in [1, {!max_scan_len}]. *)
 
-type response = Value of int option | Stored
+type response = Value of int option | Stored | Range of int option list
+
+val max_scan_len : int
+(** Upper bound on scan length (64): scans declare every slot read in
+    their footprint, so ranges must stay bounded for conflict detection
+    to stay cheap and exact. *)
 
 val create : capacity:int -> t
 
@@ -26,11 +36,14 @@ val restore : t -> string -> unit
     [execute]. *)
 
 val key : command -> int
+(** Primary key: the target slot, or a scan's start slot. *)
+
 val is_write : command -> bool
 val conflict : command -> command -> bool
 
 val footprint : command -> (int * bool) list
-(** [[ (key c, is_write c) ]]: one slot per command. *)
+(** [[ (key c, is_write c) ]] for point commands; every scanned slot
+    (as a read) for [Scan]. *)
 
 type undo
 (** Inverse of one executed command: the written slot's prior value

@@ -260,6 +260,7 @@ let assoc t =
           (name ^ "_p50", Psmr_util.Histogram.quantile h 0.50);
           (name ^ "_p95", Psmr_util.Histogram.quantile h 0.95);
           (name ^ "_p99", Psmr_util.Histogram.quantile h 0.99);
+          (name ^ "_p999", Psmr_util.Histogram.quantile h 0.999);
           (name ^ "_mean", Psmr_util.Histogram.mean h);
           (name ^ "_max", Psmr_util.Histogram.max_value h);
         ])
@@ -303,12 +304,13 @@ let to_json ?cost_model t =
       Buffer.add_string buf
         (Printf.sprintf
            "    \"%s\": { \"count\": %d, \"p50\": %s, \"p95\": %s, \"p99\": \
-            %s, \"mean\": %s, \"max\": %s }%s\n"
+            %s, \"p999\": %s, \"mean\": %s, \"max\": %s }%s\n"
            name
            (Psmr_util.Histogram.count h)
            (num (Psmr_util.Histogram.quantile h 0.50))
            (num (Psmr_util.Histogram.quantile h 0.95))
            (num (Psmr_util.Histogram.quantile h 0.99))
+           (num (Psmr_util.Histogram.quantile h 0.999))
            (num (Psmr_util.Histogram.mean h))
            (num (Psmr_util.Histogram.max_value h))
            (if i = List.length hists - 1 then "" else ",")))

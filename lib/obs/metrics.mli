@@ -95,7 +95,7 @@ val track : t -> unit -> int
 
 val assoc : t -> (string * float) list
 (** Flat numeric snapshot: every counter, plus [_count]/[_p50]/[_p95]/
-    [_p99]/[_mean]/[_max] per histogram.  Deterministic order. *)
+    [_p99]/[_p999]/[_mean]/[_max] per histogram.  Deterministic order. *)
 
 val to_json : ?cost_model:(string * float) list -> t -> string
 (** JSON document with ["counters"] and ["latency_virtual_seconds"]

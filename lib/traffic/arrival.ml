@@ -1,0 +1,181 @@
+(** Open-loop arrival processes.
+
+    An arrival process is a deterministic stream of absolute arrival
+    times driven by one [Psmr_util.Rng] stream: equal seed and shape
+    replay bit-identical times.  All processes are *open-loop* — the
+    next arrival never depends on how the system under test responds —
+    which is what lets a latency-under-load sweep see saturation
+    instead of the closed-loop coordinated-omission artifact.
+
+    Non-homogeneous shapes ([Ramp], [Steps]) are sampled by Lewis–Shedler
+    thinning against the peak rate; the on/off shape ([Onoff]) is a
+    2-state MMPP sampled directly, using the memorylessness of the
+    exponential to truncate and redraw at phase boundaries. *)
+
+module Rng = Psmr_util.Rng
+
+type shape =
+  | Poisson of { rate : float }
+  | Onoff of {
+      rate_on : float;
+      rate_off : float;
+      mean_on : float;
+      mean_off : float;
+    }
+  | Ramp of { rate0 : float; rate1 : float; over : float }
+  | Steps of { period : float; levels : float array }
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let pos ~what v = if not (v > 0.0 && Float.is_finite v) then fail "Arrival: %s must be positive and finite (got %g)" what v
+
+let nonneg ~what v =
+  if not (v >= 0.0 && Float.is_finite v) then
+    fail "Arrival: %s must be non-negative and finite (got %g)" what v
+
+let validate = function
+  | Poisson { rate } -> pos ~what:"rate" rate
+  | Onoff { rate_on; rate_off; mean_on; mean_off } ->
+      nonneg ~what:"rate_on" rate_on;
+      nonneg ~what:"rate_off" rate_off;
+      pos ~what:"mean_on" mean_on;
+      pos ~what:"mean_off" mean_off;
+      if rate_on <= 0.0 && rate_off <= 0.0 then
+        fail "Arrival: on/off shape needs a positive rate in some phase"
+  | Ramp { rate0; rate1; over } ->
+      nonneg ~what:"rate0" rate0;
+      nonneg ~what:"rate1" rate1;
+      pos ~what:"over" over;
+      if rate0 <= 0.0 && rate1 <= 0.0 then
+        fail "Arrival: ramp needs a positive endpoint rate"
+  | Steps { period; levels } ->
+      pos ~what:"period" period;
+      if Array.length levels = 0 then fail "Arrival: empty step levels";
+      Array.iter (nonneg ~what:"step level") levels;
+      if not (Array.exists (fun l -> l > 0.0) levels) then
+        fail "Arrival: step levels need a positive entry"
+
+(** Long-run mean arrival rate — the sweep's "offered load" axis.  For
+    [Ramp] this is the mean over the ramp window (after [over] the rate
+    holds at [rate1], so long runs approach [rate1]; sweeps size their
+    window to the ramp). *)
+let mean_rate = function
+  | Poisson { rate } -> rate
+  | Onoff { rate_on; rate_off; mean_on; mean_off } ->
+      ((rate_on *. mean_on) +. (rate_off *. mean_off)) /. (mean_on +. mean_off)
+  | Ramp { rate0; rate1; _ } -> (rate0 +. rate1) /. 2.0
+  | Steps { levels; _ } ->
+      Array.fold_left ( +. ) 0.0 levels /. float_of_int (Array.length levels)
+
+(** Peak instantaneous rate: the thinning envelope, and the rate a
+    bounded offered-queue must be provisioned against. *)
+let peak_rate = function
+  | Poisson { rate } -> rate
+  | Onoff { rate_on; rate_off; _ } -> Float.max rate_on rate_off
+  | Ramp { rate0; rate1; _ } -> Float.max rate0 rate1
+  | Steps { levels; _ } -> Array.fold_left Float.max 0.0 levels
+
+(** Multiply every rate by [f] (dwell times and periods unchanged):
+    the offered-load knob of a sweep. *)
+let scale shape f =
+  pos ~what:"scale factor" f;
+  match shape with
+  | Poisson { rate } -> Poisson { rate = rate *. f }
+  | Onoff o -> Onoff { o with rate_on = o.rate_on *. f; rate_off = o.rate_off *. f }
+  | Ramp r -> Ramp { r with rate0 = r.rate0 *. f; rate1 = r.rate1 *. f }
+  | Steps s -> Steps { s with levels = Array.map (fun l -> l *. f) s.levels }
+
+(* %g throughout: labels key bench memo tables, so fractional rates must
+   not round into a neighbouring config. *)
+let pp ppf = function
+  | Poisson { rate } -> Format.fprintf ppf "poisson(%g/s)" rate
+  | Onoff { rate_on; rate_off; mean_on; mean_off } ->
+      Format.fprintf ppf "onoff(%g/%g per s, dwell %g/%g s)" rate_on rate_off
+        mean_on mean_off
+  | Ramp { rate0; rate1; over } ->
+      Format.fprintf ppf "ramp(%g->%g/s over %g s)" rate0 rate1 over
+  | Steps { period; levels } ->
+      Format.fprintf ppf "steps(%g s:%a)" period
+        (Format.pp_print_array
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           (fun ppf l -> Format.fprintf ppf "%g" l))
+        levels
+
+let label shape = Format.asprintf "%a" pp shape
+
+type t = {
+  shape : shape;
+  rng : Rng.t;
+  mutable now : float;  (** time of the last arrival returned *)
+  (* MMPP phase machine (meaningful only for [Onoff]): *)
+  mutable on : bool;
+  mutable phase_end : float;
+}
+
+let create ?(seed = 1L) shape =
+  validate shape;
+  let rng = Rng.create ~seed in
+  let t = { shape; rng; now = 0.0; on = true; phase_end = Float.infinity } in
+  (match shape with
+  | Onoff { mean_on; _ } -> t.phase_end <- Rng.exponential rng ~mean:mean_on
+  | _ -> ());
+  t
+
+(* Instantaneous rate of a deterministic time-varying shape. *)
+let rate_at shape time =
+  match shape with
+  | Poisson { rate } -> rate
+  | Onoff _ -> invalid_arg "Arrival.rate_at: stochastic phase"
+  | Ramp { rate0; rate1; over } ->
+      rate0 +. ((rate1 -. rate0) *. Float.min 1.0 (time /. over))
+  | Steps { period; levels } ->
+      let n = Array.length levels in
+      let slot = int_of_float (Float.rem (time /. period) (float_of_int n)) in
+      levels.(min slot (n - 1))
+
+let rec next_onoff t rate_on rate_off mean_on mean_off =
+  let flip () =
+    t.now <- t.phase_end;
+    t.on <- not t.on;
+    let dwell =
+      Rng.exponential t.rng ~mean:(if t.on then mean_on else mean_off)
+    in
+    t.phase_end <- t.now +. dwell
+  in
+  let rate = if t.on then rate_on else rate_off in
+  if rate <= 0.0 then begin
+    (* Silent phase: no arrivals until the phase flips. *)
+    flip ();
+    next_onoff t rate_on rate_off mean_on mean_off
+  end
+  else
+    let dt = Rng.exponential t.rng ~mean:(1.0 /. rate) in
+    if t.now +. dt <= t.phase_end then begin
+      t.now <- t.now +. dt;
+      t.now
+    end
+    else begin
+      (* The candidate falls past the phase boundary: move to the
+         boundary and redraw — valid because the exponential is
+         memoryless, and it keeps the stream a pure function of the
+         rng draws. *)
+      flip ();
+      next_onoff t rate_on rate_off mean_on mean_off
+    end
+
+let rec next_thinned t peak =
+  t.now <- t.now +. Rng.exponential t.rng ~mean:(1.0 /. peak);
+  let accept = Rng.float t.rng peak < rate_at t.shape t.now in
+  if accept then t.now else next_thinned t peak
+
+(** Absolute time of the next arrival; non-decreasing. *)
+let next t =
+  match t.shape with
+  | Poisson { rate } ->
+      t.now <- t.now +. Rng.exponential t.rng ~mean:(1.0 /. rate);
+      t.now
+  | Onoff { rate_on; rate_off; mean_on; mean_off } ->
+      next_onoff t rate_on rate_off mean_on mean_off
+  | Ramp _ | Steps _ -> next_thinned t (peak_rate t.shape)
+
+let now t = t.now

@@ -1,0 +1,51 @@
+(** Deterministic, seed-replayable open-loop arrival processes.
+
+    A process is a stream of absolute arrival times driven by one
+    {!Psmr_util.Rng} stream: equal seed and shape replay bit-identical
+    times, and the stream never depends on how the system under test
+    responds (open loop). *)
+
+type shape =
+  | Poisson of { rate : float }  (** homogeneous, [rate] arrivals/s *)
+  | Onoff of {
+      rate_on : float;
+      rate_off : float;
+      mean_on : float;  (** mean dwell in the on phase, seconds *)
+      mean_off : float;  (** mean dwell in the off phase, seconds *)
+    }
+      (** bursty 2-state MMPP: exponential dwell times, Poisson arrivals
+          at the phase's rate *)
+  | Ramp of { rate0 : float; rate1 : float; over : float }
+      (** linear rate ramp from [rate0] to [rate1] over [over] seconds,
+          then steady at [rate1] *)
+  | Steps of { period : float; levels : float array }
+      (** diurnal/step shape: piecewise-constant, [levels.(i)] for the
+          i-th period, cycling *)
+
+type t
+
+val create : ?seed:int64 -> shape -> t
+(** @raise Invalid_argument on non-finite/negative rates, empty levels,
+    or shapes that can never produce an arrival. *)
+
+val next : t -> float
+(** Absolute time of the next arrival; non-decreasing across calls. *)
+
+val now : t -> float
+(** Time of the last arrival returned (0 before the first). *)
+
+val mean_rate : shape -> float
+(** Long-run mean arrivals/s — the sweep's offered-load axis. *)
+
+val peak_rate : shape -> float
+(** Peak instantaneous arrivals/s — what a bounded offered-queue must be
+    provisioned against. *)
+
+val scale : shape -> float -> shape
+(** [scale shape f] multiplies every rate by [f] (dwell times and
+    periods unchanged): the offered-load knob of a sweep. *)
+
+val pp : Format.formatter -> shape -> unit
+(** Stable [%g]-formatted label (safe as a memo key). *)
+
+val label : shape -> string

@@ -1,0 +1,75 @@
+(** Bounded session pool: millions of logical client sessions without
+    millions of anything.
+
+    A session is an id in [0, sessions) plus a per-session RNG stream
+    derived from the pool seed — there is no per-session DES process,
+    so the population can be 10^6+ at a few bytes per *live* session.
+    Streams are materialized lazily on first touch and at most
+    [max_live] are kept resident (FIFO eviction).  An evicted session
+    that is touched again re-derives its stream from the seed, i.e. it
+    restarts its private randomness; with a uniform session draw over a
+    large population this is statistically invisible, and it keeps the
+    whole pool a pure function of [(seed, touch order)] — replays are
+    bit-identical. *)
+
+module Rng = Psmr_util.Rng
+
+type t = {
+  seed : int64;
+  sessions : int;
+  max_live : int;
+  pick : Rng.t;  (** stream deciding which session each arrival is from *)
+  live : (int, Rng.t) Hashtbl.t;
+  order : int Queue.t;  (** FIFO of resident ids, oldest first *)
+  mutable touched : int;  (** distinct sessions ever materialized *)
+  mutable evictions : int;
+}
+
+let default_max_live = 65_536
+
+let create ?(seed = 1L) ?(max_live = default_max_live) ~sessions () =
+  if sessions <= 0 then invalid_arg "Session.create: sessions must be positive";
+  if max_live <= 0 then invalid_arg "Session.create: max_live must be positive";
+  {
+    seed;
+    sessions;
+    max_live;
+    pick = Rng.create ~seed:(Int64.add seed 0x5E55_100DL);
+    live = Hashtbl.create (min max_live 4096);
+    order = Queue.create ();
+    touched = 0;
+    evictions = 0;
+  }
+
+let sessions t = t.sessions
+let live t = Hashtbl.length t.live
+let touched t = t.touched
+let evictions t = t.evictions
+
+(** The session id of the next arrival: uniform over the population. *)
+let draw t = Rng.int t.pick t.sessions
+
+(* SplitMix64's golden gamma: distinct per-id seeds whose streams are
+   statistically independent of each other and of the pick stream. *)
+let golden = 0x9E3779B97F4A7C15L
+
+let derive t id = Rng.create ~seed:(Int64.add t.seed (Int64.mul (Int64.of_int (id + 1)) golden))
+
+(** The session's private RNG stream, materializing (and possibly
+    evicting the oldest resident stream) on first touch. *)
+let stream t id =
+  if id < 0 || id >= t.sessions then
+    invalid_arg (Printf.sprintf "Session.stream: id %d out of range" id);
+  match Hashtbl.find_opt t.live id with
+  | Some rng -> rng
+  | None ->
+      if Hashtbl.length t.live >= t.max_live then begin
+        let oldest = Queue.pop t.order in
+        Hashtbl.remove t.live oldest;
+        t.evictions <- t.evictions + 1
+      end;
+      let rng = derive t id in
+      Hashtbl.replace t.live id rng;
+      Queue.push id t.order;
+      t.touched <- t.touched + 1;
+      rng

@@ -92,33 +92,46 @@ module Keyed = struct
 end
 
 (** Zipf-distributed key sampler (exponent [theta]), for skewed KV workloads
-    in the examples and extension experiments.  Uses the standard inverse-CDF
-    over precomputed cumulative weights. *)
+    in the examples and extension experiments.  Uses Walker/Vose alias
+    tables: O(n) setup, O(1) per sample regardless of n, so open-loop
+    scenarios over 10^6+ keys pay the same per-draw cost as a uniform
+    pick (the inverse-CDF binary search this replaces was O(log n) per
+    sample and dominated generation cost at large universes). *)
 module Zipf = struct
-  type t = { cdf : float array }
+  type t = {
+    prob : float array;  (** acceptance threshold per column *)
+    alias : int array;  (** overflow rank per column *)
+  }
 
   let create ~n ~theta =
     if n <= 0 then invalid_arg "Zipf.create: n must be positive";
     if theta < 0.0 then invalid_arg "Zipf.create: negative theta";
-    let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
-    let total = Array.fold_left ( +. ) 0.0 weights in
-    let acc = ref 0.0 in
-    let cdf =
-      Array.map
-        (fun w ->
-          acc := !acc +. (w /. total);
-          !acc)
-        weights
+    let weights =
+      Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta)
     in
-    { cdf }
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    (* Scaled probabilities: mean 1.0, so columns split into donors
+       (> 1) and receivers (< 1). *)
+    let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+    let prob = Array.make n 1.0 in
+    let alias = Array.init n (fun i -> i) in
+    let small = Stack.create () and large = Stack.create () in
+    Array.iteri
+      (fun i p -> if p < 1.0 then Stack.push i small else Stack.push i large)
+      scaled;
+    while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+      let s = Stack.pop small and l = Stack.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) -. (1.0 -. scaled.(s));
+      if scaled.(l) < 1.0 then Stack.push l small else Stack.push l large
+    done;
+    (* Leftovers are 1.0 up to rounding: keep their default prob = 1. *)
+    { prob; alias }
 
   let sample t rng =
+    let n = Array.length t.prob in
+    let i = Psmr_util.Rng.int rng n in
     let u = Psmr_util.Rng.float rng 1.0 in
-    (* Binary search for the first cdf entry >= u. *)
-    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
-    done;
-    !lo
+    if u < t.prob.(i) then i else t.alias.(i)
 end

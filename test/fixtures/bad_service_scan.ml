@@ -1,0 +1,22 @@
+(* Nondeterminism hiding behind the kv range-read path: [execute] and
+   the point ops are clean, but the file-level [scan] helper — an
+   execute root because the Scan arm delegates to it — reads the
+   wall-clock in its bounds check and its [scan_probe] helper samples
+   Random.  Both replay on every replica, so both are flagged exactly
+   like execute-reachable code. *)
+
+type t = int option array
+
+type command = Get of int | Scan of int * int
+
+type response = Value of int option | Range of int option list
+
+let scan_probe len = if Random.int 100 < 50 then len else len + 1
+
+let scan (t : t) start len =
+  let len = if Sys.time () > 0.0 then scan_probe len else len in
+  List.init len (fun i -> t.(start + i))
+
+let execute (t : t) = function
+  | Get k -> Value t.(k)
+  | Scan (start, len) -> Range (scan t start len)

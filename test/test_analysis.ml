@@ -35,6 +35,7 @@ let fixtures =
     ("fixtures/bad_service_random.ml", "lib/app/bad_service_random.ml");
     ("fixtures/bad_service_indirect.ml", "lib/app/bad_service_indirect.ml");
     ("fixtures/bad_service_undo.ml", "lib/app/bad_service_undo.ml");
+    ("fixtures/bad_service_scan.ml", "lib/app/bad_service_scan.ml");
     ("fixtures/bad_footprint.ml", "lib/app/bad_footprint.ml");
     ("fixtures/good_service.ml", "lib/app/good_service.ml");
     ("fixtures/suppressed.ml", "lib/cos/suppressed.ml");

@@ -66,6 +66,50 @@ let test_kv_conflicts () =
   Alcotest.(check bool) "diff-key put/put" false (KV.conflict (Put (0, 1)) (Put (1, 2)));
   Alcotest.(check bool) "same-key put/put" true (KV.conflict (Put (1, 1)) (Put (1, 2)))
 
+(* --- the kv range read (YCSB-E support) --- *)
+
+let test_kv_scan () =
+  let s = KV.create ~capacity:8 in
+  ignore (KV.execute s (KV.Put (2, 20)) : KV.response);
+  ignore (KV.execute s (KV.Put (4, 40)) : KV.response);
+  Alcotest.(check bool) "range with holes" true
+    (KV.execute s (KV.Scan (2, 3)) = Range [ Some 20; None; Some 40 ]);
+  Alcotest.(check bool) "singleton range" true
+    (KV.execute s (KV.Scan (4, 1)) = Range [ Some 40 ]);
+  Alcotest.(check bool) "scan leaves state intact" true
+    (KV.execute s (KV.Get 2) = Value (Some 20))
+
+let test_kv_scan_bounds () =
+  let s = KV.create ~capacity:8 in
+  Alcotest.check_raises "zero length"
+    (Invalid_argument
+       (Printf.sprintf "Kv_store: scan length 0 out of [1,%d]" KV.max_scan_len))
+    (fun () -> ignore (KV.execute s (KV.Scan (0, 0)) : KV.response));
+  Alcotest.check_raises "over the footprint bound"
+    (Invalid_argument
+       (Printf.sprintf "Kv_store: scan length %d out of [1,%d]"
+          (KV.max_scan_len + 1) KV.max_scan_len))
+    (fun () ->
+      ignore (KV.execute s (KV.Scan (0, KV.max_scan_len + 1)) : KV.response));
+  Alcotest.check_raises "end past capacity"
+    (Invalid_argument "Kv_store: key 8 out of range") (fun () ->
+      ignore (KV.execute s (KV.Scan (6, 3)) : KV.response))
+
+let test_kv_scan_footprint () =
+  Alcotest.(check bool) "a scan is a read" false (KV.is_write (Scan (2, 3)));
+  Alcotest.(check (list (pair int bool)))
+    "every scanned slot declared, as reads"
+    [ (2, false); (3, false); (4, false) ]
+    (KV.footprint (Scan (2, 3)));
+  Alcotest.(check bool) "scan vs overlapping put" true
+    (KV.conflict (Scan (2, 3)) (Put (4, 0)));
+  Alcotest.(check bool) "scan vs put past the range" false
+    (KV.conflict (Scan (2, 3)) (Put (5, 0)));
+  Alcotest.(check bool) "scan vs overlapping get" false
+    (KV.conflict (Scan (2, 3)) (Get 3));
+  Alcotest.(check bool) "scan vs scan" false
+    (KV.conflict (Scan (2, 3)) (Scan (3, 4)))
+
 (* --- bank --- *)
 
 let test_bank_transfer () =
@@ -156,6 +200,8 @@ let kv_cmd =
       QCheck.map (fun k -> KV.Get k) (QCheck.int_range 0 7);
       QCheck.map (fun (k, v) -> KV.Put (k, v))
         QCheck.(pair (int_range 0 7) (int_range 0 9));
+      QCheck.map (fun (s, len) -> KV.Scan (s, len))
+        QCheck.(pair (int_range 0 7) (int_range 1 4));
     ]
 
 let ll_cmd =
@@ -311,7 +357,10 @@ let test_fifo_scheduler_end_to_end () =
 let gen_kv_cmds rng n =
   Array.init n (fun i ->
       let k = Psmr_util.Rng.int rng 8 in
-      if Psmr_util.Rng.below_percent rng 50.0 then KV.Put (k, i) else KV.Get k)
+      match Psmr_util.Rng.int rng 4 with
+      | 0 | 1 -> KV.Put (k, i)
+      | 2 -> KV.Get k
+      | _ -> KV.Scan (k, 1 + Psmr_util.Rng.int rng (8 - k)))
 
 let gen_bank_cmds rng n =
   Array.init n (fun _ ->
@@ -488,6 +537,9 @@ let () =
           Alcotest.test_case "get/put" `Quick test_kv_get_put;
           Alcotest.test_case "bounds" `Quick test_kv_bounds;
           Alcotest.test_case "conflicts" `Quick test_kv_conflicts;
+          Alcotest.test_case "scan" `Quick test_kv_scan;
+          Alcotest.test_case "scan bounds" `Quick test_kv_scan_bounds;
+          Alcotest.test_case "scan footprint" `Quick test_kv_scan_footprint;
           QCheck_alcotest.to_alcotest prop_kv_footprint_oracle;
         ] );
       ( "bank",

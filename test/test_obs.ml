@@ -184,11 +184,40 @@ let test_metrics_schema () =
           let p50 = num_member "p50" h in
           let p95 = num_member "p95" h in
           let p99 = num_member "p99" h in
+          let p999 = num_member "p999" h in
           Alcotest.(check bool)
             (hist ^ " count positive") true (count > 0.0);
           Alcotest.(check bool)
-            (hist ^ " percentiles ordered") true (p50 <= p95 && p95 <= p99))
+            (hist ^ " percentiles ordered") true
+            (p50 <= p95 && p95 <= p99 && p99 <= p999))
         [ "delivery_ready"; "ready_dispatch"; "dispatch_executed" ]
+
+(* The flat snapshot ledger: every histogram contributes its full
+   quantile family — the tail quantile included — and the members obey
+   the same ordering as the JSON block.  A drained scripted run closes
+   the ledger, so the counts are exact. *)
+let test_assoc_p999_ledger () =
+  let _, registry = scripted Registry.Indexed ~metrics:true in
+  let kv = Metrics.assoc (Option.get registry) in
+  let get name =
+    match List.assoc_opt name kv with
+    | Some v -> v
+    | None -> Alcotest.failf "missing assoc member %S" name
+  in
+  List.iter
+    (fun hist ->
+      Alcotest.(check (float 0.0))
+        (hist ^ " ledger closed") (float_of_int commands)
+        (get (hist ^ "_count"));
+      let p50 = get (hist ^ "_p50")
+      and p95 = get (hist ^ "_p95")
+      and p99 = get (hist ^ "_p99")
+      and p999 = get (hist ^ "_p999")
+      and maxv = get (hist ^ "_max") in
+      Alcotest.(check bool)
+        (hist ^ " quantile family ordered") true
+        (p50 <= p95 && p95 <= p99 && p99 <= p999 && p999 <= maxv))
+    [ "delivery_ready"; "ready_dispatch"; "dispatch_executed" ]
 
 let test_trace_schema () =
   let r = standalone ~metrics:true ~trace:true () in
@@ -420,6 +449,86 @@ let test_bench_part_schema () =
         "100%-cross row is view-change free" 0.0 (field row "views"))
     all_cross
 
+(* The committed report must also carry the open-loop latency-under-load
+   grid (bench/main.ml [open_loop], produced by Load_bench over the
+   lib/traffic arrival/scenario stack): one row per scheduler family on
+   the Zipfian YCSB-A scenario, each with a non-empty offered-load sweep
+   carrying the full quantile family plus drop rate per step and a
+   detected saturation knee, and the knees ordered consistently with the
+   closed-loop peaks — the early-optimistic and partitioned families
+   saturate strictly above the coarse baseline.  Simulated virtual-time
+   latencies are deterministic, so these are stable regression anchors. *)
+let test_bench_open_loop_schema () =
+  let path =
+    if Sys.file_exists "../BENCH_cos.json" then "../BENCH_cos.json"
+    else "BENCH_cos.json"
+  in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let doc =
+    match J.parse s with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "BENCH_cos.json does not parse: %s" e
+  in
+  let rows =
+    match J.member "open_loop" doc with
+    | Some (J.Arr rows) -> rows
+    | _ -> Alcotest.fail "missing open_loop array"
+  in
+  let num row name =
+    match Option.bind (J.member name row) J.as_num with
+    | Some v -> v
+    | None -> Alcotest.failf "open_loop row missing numeric %S" name
+  in
+  let knee impl =
+    let row =
+      match
+        List.find_opt
+          (fun row ->
+            Option.bind (J.member "impl" row) J.as_str = Some impl)
+          rows
+      with
+      | Some row -> row
+      | None -> Alcotest.failf "no open_loop row for %S" impl
+    in
+    Alcotest.(check bool)
+      (impl ^ " scenario is zipfian YCSB-A") true
+      (Option.bind (J.member "scenario" row) J.as_str = Some "ycsb_a"
+      && num row "theta" >= 0.9);
+    let steps =
+      match J.member "steps" row with
+      | Some (J.Arr (_ :: _ as steps)) -> steps
+      | _ -> Alcotest.failf "row %s: missing non-empty steps" impl
+    in
+    List.iter
+      (fun step ->
+        let p50 = num step "p50" in
+        let p99 = num step "p99" in
+        let p999 = num step "p999" in
+        let drop = num step "drop_rate" in
+        ignore (num step "offered_kops");
+        ignore (num step "kops");
+        Alcotest.(check bool)
+          (impl ^ " step quantiles ordered") true
+          (p50 <= p99 && p99 <= p999);
+        Alcotest.(check bool)
+          (impl ^ " drop rate in [0,1]") true
+          (drop >= 0.0 && drop <= 1.0))
+      steps;
+    num row "knee_kops"
+  in
+  let coarse = knee "coarse" in
+  ignore (knee "indexed");
+  let early_opt = knee "early_opt" in
+  let part4 = knee "part4" in
+  Alcotest.(check bool)
+    (Printf.sprintf "early_opt knee %.0f > coarse knee %.0f" early_opt coarse)
+    true (early_opt > coarse);
+  Alcotest.(check bool)
+    (Printf.sprintf "part4 knee %.0f > coarse knee %.0f" part4 coarse)
+    true (part4 > coarse)
+
 (* Memo-key coverage for the partition grid (the PR-8 lesson: a %.0f in a
    memo key collapsed distinct fractional rates into one simulated point).
    [Part_bench.config_label] must keep every grid dimension — partitions
@@ -476,6 +585,8 @@ let () =
       ("zero-perturbation", per_impl "metrics off = on" test_zero_perturbation);
       ( "determinism",
         [
+          Alcotest.test_case "p999 snapshot ledger" `Quick
+            test_assoc_p999_ledger;
           Alcotest.test_case "byte-identical exports" `Quick
             test_deterministic_exports;
           Alcotest.test_case "throughput unaffected" `Quick
@@ -489,6 +600,8 @@ let () =
             test_bench_engine_schema;
           Alcotest.test_case "bench report partition grid" `Quick
             test_bench_part_schema;
+          Alcotest.test_case "bench report open-loop grid" `Quick
+            test_bench_open_loop_schema;
           Alcotest.test_case "partition grid memo keys" `Quick
             test_part_config_label;
         ] );

@@ -69,6 +69,38 @@ let test_zipf_uniform_theta0 () =
       if Float.abs (share -. 0.1) > 0.02 then Alcotest.failf "share %f" share)
     counts
 
+(* The alias-table sampler must reproduce the *exact* zipf weights, not
+   just the qualitative skew: at small n every rank's empirical
+   frequency is compared against its analytic mass 1/(i+1)^theta / H.
+   This is the property the Vose construction (prob/alias arrays) could
+   silently break while keeping rank 0 on top. *)
+let prop_zipf_alias_frequencies =
+  QCheck.Test.make ~name:"alias sampler matches exact zipf weights" ~count:20
+    QCheck.(
+      triple (int_range 2 8)
+        (oneofl [ 0.0; 0.5; 0.99; 1.2 ])
+        (int_range 1 10_000))
+    (fun (n, theta, seed) ->
+      let weights =
+        Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta)
+      in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let z = Workload.Zipf.create ~n ~theta in
+      let rng = Psmr_util.Rng.create ~seed:(Int64.of_int seed) in
+      let draws = 100_000 in
+      let counts = Array.make n 0 in
+      for _ = 1 to draws do
+        let k = Workload.Zipf.sample z rng in
+        counts.(k) <- counts.(k) + 1
+      done;
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun i c ->
+             let expected = weights.(i) /. total in
+             let observed = float_of_int c /. float_of_int draws in
+             Float.abs (observed -. expected) < 0.01)
+           counts))
+
 (* --- harness smoke tests (short virtual windows) --- *)
 
 let tiny = 0.02
@@ -172,6 +204,7 @@ let () =
           Alcotest.test_case "trace deterministic" `Quick test_trace_deterministic;
           Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
           Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform_theta0;
+          QCheck_alcotest.to_alcotest prop_zipf_alias_frequencies;
         ] );
       ( "standalone-harness",
         Alcotest.test_case "deterministic" `Quick test_standalone_deterministic
